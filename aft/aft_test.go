@@ -1,0 +1,196 @@
+package aft_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aft/aft"
+)
+
+func newNode(t *testing.T) *aft.Node {
+	t.Helper()
+	node, err := aft.NewNode(aft.NodeConfig{NodeID: "pub-1", Store: aft.NewDynamoDBStore(aft.LatencyNone, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestTxnHandleLifecycle(t *testing.T) {
+	node := newNode(t)
+	ctx := context.Background()
+	txn, err := aft.Begin(ctx, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txn.ID() == "" {
+		t.Fatal("empty txn id")
+	}
+	if err := txn.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := txn.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	id, err := txn.Commit()
+	if err != nil || id.IsNull() {
+		t.Fatalf("Commit = %v, %v", id, err)
+	}
+	if err := txn.Abort(); err != nil { // after commit: no-op
+		t.Fatalf("Abort after commit = %v", err)
+	}
+}
+
+func TestTxnAbort(t *testing.T) {
+	node := newNode(t)
+	ctx := context.Background()
+	txn, _ := aft.Begin(ctx, node)
+	txn.Put("k", []byte("v"))
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	txn2, _ := aft.Begin(ctx, node)
+	if _, err := txn2.Get("k"); !errors.Is(err, aft.ErrKeyNotFound) {
+		t.Fatalf("aborted write visible: %v", err)
+	}
+}
+
+func TestRunTransactionCommitsOnSuccess(t *testing.T) {
+	node := newNode(t)
+	ctx := context.Background()
+	err := aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		return txn.Put("balance", []byte("100"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		v, err := txn.Get("balance")
+		if err != nil {
+			return err
+		}
+		if string(v) != "100" {
+			t.Errorf("balance = %q", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransactionAbortsOnError(t *testing.T) {
+	node := newNode(t)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	err := aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		txn.Put("k", []byte("v"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunTransaction = %v", err)
+	}
+	if err := aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		_, err := txn.Get("k")
+		if !errors.Is(err, aft.ErrKeyNotFound) {
+			t.Errorf("aborted write visible: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransactionRetriesNoValidVersion(t *testing.T) {
+	node := newNode(t)
+	ctx := context.Background()
+	calls := 0
+	err := aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		calls++
+		if calls == 1 {
+			return aft.ErrNoValidVersion
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestStoreConstructors(t *testing.T) {
+	for _, s := range []aft.Store{
+		aft.NewDynamoDBStore(aft.LatencyNone, 0),
+		aft.NewS3Store(aft.LatencyNone, 0),
+		aft.NewRedisStore(aft.LatencyNone, 0, 0),
+	} {
+		node, err := aft.NewNode(aft.NodeConfig{NodeID: "x", Store: s})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := aft.RunTransaction(context.Background(), node, func(txn *aft.Txn) error {
+			return txn.Put("k", []byte("v"))
+		}); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	c, err := aft.NewCluster(aft.ClusterConfig{
+		Nodes:           2,
+		Store:           aft.NewDynamoDBStore(aft.LatencyNone, 0),
+		MulticastPeriod: time.Millisecond,
+		PruneMulticast:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 4; i++ {
+		if err := aft.RunTransaction(ctx, c.Client(), func(txn *aft.Txn) error {
+			return txn.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.TotalCommitted() != 4 {
+		t.Fatalf("committed = %d", c.TotalCommitted())
+	}
+}
+
+func TestServeAndDial(t *testing.T) {
+	node := newNode(t)
+	srv, addr, err := aft.Serve(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := aft.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	if err := aft.RunTransaction(ctx, client, func(txn *aft.Txn) error {
+		return txn.Put("remote", []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aft.RunTransaction(ctx, client, func(txn *aft.Txn) error {
+		v, err := txn.Get("remote")
+		if err != nil || string(v) != "v" {
+			t.Errorf("remote read = %q, %v", v, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

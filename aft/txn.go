@@ -1,0 +1,93 @@
+package aft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Txn is an ergonomic handle for one transaction against any Client.
+type Txn struct {
+	ctx    context.Context
+	client Client
+	id     string
+	done   bool
+}
+
+// Begin starts a transaction on client.
+func Begin(ctx context.Context, client Client) (*Txn, error) {
+	id, err := client.StartTransaction(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{ctx: ctx, client: client, id: id}, nil
+}
+
+// ID returns the transaction identifier (shareable across functions of the
+// same logical request).
+func (t *Txn) ID() string { return t.id }
+
+// Get reads key with read atomic isolation.
+func (t *Txn) Get(key string) ([]byte, error) {
+	return t.client.Get(t.ctx, t.id, key)
+}
+
+// Put buffers a write of key; nothing is visible until Commit.
+func (t *Txn) Put(key string, value []byte) error {
+	return t.client.Put(t.ctx, t.id, key, value)
+}
+
+// Commit atomically persists the transaction's writes and returns the
+// commit ID.
+func (t *Txn) Commit() (ID, error) {
+	id, err := t.client.CommitTransaction(t.ctx, t.id)
+	if err == nil {
+		t.done = true
+	}
+	return id, err
+}
+
+// Abort discards the transaction's writes.
+func (t *Txn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	return t.client.AbortTransaction(t.ctx, t.id)
+}
+
+// RunTransaction executes fn inside a transaction, committing on success
+// and aborting on error. Retriable conditions — ErrNoValidVersion (§3.6)
+// and transactions lost to node failures — are retried up to five times
+// with a fresh transaction, the retry discipline the paper prescribes.
+func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) error {
+	const maxAttempts = 5
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		txn, err := Begin(ctx, client)
+		if err != nil {
+			return err
+		}
+		if err := fn(txn); err != nil {
+			_ = txn.Abort()
+			if retriable(err) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		if _, err := txn.Commit(); err != nil {
+			if retriable(err) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("aft: transaction failed after %d attempts: %w", maxAttempts, lastErr)
+}
+
+func retriable(err error) bool {
+	return errors.Is(err, ErrNoValidVersion) || errors.Is(err, ErrTxnNotFound)
+}

@@ -1,0 +1,97 @@
+// Command aft-bench regenerates the paper's evaluation tables and figures
+// (§6) against the simulated substrates.
+//
+// Usage:
+//
+//	aft-bench -experiment all                 # every figure and table
+//	aft-bench -experiment fig3 -scale 0.1     # one experiment, 10x speed
+//	aft-bench -experiment fig7 -quick         # CI-sized run
+//
+// Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
+// fig9, fig10, ablation. Output latencies and throughputs are reported in
+// paper-equivalent units (measured values divided by the time scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aft/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation")
+		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
+		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
+		seed       = flag.Int64("seed", 42, "random seed")
+		payload    = flag.Int("payload", 4096, "value size in bytes")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Quick: *quick, Seed: *seed, Payload: *payload}
+
+	type exp struct {
+		name string
+		run  func(experiments.Options) ([]experiments.Table, error)
+	}
+	one := func(f func(experiments.Options) (experiments.Table, error)) func(experiments.Options) ([]experiments.Table, error) {
+		return func(o experiments.Options) ([]experiments.Table, error) {
+			t, err := f(o)
+			return []experiments.Table{t}, err
+		}
+	}
+	fig3 := func(o experiments.Options) ([]experiments.Table, error) {
+		a, b, err := experiments.Fig3Table2(o)
+		return []experiments.Table{a, b}, err
+	}
+	all := []exp{
+		{"fig2", one(experiments.Fig2)},
+		{"fig3", fig3},
+		{"fig4", one(experiments.Fig4)},
+		{"fig5", one(experiments.Fig5)},
+		{"fig6", one(experiments.Fig6)},
+		{"fig7", one(experiments.Fig7)},
+		{"fig8", one(experiments.Fig8)},
+		{"fig9", one(experiments.Fig9)},
+		{"fig10", one(experiments.Fig10)},
+		{"ablation", one(experiments.Ablation)},
+	}
+
+	selected := map[string]bool{}
+	switch *experiment {
+	case "all":
+		for _, e := range all {
+			selected[e.name] = true
+		}
+	case "table2":
+		selected["fig3"] = true
+	default:
+		selected[*experiment] = true
+	}
+
+	ran := false
+	for _, e := range all {
+		if !selected[e.name] {
+			continue
+		}
+		ran = true
+		fmt.Printf("running %s (scale=%.2g quick=%v)...\n", e.name, *scale, *quick)
+		start := time.Now()
+		tables, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aft-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+		fmt.Printf("  (%s wall time)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "aft-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

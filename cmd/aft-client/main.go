@@ -1,0 +1,111 @@
+// Command aft-client is an interactive client for an aft-server, useful
+// for poking at the transactional API by hand.
+//
+// Usage:
+//
+//	aft-client -addr localhost:7070
+//
+// Commands (one per line):
+//
+//	begin                 start a transaction
+//	get <key>             read a key in the current transaction
+//	put <key> <value>     buffer a write in the current transaction
+//	commit                commit the current transaction
+//	abort                 abort the current transaction
+//	quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"aft/aft"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "aft-server address")
+	flag.Parse()
+
+	client, err := aft.Dial(*addr)
+	if err != nil {
+		log.Fatalf("aft-client: %v", err)
+	}
+	defer client.Close()
+	fmt.Printf("connected to %s (node %s)\n", *addr, client.ID())
+
+	ctx := context.Background()
+	var txn *aft.Txn
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "begin":
+			if txn != nil {
+				fmt.Println("error: transaction already open; commit or abort first")
+				break
+			}
+			t, err := aft.Begin(ctx, client)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			txn = t
+			fmt.Println("txn", txn.ID())
+		case "get":
+			if txn == nil || len(fields) != 2 {
+				fmt.Println("usage: get <key> (inside a transaction)")
+				break
+			}
+			v, err := txn.Get(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("%q\n", v)
+		case "put":
+			if txn == nil || len(fields) < 3 {
+				fmt.Println("usage: put <key> <value> (inside a transaction)")
+				break
+			}
+			if err := txn.Put(fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "commit":
+			if txn == nil {
+				fmt.Println("error: no open transaction")
+				break
+			}
+			id, err := txn.Commit()
+			txn = nil
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println("committed", id)
+		case "abort":
+			if txn == nil {
+				fmt.Println("error: no open transaction")
+				break
+			}
+			if err := txn.Abort(); err != nil {
+				fmt.Println("error:", err)
+			}
+			txn = nil
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: begin | get <k> | put <k> <v> | commit | abort | quit")
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,85 @@
+// Command aft-server runs one AFT node as a TCP service.
+//
+// Usage:
+//
+//	aft-server -addr :7070 -node node-1 -store dynamodb -latency none
+//
+// The node serves the Table 1 API (StartTransaction / Get / Put /
+// CommitTransaction / AbortTransaction) over the repository's wire
+// protocol; connect with cmd/aft-client or aft.Dial. The storage backend
+// is one of the repository's simulated cloud stores; multiple servers
+// launched with -store pointing at the same external process would
+// require a networked store, so a single server owns its store (the
+// multi-node protocols are exercised in-process via aft.NewCluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aft/aft"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		nodeID  = flag.String("node", "aft-node-1", "node identifier")
+		backend = flag.String("store", "dynamodb", "storage backend: dynamodb|s3|redis")
+		lat     = flag.String("latency", "none", "latency mode: none|cloud|cloud-fast")
+		cache   = flag.Bool("cache", true, "enable the read data cache")
+		seed    = flag.Int64("seed", 1, "latency model seed")
+	)
+	flag.Parse()
+
+	var mode aft.LatencyMode
+	switch *lat {
+	case "none":
+		mode = aft.LatencyNone
+	case "cloud":
+		mode = aft.LatencyCloud
+	case "cloud-fast":
+		mode = aft.LatencyCloudFast
+	default:
+		log.Fatalf("aft-server: unknown latency mode %q", *lat)
+	}
+
+	var store aft.Store
+	switch *backend {
+	case "dynamodb":
+		store = aft.NewDynamoDBStore(mode, *seed)
+	case "s3":
+		store = aft.NewS3Store(mode, *seed)
+	case "redis":
+		store = aft.NewRedisStore(mode, *seed, 0)
+	default:
+		log.Fatalf("aft-server: unknown store %q", *backend)
+	}
+
+	node, err := aft.NewNode(aft.NodeConfig{
+		NodeID:          *nodeID,
+		Store:           store,
+		EnableDataCache: *cache,
+	})
+	if err != nil {
+		log.Fatalf("aft-server: %v", err)
+	}
+
+	srv, bound, err := aft.Serve(node, *addr)
+	if err != nil {
+		log.Fatalf("aft-server: %v", err)
+	}
+	fmt.Printf("aft-server: node %s serving on %s (store=%s latency=%s)\n",
+		*nodeID, bound, *backend, *lat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("aft-server: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("aft-server: close: %v", err)
+	}
+}

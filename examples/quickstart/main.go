@@ -1,0 +1,56 @@
+// Quickstart: start an in-process AFT node over a simulated DynamoDB
+// table, run a transaction, and read it back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"aft/aft"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. Pick a storage backend. AFT only assumes acknowledged writes are
+	// durable; here we use the simulated DynamoDB with no added latency.
+	store := aft.NewDynamoDBStore(aft.LatencyNone, 0)
+
+	// 2. Start a shim node over it.
+	node, err := aft.NewNode(aft.NodeConfig{NodeID: "quickstart-1", Store: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run a transaction: all writes commit atomically, or none do.
+	err = aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		if err := txn.Put("greeting", []byte("hello")); err != nil {
+			return err
+		}
+		return txn.Put("audience", []byte("world"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read it back in a second transaction. Read atomic isolation
+	// guarantees we see both writes or neither — never a fraction.
+	err = aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		g, err := txn.Get("greeting")
+		if err != nil {
+			return err
+		}
+		a, err := txn.Get("audience")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s, %s!\n", g, a)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Shopping cart: the paper's motivating scenario (§1) as a runnable
+// example. A checkout request spans two serverless functions — one updates
+// the cart, the next decrements inventory. If the platform retries a
+// function after a crash, AFT's atomicity guarantees that concurrent
+// readers never observe the cart updated without the inventory (or vice
+// versa), and idempotent commit keyed by the transaction ID gives
+// exactly-once semantics.
+//
+//	go run ./examples/shoppingcart
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"aft/aft"
+)
+
+// Cart is a user's shopping cart.
+type Cart struct {
+	Items []string `json:"items"`
+}
+
+// Inventory tracks stock per item.
+type Inventory struct {
+	Stock map[string]int `json:"stock"`
+}
+
+func main() {
+	ctx := context.Background()
+	store := aft.NewDynamoDBStore(aft.LatencyNone, 0)
+	node, err := aft.NewNode(aft.NodeConfig{NodeID: "cart-1", Store: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed the inventory.
+	must(aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		return putJSON(txn, "inventory", Inventory{Stock: map[string]int{"widget": 3}})
+	}))
+
+	// One logical checkout request: two "functions" sharing a transaction.
+	// Function 1: add the item to the cart.
+	txn, err := aft.Begin(ctx, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(functionAddToCart(txn, "alice", "widget"))
+
+	// Between the two functions, a concurrent reader sees NEITHER update:
+	// the transaction's writes are buffered, not visible (§3.3).
+	must(aft.RunTransaction(ctx, node, func(r *aft.Txn) error {
+		var inv Inventory
+		if err := getJSON(r, "inventory", &inv); err != nil {
+			return err
+		}
+		fmt.Printf("mid-request reader sees stock=%d, cart unchanged (atomicity!)\n", inv.Stock["widget"])
+		return nil
+	}))
+
+	// Function 2 (possibly on another machine, same txid): decrement stock.
+	must(functionReserveStock(txn, "widget"))
+	if _, err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// After commit, readers see both updates together.
+	must(aft.RunTransaction(ctx, node, func(r *aft.Txn) error {
+		var cart Cart
+		var inv Inventory
+		if err := getJSON(r, "cart:alice", &cart); err != nil {
+			return err
+		}
+		if err := getJSON(r, "inventory", &inv); err != nil {
+			return err
+		}
+		fmt.Printf("after commit: cart=%v stock=%d\n", cart.Items, inv.Stock["widget"])
+		return nil
+	}))
+}
+
+// functionAddToCart is "function 1" of the request chain.
+func functionAddToCart(txn *aft.Txn, user, item string) error {
+	var cart Cart
+	if err := getJSON(txn, "cart:"+user, &cart); err != nil && err != aft.ErrKeyNotFound {
+		return err
+	}
+	cart.Items = append(cart.Items, item)
+	return putJSON(txn, "cart:"+user, cart)
+}
+
+// functionReserveStock is "function 2"; read-your-writes lets it observe
+// function 1's buffered updates through the shared transaction.
+func functionReserveStock(txn *aft.Txn, item string) error {
+	var inv Inventory
+	if err := getJSON(txn, "inventory", &inv); err != nil {
+		return err
+	}
+	if inv.Stock[item] == 0 {
+		return fmt.Errorf("out of stock: %s", item)
+	}
+	inv.Stock[item]--
+	return putJSON(txn, "inventory", inv)
+}
+
+func getJSON(txn *aft.Txn, key string, v any) error {
+	b, err := txn.Get(key)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+func putJSON(txn *aft.Txn, key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return txn.Put(key, b)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

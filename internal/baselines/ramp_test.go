@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aft/internal/idgen"
+	"aft/internal/storage/dynamosim"
+	"aft/internal/workload"
+)
+
+func newRAMP(t *testing.T) *RAMP {
+	t.Helper()
+	return NewRAMP(RAMPConfig{
+		Store:    dynamosim.New(dynamosim.Options{}),
+		IDs:      idgen.NewGenerator(idgen.NewVirtualClock(0, 1), "ramp"),
+		Registry: workload.NewRegistry(),
+	})
+}
+
+func TestRAMPWriteRead(t *testing.T) {
+	r := newRAMP(t)
+	ctx := context.Background()
+	if _, err := r.Write(ctx, []string{"a", "b"}, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, obs, err := r.Read(ctx, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["a"]) != "v1" || string(got["b"]) != "v1" {
+		t.Fatalf("read = %v", got)
+	}
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	// Both reads come from the same transaction.
+	if obs[0].Meta.UUID != obs[1].Meta.UUID {
+		t.Fatal("fractured read from a single write")
+	}
+}
+
+func TestRAMPEmptyWriteSetRejected(t *testing.T) {
+	r := newRAMP(t)
+	if _, err := r.Write(context.Background(), nil, []byte("v")); err == nil {
+		t.Fatal("empty write set accepted")
+	}
+}
+
+func TestRAMPMissingKeysSkipped(t *testing.T) {
+	r := newRAMP(t)
+	ctx := context.Background()
+	got, obs, err := r.Read(ctx, []string{"never"})
+	if err != nil || len(got) != 0 || len(obs) != 0 {
+		t.Fatalf("read of missing = %v, %v, %v", got, obs, err)
+	}
+}
+
+func TestRAMPRepairRound(t *testing.T) {
+	// Construct the classic RAMP race by hand: T2 writes {k,l}; the
+	// latest pointer for k is advanced but l's still points at T1. A
+	// RAMP-Fast read of {k,l} must repair l to T2's version.
+	store := dynamosim.New(dynamosim.Options{})
+	gen := idgen.NewGenerator(idgen.NewVirtualClock(0, 1), "ramp")
+	r := NewRAMP(RAMPConfig{Store: store, IDs: gen, Registry: workload.NewRegistry()})
+	ctx := context.Background()
+
+	if _, err := r.Write(ctx, []string{"l"}, []byte("l1")); err != nil { // T1
+		t.Fatal(err)
+	}
+	// T2 prepares both keys but "crashes" after advancing only k's
+	// pointer: simulate by writing prepares + one pointer manually.
+	id2 := gen.NewID()
+	for _, k := range []string{"k", "l"} {
+		v := rampVersion{Timestamp: id2.Timestamp, UUID: id2.UUID, WriteSet: []string{"k", "l"}, Value: []byte(k + "2")}
+		payload, _ := jsonMarshal(v)
+		if err := store.Put(ctx, rampDataKey(k, id2), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Put(ctx, rampLatestKey("k"), []byte(id2.String())); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := r.Read(ctx, []string{"k", "l"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["k"]) != "k2" {
+		t.Fatalf("k = %q", got["k"])
+	}
+	if string(got["l"]) != "l2" {
+		t.Fatalf("l = %q, want the repaired l2", got["l"])
+	}
+}
+
+func jsonMarshal(v rampVersion) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+func TestRAMPNoFracturedReadsUnderConcurrency(t *testing.T) {
+	r := newRAMP(t)
+	ctx := context.Background()
+	if _, err := r.Write(ctx, []string{"x", "y"}, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := r.Write(ctx, []string{"x", "y"}, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		_, obs, err := r.Read(ctx, []string{"x", "y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(obs) == 2 {
+			// Versions may differ only if the later one does not claim
+			// to have cowritten the earlier key at a newer version —
+			// for this workload both writes always cover {x,y}, so the
+			// UUIDs must match or the newer must be at least as new.
+			a, b := obs[0], obs[1]
+			ida := workload.Meta{TS: a.Meta.TS, UUID: a.Meta.UUID}.OrderID()
+			idb := workload.Meta{TS: b.Meta.TS, UUID: b.Meta.UUID}.OrderID()
+			if a.Meta.UUID != b.Meta.UUID && ida != idb {
+				// One of them cowrites the other's key strictly newer:
+				// that is a fracture.
+				t.Fatalf("fractured RAMP read: %v vs %v", a.Meta, b.Meta)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRAMPLatestPointerMonotone(t *testing.T) {
+	// Older writes must never regress a key's latest pointer.
+	store := dynamosim.New(dynamosim.Options{})
+	clock := idgen.NewVirtualClock(0, 1)
+	gen := idgen.NewGenerator(clock, "ramp")
+	r := NewRAMP(RAMPConfig{Store: store, IDs: gen, Registry: workload.NewRegistry()})
+	ctx := context.Background()
+	if _, err := r.Write(ctx, []string{"k"}, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	latestBefore, err := r.latestOf(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually attempt to advance with an older ID.
+	if err := r.advanceLatest(ctx, "k", idgen.ID{Timestamp: 0, UUID: "ancient"}); err != nil {
+		t.Fatal(err)
+	}
+	latestAfter, err := r.latestOf(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !latestAfter.Equal(latestBefore) {
+		t.Fatalf("latest pointer regressed: %v -> %v", latestBefore, latestAfter)
+	}
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The paper leaves autoscaling policy pluggable and out of scope (§4.3,
+// revisited as future work in §8). This file provides the plumbing — a
+// Policy interface evaluated on periodic load samples, driving AddNode /
+// Kill — plus the obvious default: scale on per-node in-flight load with
+// hysteresis.
+
+// LoadSample is one observation of cluster load handed to a Policy.
+type LoadSample struct {
+	// Nodes is the current replica count.
+	Nodes int
+	// ActiveTransactions is the total number of in-flight transactions.
+	ActiveTransactions int
+	// CommittedDelta is the number of commits since the previous sample.
+	CommittedDelta int64
+}
+
+// Policy decides scaling actions: a positive return adds that many nodes,
+// a negative return removes that many, zero holds.
+type Policy interface {
+	Decide(s LoadSample) int
+}
+
+// ThresholdPolicy is the default policy: keep per-node in-flight
+// transactions between Low and High watermarks, never dropping below
+// MinNodes or exceeding MaxNodes. Consecutive-breach hysteresis avoids
+// flapping on transient spikes.
+type ThresholdPolicy struct {
+	// High and Low are per-node in-flight transaction watermarks.
+	High, Low float64
+	// MinNodes and MaxNodes bound the fleet (MinNodes >= 1).
+	MinNodes, MaxNodes int
+	// Patience is how many consecutive breaching samples trigger action;
+	// 0 means 2.
+	Patience int
+
+	overStreak, underStreak int
+}
+
+// Decide implements Policy.
+func (p *ThresholdPolicy) Decide(s LoadSample) int {
+	patience := p.Patience
+	if patience == 0 {
+		patience = 2
+	}
+	if s.Nodes == 0 {
+		return 0
+	}
+	perNode := float64(s.ActiveTransactions) / float64(s.Nodes)
+	switch {
+	case perNode > p.High && s.Nodes < p.MaxNodes:
+		p.overStreak++
+		p.underStreak = 0
+		if p.overStreak >= patience {
+			p.overStreak = 0
+			return 1
+		}
+	case perNode < p.Low && s.Nodes > p.MinNodes:
+		p.underStreak++
+		p.overStreak = 0
+		if p.underStreak >= patience {
+			p.underStreak = 0
+			return -1
+		}
+	default:
+		p.overStreak, p.underStreak = 0, 0
+	}
+	return 0
+}
+
+// Autoscaler samples cluster load on an interval and applies a Policy.
+type Autoscaler struct {
+	cluster  *Cluster
+	policy   Policy
+	interval time.Duration
+
+	mu            sync.Mutex
+	stop          chan struct{}
+	done          sync.WaitGroup
+	lastCommitted int64
+	scaleUps      int
+	scaleDowns    int
+}
+
+// NewAutoscaler wires policy to c with the given sampling interval (0
+// defaults to 1s).
+func NewAutoscaler(c *Cluster, policy Policy, interval time.Duration) *Autoscaler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Autoscaler{cluster: c, policy: policy, interval: interval}
+}
+
+// Start launches the sampling loop; it is a no-op if already running.
+func (a *Autoscaler) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stop != nil {
+		return
+	}
+	a.stop = make(chan struct{})
+	stop := a.stop
+	a.done.Add(1)
+	go func() {
+		defer a.done.Done()
+		ticker := time.NewTicker(a.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				a.Step(context.Background())
+			}
+		}
+	}()
+}
+
+// Step takes one sample and applies the policy's decision; exposed so
+// tests and simulations can drive the scaler deterministically.
+func (a *Autoscaler) Step(ctx context.Context) {
+	nodes := a.cluster.Nodes()
+	sample := LoadSample{Nodes: len(nodes)}
+	for _, n := range nodes {
+		sample.ActiveTransactions += n.ActiveTransactions()
+	}
+	committed := a.cluster.TotalCommitted()
+	a.mu.Lock()
+	sample.CommittedDelta = committed - a.lastCommitted
+	a.lastCommitted = committed
+	a.mu.Unlock()
+
+	delta := a.policy.Decide(sample)
+	switch {
+	case delta > 0:
+		for i := 0; i < delta; i++ {
+			if _, err := a.cluster.AddNode(ctx); err != nil {
+				return
+			}
+			a.mu.Lock()
+			a.scaleUps++
+			a.mu.Unlock()
+		}
+	case delta < 0:
+		for i := 0; i < -delta; i++ {
+			nodes := a.cluster.Nodes()
+			if len(nodes) == 0 {
+				return
+			}
+			// Retire an arbitrary replica gracefully (final multicast
+			// flush, no standby promotion); its in-flight transactions
+			// fail over like any node loss (§3.3.1).
+			if err := a.cluster.RemoveNode(nodes[len(nodes)-1].ID()); err != nil {
+				return
+			}
+			a.mu.Lock()
+			a.scaleDowns++
+			a.mu.Unlock()
+		}
+	}
+}
+
+// Stats returns the number of scale-up and scale-down actions taken.
+func (a *Autoscaler) Stats() (ups, downs int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.scaleUps, a.scaleDowns
+}
+
+// Stop halts the sampling loop.
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	if a.stop == nil {
+		a.mu.Unlock()
+		return
+	}
+	close(a.stop)
+	a.stop = nil
+	a.mu.Unlock()
+	a.done.Wait()
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aft/internal/storage/dynamosim"
+)
+
+func TestThresholdPolicyHysteresis(t *testing.T) {
+	p := &ThresholdPolicy{High: 10, Low: 2, MinNodes: 1, MaxNodes: 4, Patience: 2}
+	over := LoadSample{Nodes: 2, ActiveTransactions: 30} // 15 per node
+	if got := p.Decide(over); got != 0 {
+		t.Fatalf("first breach acted immediately: %d", got)
+	}
+	if got := p.Decide(over); got != 1 {
+		t.Fatalf("second consecutive breach = %d, want +1", got)
+	}
+	// Streak resets after an action.
+	if got := p.Decide(over); got != 0 {
+		t.Fatalf("post-action sample = %d, want 0", got)
+	}
+	// A calm sample between breaches resets the streak.
+	p.Decide(over)
+	p.Decide(LoadSample{Nodes: 2, ActiveTransactions: 10})
+	if got := p.Decide(over); got != 0 {
+		t.Fatalf("streak survived a calm sample: %d", got)
+	}
+}
+
+func TestThresholdPolicyScaleDownAndBounds(t *testing.T) {
+	p := &ThresholdPolicy{High: 10, Low: 2, MinNodes: 2, MaxNodes: 3, Patience: 1}
+	idle := LoadSample{Nodes: 3, ActiveTransactions: 0}
+	if got := p.Decide(idle); got != -1 {
+		t.Fatalf("idle decide = %d, want -1", got)
+	}
+	atMin := LoadSample{Nodes: 2, ActiveTransactions: 0}
+	if got := p.Decide(atMin); got != 0 {
+		t.Fatalf("decide at MinNodes = %d, want 0", got)
+	}
+	atMax := LoadSample{Nodes: 3, ActiveTransactions: 100}
+	if got := p.Decide(atMax); got != 0 {
+		t.Fatalf("decide at MaxNodes = %d, want 0", got)
+	}
+	if got := p.Decide(LoadSample{}); got != 0 {
+		t.Fatalf("decide with zero nodes = %d", got)
+	}
+}
+
+func TestAutoscalerScalesUpUnderLoad(t *testing.T) {
+	c, _ := newTestCluster(t, func(cfg *Config) { cfg.Nodes = 1 })
+	scaler := NewAutoscaler(c, &ThresholdPolicy{High: 2, Low: 0, MinNodes: 1, MaxNodes: 3, Patience: 1}, time.Hour)
+
+	// Park transactions to create in-flight load.
+	ctx := context.Background()
+	node := c.Nodes()[0]
+	var parked []string
+	for i := 0; i < 6; i++ {
+		txid, err := node.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parked = append(parked, txid)
+	}
+	scaler.Step(ctx)
+	if len(c.Nodes()) != 2 {
+		t.Fatalf("nodes after loaded step = %d, want 2", len(c.Nodes()))
+	}
+	ups, downs := scaler.Stats()
+	if ups != 1 || downs != 0 {
+		t.Fatalf("stats = %d/%d", ups, downs)
+	}
+	for _, txid := range parked {
+		node.AbortTransaction(ctx, txid)
+	}
+}
+
+func TestAutoscalerScalesDownWhenIdle(t *testing.T) {
+	c, _ := newTestCluster(t, func(cfg *Config) { cfg.Nodes = 3 })
+	scaler := NewAutoscaler(c, &ThresholdPolicy{High: 50, Low: 1, MinNodes: 1, MaxNodes: 4, Patience: 1}, time.Hour)
+	ctx := context.Background()
+	scaler.Step(ctx)
+	scaler.Step(ctx)
+	if len(c.Nodes()) != 1 {
+		t.Fatalf("nodes after idle steps = %d, want 1", len(c.Nodes()))
+	}
+	// The cluster still serves transactions after scale-down.
+	runTxn(t, c.Client(), map[string]string{"k": "v"})
+	_, downs := scaler.Stats()
+	if downs != 2 {
+		t.Fatalf("downs = %d", downs)
+	}
+}
+
+func TestAutoscalerLoopStartStop(t *testing.T) {
+	c, _ := newTestCluster(t, func(cfg *Config) { cfg.Nodes = 1 })
+	scaler := NewAutoscaler(c, &ThresholdPolicy{High: 1e9, Low: -1, MinNodes: 1, MaxNodes: 1}, time.Millisecond)
+	scaler.Start()
+	scaler.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	scaler.Stop()
+	scaler.Stop() // idempotent
+	if len(c.Nodes()) != 1 {
+		t.Fatalf("nodes changed under a hold-steady policy: %d", len(c.Nodes()))
+	}
+}
+
+func TestRemoveNodeGracefulFlush(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	c, err := New(Config{
+		Nodes:           2,
+		Store:           store,
+		MulticastPeriod: time.Hour, // no automatic broadcasts
+		PruneMulticast:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx := context.Background()
+
+	// Commit on a specific node without flushing.
+	victim := c.Nodes()[0]
+	other := c.Nodes()[1]
+	txid, _ := victim.StartTransaction(ctx)
+	victim.Put(ctx, txid, "graceful", []byte("v"))
+	if _, err := victim.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	// Graceful removal flushes pending broadcasts (unlike Kill).
+	if err := c.RemoveNode(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(victim.ID()); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if other.MetadataSize() != 1 {
+		t.Fatalf("surviving node metadata = %d, want 1 (flushed on graceful removal)", other.MetadataSize())
+	}
+}

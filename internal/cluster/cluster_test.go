@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aft/internal/core"
+	"aft/internal/latency"
+	"aft/internal/lb"
+	"aft/internal/records"
+	"aft/internal/storage/dynamosim"
+)
+
+func newTestCluster(t *testing.T, mutate ...func(*Config)) (*Cluster, *dynamosim.Store) {
+	t.Helper()
+	store := dynamosim.New(dynamosim.Options{})
+	cfg := Config{
+		Nodes:           3,
+		Store:           store,
+		MulticastPeriod: 2 * time.Millisecond,
+		PruneMulticast:  true,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, store
+}
+
+func runTxn(t *testing.T, client *lb.Balancer, kvs map[string]string) {
+	t.Helper()
+	ctx := context.Background()
+	txid, err := client.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range kvs {
+		if err := client.Put(ctx, txid, k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1}); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	if _, err := New(Config{Store: dynamosim.New(dynamosim.Options{})}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestCommitsPropagateAcrossNodes(t *testing.T) {
+	c, _ := newTestCluster(t)
+	client := c.Client()
+	runTxn(t, client, map[string]string{"k": "v"})
+	c.FlushMulticast()
+
+	// Every node can serve the key, whichever committed it.
+	ctx := context.Background()
+	for _, n := range c.Nodes() {
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := n.Get(ctx, txid, "k")
+		if err != nil || string(v) != "v" {
+			t.Fatalf("node %s read = %q, %v", n.ID(), v, err)
+		}
+		n.AbortTransaction(ctx, txid)
+	}
+}
+
+func TestPeriodicMulticastPropagates(t *testing.T) {
+	c, _ := newTestCluster(t)
+	runTxn(t, c.Client(), map[string]string{"k": "v"})
+	deadline := time.After(2 * time.Second)
+	for {
+		all := true
+		for _, n := range c.Nodes() {
+			if n.MetadataSize() == 0 {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("multicast never propagated")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestKillRemovesNodeAndClusterKeepsServing(t *testing.T) {
+	c, _ := newTestCluster(t)
+	victim := c.Nodes()[0].ID()
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(victim); err == nil {
+		t.Fatal("double kill succeeded")
+	}
+	if len(c.Nodes()) != 2 {
+		t.Fatalf("nodes after kill = %d", len(c.Nodes()))
+	}
+	for i := 0; i < 6; i++ {
+		runTxn(t, c.Client(), map[string]string{fmt.Sprintf("k%d", i): "v"})
+	}
+}
+
+func TestStandbyPromotionRestoresCapacity(t *testing.T) {
+	c, _ := newTestCluster(t, func(cfg *Config) {
+		cfg.Standbys = 1
+		cfg.DetectDelay = time.Millisecond
+		cfg.JoinDelay = time.Millisecond
+		cfg.Sleeper = latency.RealTime
+	})
+	// Write some data so the standby has a commit set to warm from.
+	runTxn(t, c.Client(), map[string]string{"warm": "data"})
+	c.FlushMulticast()
+
+	victim := c.Nodes()[0].ID()
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for len(c.Nodes()) < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("standby never joined")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// The replacement bootstrapped from storage: it can serve "warm".
+	ctx := context.Background()
+	var replacement *core.Node
+	for _, n := range c.Nodes() {
+		if n.ID() != victim {
+			replacement = n
+		}
+	}
+	txid, _ := replacement.StartTransaction(ctx)
+	v, err := replacement.Get(ctx, txid, "warm")
+	if err != nil || string(v) != "data" {
+		t.Fatalf("replacement read = %q, %v", v, err)
+	}
+}
+
+func TestNoStandbyNoReplacement(t *testing.T) {
+	c, _ := newTestCluster(t, func(cfg *Config) {
+		cfg.DetectDelay = 0
+		cfg.JoinDelay = 0
+	})
+	c.Kill(c.Nodes()[0].ID())
+	time.Sleep(20 * time.Millisecond)
+	if len(c.Nodes()) != 2 {
+		t.Fatalf("nodes = %d, want 2 (no standby configured)", len(c.Nodes()))
+	}
+}
+
+// TestFaultManagerRecoversKilledNodesCommits is the §4.2 liveness story end
+// to end: a node commits, dies before broadcasting, and the fault manager's
+// storage scan makes the commit visible to the other replicas.
+func TestFaultManagerRecoversKilledNodesCommits(t *testing.T) {
+	c, _ := newTestCluster(t, func(cfg *Config) {
+		cfg.MulticastPeriod = time.Hour // never broadcast on its own
+	})
+	ctx := context.Background()
+	victim := c.Nodes()[0]
+	txid, err := victim.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Put(ctx, txid, "orphan", []byte("committed"))
+	if _, err := victim.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors cannot see it yet.
+	other := c.Nodes()[0]
+	tx2, _ := other.StartTransaction(ctx)
+	if _, err := other.Get(ctx, tx2, "orphan"); !errors.Is(err, core.ErrKeyNotFound) {
+		t.Fatalf("pre-scan read = %v", err)
+	}
+	other.AbortTransaction(ctx, tx2)
+	// Fault manager scan recovers it.
+	if err := c.FaultManager().ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx3, _ := other.StartTransaction(ctx)
+	v, err := other.Get(ctx, tx3, "orphan")
+	if err != nil || string(v) != "committed" {
+		t.Fatalf("post-scan read = %q, %v", v, err)
+	}
+}
+
+func TestGCLoopsDeleteSupersededData(t *testing.T) {
+	c, store := newTestCluster(t, func(cfg *Config) {
+		cfg.Nodes = 2
+		cfg.LocalGCInterval = 2 * time.Millisecond
+		cfg.GlobalGCInterval = 4 * time.Millisecond
+	})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		runTxn(t, c.Client(), map[string]string{"hot": fmt.Sprintf("v%d", i)})
+	}
+	deadline := time.After(3 * time.Second)
+	for {
+		if c.FaultManager().Metrics().Snapshot().TxnsDeleted > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("global GC never deleted anything")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The latest version must always survive and be readable.
+	n := c.Nodes()[0]
+	txid, _ := n.StartTransaction(ctx)
+	v, err := n.Get(ctx, txid, "hot")
+	if err != nil || string(v) != "v19" {
+		t.Fatalf("read after GC = %q, %v", v, err)
+	}
+	// Storage version count for "hot" is strictly below 20.
+	versions, _ := store.List(ctx, records.DataKeyPrefix("hot"))
+	if len(versions) >= 20 {
+		t.Fatalf("GC left %d versions", len(versions))
+	}
+}
+
+func TestAddNodeScalesUp(t *testing.T) {
+	c, _ := newTestCluster(t)
+	runTxn(t, c.Client(), map[string]string{"k": "v"})
+	n, err := c.AddNode(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 4 {
+		t.Fatalf("nodes = %d", len(c.Nodes()))
+	}
+	// The new node bootstrapped existing data.
+	ctx := context.Background()
+	txid, _ := n.StartTransaction(ctx)
+	v, err := n.Get(ctx, txid, "k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("new node read = %q, %v", v, err)
+	}
+}
+
+func TestNodeLookupAndTotals(t *testing.T) {
+	c, _ := newTestCluster(t)
+	id := c.Nodes()[0].ID()
+	if _, ok := c.Node(id); !ok {
+		t.Fatal("Node lookup failed")
+	}
+	if _, ok := c.Node("ghost"); ok {
+		t.Fatal("ghost node found")
+	}
+	runTxn(t, c.Client(), map[string]string{"k": "v"})
+	if c.TotalCommitted() != 1 {
+		t.Fatalf("total committed = %d", c.TotalCommitted())
+	}
+	if len(c.Bus().Peers()) != 3 {
+		t.Fatalf("bus peers = %d", len(c.Bus().Peers()))
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	c, _ := newTestCluster(t)
+	c.Stop()
+	c.Stop()
+}

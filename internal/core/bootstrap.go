@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"aft/internal/records"
+	"aft/internal/storage"
+)
+
+// Bootstrap warms the node's metadata cache from the Transaction Commit
+// Set in storage (§3.1): it lists persisted commit records and installs
+// each one into the Commit Set Cache and key-version index. A node runs
+// this when it starts — including when it replaces a failed node (§6.7) —
+// so that data committed by any node in the deployment is visible to it.
+//
+// Bootstrap also completes the failure-recovery contract of §3.3.1: any
+// transaction whose commit record is found is by construction fully
+// durable (the write-ordering protocol persists data before the record),
+// so installing the record declares the transaction successful.
+func (n *Node) Bootstrap(ctx context.Context) error {
+	keys, err := n.store.List(ctx, records.CommitPrefix)
+	if err != nil {
+		return fmt.Errorf("aft: listing commit set: %w", err)
+	}
+	// Newest records first when a limit applies: commit keys sort by
+	// timestamp within a deployment's fixed-width clock, so the tail of
+	// the listing is the most recent history.
+	if n.cfg.BootstrapLimit > 0 && len(keys) > n.cfg.BootstrapLimit {
+		keys = keys[len(keys)-n.cfg.BootstrapLimit:]
+	}
+	var installed int
+	for _, sk := range keys {
+		payload, err := n.store.Get(ctx, sk)
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				continue // concurrently garbage collected
+			}
+			return fmt.Errorf("aft: reading commit record %s: %w", sk, err)
+		}
+		rec, err := records.UnmarshalCommitRecord(payload)
+		if err != nil {
+			return fmt.Errorf("aft: decoding commit record %s: %w", sk, err)
+		}
+		n.mu.Lock()
+		if n.installLocked(rec) {
+			n.committedByUUID[rec.UUID] = rec.ID()
+			installed++
+		}
+		n.mu.Unlock()
+	}
+	_ = installed
+	return nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// dataCache is the node's read cache for key-version payloads (§3.1): it
+// stores values for a subset of the versions in the metadata cache, keyed
+// by storage key, with LRU eviction. Because AFT never overwrites a key
+// version in place, cached entries can never be stale — eviction exists
+// purely to bound memory.
+type dataCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte
+}
+
+// newDataCache returns a cache bounded to capacity entries.
+func newDataCache(capacity int) *dataCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &dataCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns a copy of the cached value, if present.
+func (c *dataCache) get(storageKey string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[storageKey]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	v := el.Value.(*cacheEntry).value
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// put inserts a copy of value, evicting the least recently used entry when
+// full.
+func (c *dataCache) put(storageKey string, value []byte) {
+	if c == nil {
+		return
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[storageKey]; ok {
+		el.Value.(*cacheEntry).value = v
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+	c.entries[storageKey] = c.order.PushFront(&cacheEntry{key: storageKey, value: v})
+}
+
+// evict removes storageKey if cached.
+func (c *dataCache) evict(storageKey string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[storageKey]; ok {
+		c.order.Remove(el)
+		delete(c.entries, storageKey)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *dataCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

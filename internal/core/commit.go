@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+	"aft/internal/storage"
+)
+
+// CommitTransaction persists transaction txid's updates and makes them
+// atomically visible (Table 1). The write-ordering protocol of §3.3 runs in
+// three strictly ordered steps:
+//
+//  1. every buffered key version is written to its unique storage key
+//     (batched when the engine supports it, §6.1.1);
+//  2. the commit record — ID plus write set — is written to the
+//     Transaction Commit Set;
+//  3. only then is the commit acknowledged and the transaction's data made
+//     visible to other requests, by installing the record into the local
+//     metadata cache.
+//
+// A failure before step 2 completes leaves no visible effects: the data
+// keys are unreferenced and the transaction will be retried. Commit is
+// idempotent per transaction ID: retrying a commit that already succeeded
+// returns the original commit ID (§3.1 exactly-once semantics).
+func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
+	n.mu.Lock()
+	t, ok := n.txns[txid]
+	if !ok {
+		if id, done := n.committedByUUID[txid]; done {
+			n.mu.Unlock()
+			return id, nil // idempotent retry
+		}
+		n.mu.Unlock()
+		return idgen.Null, ErrTxnNotFound
+	}
+	// Snapshot the write buffer; the transaction stays live (and its
+	// pins held) until the commit is durable.
+	writes := make(map[string][]byte, len(t.writes))
+	for k, v := range t.writes {
+		writes[k] = v
+	}
+	spilled := make([]string, 0, len(t.spilled))
+	for k := range t.spilled {
+		if _, rewritten := writes[k]; !rewritten {
+			spilled = append(spilled, k)
+		}
+	}
+	sort.Strings(spilled)
+	spillDir := t.spillDir()
+	n.mu.Unlock()
+
+	// Read-only transactions have nothing to persist: assign an ID and
+	// finish. No commit record is needed because no data must be made
+	// visible.
+	if len(writes) == 0 && len(spilled) == 0 {
+		id := idgen.ID{Timestamp: n.gen.NewID().Timestamp, UUID: txid}
+		n.finishCommit(txid, id, nil)
+		return id, nil
+	}
+
+	// The commit timestamp is assigned now (§3.1: "at commit time").
+	id := idgen.ID{Timestamp: n.gen.NewID().Timestamp, UUID: txid}
+
+	// Step 1: persist all buffered key versions. The packed layout (§8)
+	// writes one object for the whole write set; the default layout
+	// writes one unique key per version. Spilled transactions always use
+	// the default layout (their payloads are already in storage).
+	packed := n.cfg.PackedLayout && len(spilled) == 0 && len(writes) > 0
+	if packed {
+		obj, err := records.Pack(writes)
+		if err != nil {
+			return idgen.Null, fmt.Errorf("aft: packing write set: %w", err)
+		}
+		if err := n.store.Put(ctx, records.PackKey(id), obj); err != nil {
+			return idgen.Null, fmt.Errorf("aft: persisting packed write set: %w", err)
+		}
+	} else {
+		items := make(map[string][]byte, len(writes))
+		for k, v := range writes {
+			items[records.DataKey(k, id)] = v
+		}
+		if err := n.writeVersions(ctx, items); err != nil {
+			return idgen.Null, fmt.Errorf("aft: persisting write set: %w", err)
+		}
+	}
+
+	// Step 2: persist the commit record.
+	writeSet := make([]string, 0, len(writes)+len(spilled))
+	for k := range writes {
+		writeSet = append(writeSet, k)
+	}
+	writeSet = append(writeSet, spilled...)
+	sort.Strings(writeSet)
+	rec := records.NewCommitRecord(id, writeSet, n.cfg.NodeID)
+	rec.Packed = packed
+	if len(spilled) > 0 {
+		rec.SpillDir = spillDir
+		rec.Spilled = spilled
+	}
+	payload, err := rec.Marshal()
+	if err != nil {
+		return idgen.Null, fmt.Errorf("aft: encoding commit record: %w", err)
+	}
+	if err := n.store.Put(ctx, records.CommitKey(id), payload); err != nil {
+		return idgen.Null, fmt.Errorf("aft: persisting commit record: %w", err)
+	}
+
+	// Step 3: acknowledge and make visible.
+	n.finishCommit(txid, id, rec)
+
+	// Warm the data cache with the values just written — they are the
+	// newest versions and likely to be read soon.
+	if n.data != nil && !packed {
+		for k, v := range writes {
+			n.data.put(records.DataKey(k, id), v)
+		}
+	}
+	n.metrics.add(func(m *NodeMetrics) { m.Committed++ })
+	return id, nil
+}
+
+// finishCommit retires the transaction state and, when rec is
+// non-nil, installs the commit into the local metadata cache and multicast
+// queue.
+func (n *Node) finishCommit(txid string, id idgen.ID, rec *records.CommitRecord) {
+	n.mu.Lock()
+	if t, ok := n.txns[txid]; ok {
+		n.unpinLocked(t)
+		delete(n.txns, txid)
+	}
+	n.committedByUUID[txid] = id
+	if rec != nil {
+		n.installLocked(rec)
+		n.recent = append(n.recent, rec)
+	}
+	n.mu.Unlock()
+	n.release()
+}
+
+// writeVersions persists items using the engine's batch primitive when
+// available (chunked to the engine limit), falling back to sequential puts
+// — exactly the behaviour Figure 2 measures for DynamoDB versus Redis/S3.
+func (n *Node) writeVersions(ctx context.Context, items map[string][]byte) error {
+	caps := n.store.Capabilities()
+	if !caps.BatchWrites {
+		return n.writeSequential(ctx, items)
+	}
+	limit := caps.MaxBatchSize
+	if limit <= 0 {
+		limit = len(items)
+	}
+	batch := make(map[string][]byte, limit)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := n.store.BatchPut(ctx, batch)
+		if errors.Is(err, storage.ErrBatchUnsupported) {
+			err = n.writeSequential(ctx, batch)
+		}
+		batch = make(map[string][]byte, limit)
+		return err
+	}
+	for k, v := range items {
+		batch[k] = v
+		if len(batch) >= limit {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+func (n *Node) writeSequential(ctx context.Context, items map[string][]byte) error {
+	for k, v := range items {
+		if err := n.store.Put(ctx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+// Package core implements an AFT node: the fault-tolerance shim that
+// interposes between a FaaS platform and a storage engine (§3 of the
+// paper).
+//
+// Each node is composed of an atomic write buffer, a transaction manager,
+// and a local metadata cache (Figure 1). The write buffer sequesters every
+// transaction's updates until commit; the transaction manager tracks the
+// key versions each transaction has read and enforces read atomic
+// isolation via Algorithm 1; the metadata cache holds recently committed
+// transaction records (the Commit Set Cache) and an index from each key to
+// its known committed versions.
+//
+// The node guarantees, per §3.2:
+//   - no dirty reads: reads only observe committed transactions;
+//   - no fractured reads: every read set is an Atomic Readset;
+//   - read-your-writes: a transaction observes its own latest buffered
+//     write;
+//   - repeatable read: re-reading a key returns the same version absent an
+//     intervening self-write.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+	"aft/internal/storage"
+)
+
+// Errors returned by the node's transactional API.
+var (
+	// ErrTxnNotFound means the transaction ID is unknown to this node —
+	// never started, already finished, or lost to a node failure (§3.3.1:
+	// clients must redo the whole transaction).
+	ErrTxnNotFound = errors.New("aft: transaction not found")
+	// ErrTxnFinished means the transaction already committed or aborted.
+	ErrTxnFinished = errors.New("aft: transaction already finished")
+	// ErrKeyNotFound means no committed version of the key exists (the
+	// NULL version, §3.2).
+	ErrKeyNotFound = errors.New("aft: key not found")
+	// ErrNoValidVersion means versions of the key exist but none is
+	// compatible with the transaction's read set (§3.6); the paper
+	// prescribes abort-and-retry.
+	ErrNoValidVersion = errors.New("aft: no valid version for read set")
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// NodeID names this replica; it must be unique within a deployment.
+	NodeID string
+	// Store is the shared storage backend. Required.
+	Store storage.Store
+	// Clock supplies commit timestamps; nil selects a process-wide
+	// monotone wall clock.
+	Clock idgen.Clock
+	// EnableDataCache turns on the read data cache (§3.1, evaluated in
+	// §6.2).
+	EnableDataCache bool
+	// DataCacheEntries bounds the data cache; 0 defaults to 4096 entries.
+	DataCacheEntries int
+	// SpillThreshold is the per-transaction buffered byte count above
+	// which the Atomic Write Buffer proactively spills intermediary data
+	// to storage (§3.3); 0 disables spilling.
+	SpillThreshold int
+	// MaxConcurrent bounds simultaneously executing transactions on this
+	// node. It models the shared-data-structure contention that makes a
+	// real node's throughput plateau near 40 clients (§6.5.1); 0 means
+	// unbounded (unit tests).
+	MaxConcurrent int
+	// BootstrapLimit bounds how many commit records Bootstrap reads from
+	// the Transaction Commit Set, newest first ("it bootstraps itself by
+	// reading the latest records", §3.1); 0 reads everything. Replacement
+	// nodes in large deployments set a limit so warm-up stays bounded;
+	// older transactions are recovered on demand via the fault manager.
+	BootstrapLimit int
+	// PackedLayout enables the S3-optimized data layout sketched in §8
+	// ("Efficient Data Layout"): each transaction's whole write set is
+	// persisted as ONE packed object instead of one object per key,
+	// turning the N+1 storage writes of a commit into 2. Reads fetch the
+	// packed object and extract their key. Best for engines with high
+	// per-request latency and no batch primitive (S3).
+	PackedLayout bool
+}
+
+// Node is a single AFT replica.
+type Node struct {
+	cfg   Config
+	store storage.Store
+	gen   *idgen.Generator
+	clock idgen.Clock
+	sem   chan struct{} // nil when MaxConcurrent == 0
+
+	mu sync.Mutex
+	// commits is the Commit Set Cache: all committed transactions this
+	// node knows of (its own plus those learned via multicast, the fault
+	// manager, or bootstrap).
+	commits map[idgen.ID]*records.CommitRecord
+	// index maps each user key to its known committed versions in
+	// ascending ID order.
+	index versionIndex
+	// readers counts active local transactions that have read from a
+	// committed transaction's write set; the local GC must not delete a
+	// transaction's metadata while pinned (§5.1).
+	readers map[idgen.ID]int
+	// txns holds in-flight transactions keyed by UUID.
+	txns map[string]*txnState
+	// committedByUUID maps a finished transaction's UUID to its commit
+	// ID, making Commit idempotent under client retries (§3.1).
+	committedByUUID map[string]idgen.ID
+	// recent accumulates commit records since the last Drain, feeding
+	// the multicast protocol (§4) and the fault manager stream (§4.2).
+	recent []*records.CommitRecord
+	// locallyDeleted records transactions whose metadata the local GC
+	// removed, to answer the global GC's queries (§5.2).
+	locallyDeleted map[idgen.ID]*records.CommitRecord
+
+	data *dataCache // nil when disabled
+
+	metrics NodeMetrics
+}
+
+// NodeMetrics exposes node-level counters for the evaluation harness.
+type NodeMetrics struct {
+	mu            sync.Mutex
+	Started       int64
+	Committed     int64
+	Aborted       int64
+	Reads         int64
+	CacheHits     int64
+	Spills        int64
+	MergedRemote  int64
+	PrunedMerges  int64
+	SweptMetadata int64
+}
+
+func (m *NodeMetrics) add(f func(*NodeMetrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+}
+
+// NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
+type NodeMetricsSnapshot struct {
+	Started, Committed, Aborted, Reads, CacheHits, Spills,
+	MergedRemote, PrunedMerges, SweptMetadata int64
+}
+
+// Snapshot returns a copy of the counters.
+func (m *NodeMetrics) Snapshot() NodeMetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return NodeMetricsSnapshot{
+		Started: m.Started, Committed: m.Committed, Aborted: m.Aborted,
+		Reads: m.Reads, CacheHits: m.CacheHits, Spills: m.Spills,
+		MergedRemote: m.MergedRemote, PrunedMerges: m.PrunedMerges,
+		SweptMetadata: m.SweptMetadata,
+	}
+}
+
+// NewNode constructs a node. The node is usable immediately; call Bootstrap
+// to warm the metadata cache from the Transaction Commit Set in storage
+// (required when recovering or joining an existing deployment, §3.1).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: Config.Store is required")
+	}
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("core: Config.NodeID is required")
+	}
+	clock := cfg.Clock
+	n := &Node{
+		cfg:             cfg,
+		store:           cfg.Store,
+		gen:             idgen.NewGenerator(clock, cfg.NodeID),
+		clock:           clock,
+		commits:         make(map[idgen.ID]*records.CommitRecord),
+		index:           make(versionIndex),
+		readers:         make(map[idgen.ID]int),
+		txns:            make(map[string]*txnState),
+		committedByUUID: make(map[string]idgen.ID),
+		locallyDeleted:  make(map[idgen.ID]*records.CommitRecord),
+	}
+	if cfg.EnableDataCache {
+		entries := cfg.DataCacheEntries
+		if entries == 0 {
+			entries = 4096
+		}
+		n.data = newDataCache(entries)
+	}
+	if cfg.MaxConcurrent > 0 {
+		n.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return n, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.cfg.NodeID }
+
+// Store returns the node's storage backend.
+func (n *Node) Store() storage.Store { return n.store }
+
+// Metrics returns the node's counters.
+func (n *Node) Metrics() *NodeMetrics { return &n.metrics }
+
+// acquire takes a concurrency slot, honoring ctx cancellation.
+func (n *Node) acquire(ctx context.Context) error {
+	if n.sem == nil {
+		return nil
+	}
+	select {
+	case n.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (n *Node) release() {
+	if n.sem != nil {
+		<-n.sem
+	}
+}
+
+// install makes a committed transaction visible locally: it enters the
+// Commit Set Cache and its write set is indexed. Callers hold n.mu.
+func (n *Node) installLocked(rec *records.CommitRecord) bool {
+	id := rec.ID()
+	if _, ok := n.commits[id]; ok {
+		return false
+	}
+	if _, ok := n.locallyDeleted[id]; ok {
+		return false // already GC'd locally; do not resurrect
+	}
+	n.commits[id] = rec
+	for _, k := range rec.WriteSet {
+		n.index.insert(k, id)
+	}
+	return true
+}
+
+// MergeRemoteCommits installs commit records learned from peers (multicast,
+// §4) or from the fault manager (§4.2). Records superseded by local state
+// are dropped without installation (§4.1).
+func (n *Node) MergeRemoteCommits(recs []*records.CommitRecord) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		if n.supersededLocked(rec) {
+			// A record pruned at merge time was never cached here, so
+			// from the global GC's perspective this node has already
+			// "locally deleted" it (§5.2 unanimity check). The entry is
+			// cleared by ForgetDeleted once the global GC acts.
+			if _, known := n.commits[rec.ID()]; !known {
+				n.locallyDeleted[rec.ID()] = rec
+			}
+			n.metrics.add(func(m *NodeMetrics) { m.PrunedMerges++ })
+			continue
+		}
+		if n.installLocked(rec) {
+			n.metrics.add(func(m *NodeMetrics) { m.MergedRemote++ })
+		}
+	}
+}
+
+// supersededLocked implements Algorithm 2: a transaction is superseded when
+// every key it wrote has a committed version newer than the transaction's.
+// Callers hold n.mu.
+func (n *Node) supersededLocked(rec *records.CommitRecord) bool {
+	id := rec.ID()
+	if len(rec.WriteSet) == 0 {
+		return true
+	}
+	for _, k := range rec.WriteSet {
+		latest, ok := n.index.latest(k)
+		if !ok || !id.Less(latest) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSuperseded reports whether rec is superseded by this node's local state
+// (Algorithm 2).
+func (n *Node) IsSuperseded(rec *records.CommitRecord) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.supersededLocked(rec)
+}
+
+// Drain returns the commit records accumulated since the last Drain and
+// clears the queue. The multicast layer prunes superseded entries before
+// broadcasting to peers (§4.1) but forwards the full set to the fault
+// manager (§4.2).
+func (n *Node) Drain() []*records.CommitRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.recent
+	n.recent = nil
+	return out
+}
+
+// KnownCommits returns a snapshot of the Commit Set Cache in ascending ID
+// order.
+func (n *Node) KnownCommits() []*records.CommitRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*records.CommitRecord, 0, len(n.commits))
+	for _, rec := range n.commits {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID().Less(out[j].ID()) })
+	return out
+}
+
+// MetadataSize returns the number of cached commit records (the quantity
+// the local GC bounds, §5.1).
+func (n *Node) MetadataSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.commits)
+}
+
+// VersionsOf returns the committed versions of key known locally, ascending.
+func (n *Node) VersionsOf(key string) []idgen.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]idgen.ID(nil), n.index[key]...)
+}
+
+// SweepLocalMetadata runs one pass of the local metadata GC (§5.1): for
+// each cached committed transaction, oldest first, if it is superseded
+// (Algorithm 2) and no active transaction has read from its write set, its
+// metadata is removed from the Commit Set Cache and key-version index, its
+// cached data is evicted, and it is recorded in the locally-deleted list
+// for the global GC (§5.2). At most limit transactions are removed per
+// pass (0 means unlimited). It returns the removed transaction IDs.
+func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]idgen.ID, 0, len(n.commits))
+	for id := range n.commits {
+		ids = append(ids, id)
+	}
+	// Oldest first: mitigates the §5.2.1 missing-version pitfall.
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	var removed []idgen.ID
+	for _, id := range ids {
+		if limit > 0 && len(removed) >= limit {
+			break
+		}
+		rec := n.commits[id]
+		if !n.supersededLocked(rec) || n.readers[id] > 0 {
+			continue
+		}
+		delete(n.commits, id)
+		for _, k := range rec.WriteSet {
+			n.index.remove(k, id)
+			n.data.evict(rec.StorageKeyFor(k))
+		}
+		delete(n.committedByUUID, rec.UUID)
+		n.locallyDeleted[id] = rec
+		removed = append(removed, id)
+	}
+	if len(removed) > 0 {
+		n.metrics.add(func(m *NodeMetrics) { m.SweptMetadata += int64(len(removed)) })
+	}
+	return removed
+}
+
+// LocallyDeleted reports whether this node's local GC has deleted each of
+// the queried transactions (§5.2: the global GC deletes data only once all
+// nodes have).
+func (n *Node) LocallyDeleted(ids []idgen.ID) map[idgen.ID]bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[idgen.ID]bool, len(ids))
+	for _, id := range ids {
+		_, ok := n.locallyDeleted[id]
+		out[id] = ok
+	}
+	return out
+}
+
+// ForgetDeleted clears locally-deleted bookkeeping after the global GC has
+// removed the transactions' data from storage.
+func (n *Node) ForgetDeleted(ids []idgen.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range ids {
+		delete(n.locallyDeleted, id)
+	}
+}
+
+// ActiveTransactions returns the number of in-flight transactions.
+func (n *Node) ActiveTransactions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.txns)
+}

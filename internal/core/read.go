@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+)
+
+// Get retrieves key in the context of transaction txid (Table 1), enforcing
+// read atomic isolation.
+//
+// The read path is, in order:
+//  1. read-your-writes (§3.5): a version buffered by this transaction is
+//     returned immediately, outside the scope of Algorithm 1;
+//  2. Algorithm 1 selects the newest committed version compatible with the
+//     transaction's read set (no dirty reads, no fractured reads, and —
+//     by Corollary 1.1 — repeatable reads);
+//  3. the payload is served from the data cache when enabled, else fetched
+//     from storage.
+//
+// Get returns ErrKeyNotFound when no committed version of key exists
+// (the NULL version, §3.2) and ErrNoValidVersion when versions exist but
+// none is compatible with the read set (§3.6) — clients should abort and
+// retry in that case.
+func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
+	t, err := n.lookup(txid)
+	if err != nil {
+		return nil, err
+	}
+	n.metrics.add(func(m *NodeMetrics) { m.Reads++ })
+
+	n.mu.Lock()
+	// Read-your-writes: the write buffer takes precedence (§3.5).
+	if v, ok := t.writes[key]; ok {
+		out := make([]byte, len(v))
+		copy(out, v)
+		n.mu.Unlock()
+		return out, nil
+	}
+	if t.spilled[key] {
+		// Spilled intermediary data is still this transaction's own
+		// write; serve it for read-your-writes.
+		dir := t.spillDir()
+		n.mu.Unlock()
+		return n.store.Get(ctx, records.SpillKey(dir, key))
+	}
+
+	target, rec, err := n.atomicReadLocked(t, key)
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	// Record the read and pin the source transaction against local GC
+	// before releasing the lock, so its data cannot be deleted between
+	// version selection and payload fetch (§5.1).
+	t.readSet[key] = target
+	if !t.pinned[target] {
+		t.pinned[target] = true
+		n.readers[target]++
+	}
+	storageKey := rec.StorageKeyFor(key)
+	packed := rec.Packed
+	n.mu.Unlock()
+
+	if v, ok := n.data.get(storageKey); ok {
+		n.metrics.add(func(m *NodeMetrics) { m.CacheHits++ })
+		if packed {
+			return records.ExtractPacked(v, key)
+		}
+		return v, nil
+	}
+	v, err := n.store.Get(ctx, storageKey)
+	if err != nil {
+		// The write-ordering protocol guarantees committed data is
+		// durable before its commit record (§3.3), so this indicates
+		// either storage unavailability or a GC race on a deleted
+		// version; surface it to the client for retry.
+		return nil, fmt.Errorf("aft: fetching %s: %w", storageKey, err)
+	}
+	n.data.put(storageKey, v)
+	if packed {
+		// Cache the whole packed object once; extract this key's value.
+		return records.ExtractPacked(v, key)
+	}
+	return v, nil
+}
+
+// atomicReadLocked implements Algorithm 1: given the transaction's read set
+// R (t.readSet) and key k, it selects a version kj such that R ∪ {kj} is
+// still an Atomic Readset (Definition 1). Callers hold n.mu.
+func (n *Node) atomicReadLocked(t *txnState, key string) (idgen.ID, *records.CommitRecord, error) {
+	// Lines 3-5: the lower bound is the largest transaction in R that
+	// cowrote key — we must not return anything older (case 1 of the
+	// inductive proof of Theorem 1).
+	lower := idgen.Null
+	for _, readID := range t.readSet {
+		rec := n.commits[readID]
+		if rec == nil {
+			// The record is pinned while in R, so this cannot happen
+			// unless bookkeeping broke; fail the read defensively.
+			return idgen.Null, nil, fmt.Errorf("aft: read-set transaction %v missing from commit cache", readID)
+		}
+		if rec.Cowritten(key) && lower.Less(readID) {
+			lower = readID
+		}
+	}
+
+	// Lines 7-9: no known version and no constraint means the NULL
+	// version — the key simply does not exist yet.
+	candidates := n.index.atLeast(key, lower)
+	if len(candidates) == 0 {
+		if lower.IsNull() {
+			return idgen.Null, nil, ErrKeyNotFound
+		}
+		// A constrained read with no candidate at all: the versions
+		// this read set requires are gone (§5.2.1's missing-versions
+		// limitation).
+		return idgen.Null, nil, ErrNoValidVersion
+	}
+
+	// Lines 13-21: walk candidates newest-first; a candidate kt is valid
+	// unless some key l cowritten with kt was already read at a version
+	// older than t (case 2 of the proof).
+	for i := len(candidates) - 1; i >= 0; i-- {
+		tid := candidates[i]
+		rec := n.commits[tid]
+		if rec == nil {
+			continue // concurrently GC'd; skip
+		}
+		valid := true
+		for _, l := range rec.WriteSet {
+			if readID, ok := t.readSet[l]; ok && readID.Less(tid) {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			return tid, rec, nil
+		}
+	}
+	// Lines 22-23: no valid version.
+	return idgen.Null, nil, ErrNoValidVersion
+}
+
+// ReadSet returns a copy of the transaction's current read set, for tests
+// and invariant checkers.
+func (n *Node) ReadSet(txid string) (map[string]idgen.ID, error) {
+	t, err := n.lookup(txid)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]idgen.ID, len(t.readSet))
+	for k, v := range t.readSet {
+		out[k] = v
+	}
+	return out, nil
+}

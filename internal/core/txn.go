@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"strconv"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+)
+
+// txnState is one in-flight transaction's session state. A logical request
+// may span multiple FaaS functions; all of them address the same node with
+// the same transaction ID, so the state below is the "distributed client
+// session" of §2.2.
+type txnState struct {
+	uuid    string
+	startTS int64
+	// writes is the Atomic Write Buffer's slice for this transaction:
+	// key -> latest buffered value.
+	writes map[string][]byte
+	// buffered tracks the byte volume in writes, for spill decisions.
+	buffered int
+	// readSet is R in Algorithm 1: key -> the version ID read.
+	readSet map[string]idgen.ID
+	// pinned is the set of committed transactions this transaction has
+	// read from; each holds a reader pin against local GC (§5.1).
+	pinned map[idgen.ID]bool
+	// spilled holds keys whose payload was proactively written to the
+	// spill area before commit (§3.3).
+	spilled map[string]bool
+}
+
+func (t *txnState) spillDir() string {
+	return strconv.FormatInt(t.startTS, 10) + "_" + t.uuid
+}
+
+// StartTransaction begins a new transaction and returns its ID (the UUID
+// by which every subsequent Get/Put/Commit/Abort is keyed, per Table 1).
+// When the node is at its concurrency limit, the call blocks until a slot
+// frees or ctx is done.
+func (n *Node) StartTransaction(ctx context.Context) (string, error) {
+	if err := n.acquire(ctx); err != nil {
+		return "", err
+	}
+	id := n.gen.NewID()
+	t := &txnState{
+		uuid:    id.UUID,
+		startTS: id.Timestamp,
+		writes:  make(map[string][]byte),
+		readSet: make(map[string]idgen.ID),
+		pinned:  make(map[idgen.ID]bool),
+		spilled: make(map[string]bool),
+	}
+	n.mu.Lock()
+	n.txns[id.UUID] = t
+	n.mu.Unlock()
+	n.metrics.add(func(m *NodeMetrics) { m.Started++ })
+	return id.UUID, nil
+}
+
+// ResumeTransaction re-attaches to transaction txid after a function
+// failure: a retried function "can use the same transaction ID to continue
+// the transaction" (§3.3.1). If the transaction is still live on this node
+// the call is a no-op; if it already committed, ErrTxnFinished is returned
+// (the retry's work is already durable — exactly-once); if the node lost
+// the transaction (e.g. it restarted), ErrTxnNotFound tells the client to
+// redo the transaction from scratch.
+func (n *Node) ResumeTransaction(ctx context.Context, txid string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.txns[txid]; ok {
+		return nil
+	}
+	if _, ok := n.committedByUUID[txid]; ok {
+		return ErrTxnFinished
+	}
+	return ErrTxnNotFound
+}
+
+// lookup returns the live transaction state or an error classifying why it
+// is absent.
+func (n *Node) lookup(txid string) (*txnState, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.txns[txid]; ok {
+		return t, nil
+	}
+	if _, ok := n.committedByUUID[txid]; ok {
+		return nil, ErrTxnFinished
+	}
+	return nil, ErrTxnNotFound
+}
+
+// Put buffers an update for transaction txid (Table 1). Data is not
+// persisted or visible until CommitTransaction; a saturated buffer may
+// spill intermediary data to storage, which stays invisible until the
+// commit record is written (§3.3).
+func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
+	t, err := n.lookup(txid)
+	if err != nil {
+		return err
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+
+	n.mu.Lock()
+	if old, ok := t.writes[key]; ok {
+		t.buffered -= len(old)
+	}
+	t.writes[key] = v
+	t.buffered += len(v)
+	needSpill := n.cfg.SpillThreshold > 0 && t.buffered > n.cfg.SpillThreshold
+	var spillItems map[string][]byte
+	var spillDir string
+	if needSpill {
+		// Move the entire buffer to the spill area; later writes to the
+		// same keys re-enter the buffer and take precedence at commit.
+		spillItems = t.writes
+		spillDir = t.spillDir()
+		t.writes = make(map[string][]byte)
+		t.buffered = 0
+		for k := range spillItems {
+			t.spilled[k] = true
+		}
+	}
+	n.mu.Unlock()
+
+	if needSpill {
+		n.metrics.add(func(m *NodeMetrics) { m.Spills++ })
+		for k, val := range spillItems {
+			if err := n.store.Put(ctx, records.SpillKey(spillDir, k), val); err != nil {
+				// Spill failure is not fatal: restore the data to the
+				// buffer and carry on holding it in memory.
+				n.mu.Lock()
+				if _, ok := t.writes[k]; !ok {
+					t.writes[k] = val
+					t.buffered += len(val)
+					delete(t.spilled, k)
+				}
+				n.mu.Unlock()
+			}
+		}
+	}
+	return nil
+}
+
+// AbortTransaction discards transaction txid and all of its buffered
+// updates (Table 1); nothing becomes visible. Aborting an unknown or
+// finished transaction returns the corresponding error.
+func (n *Node) AbortTransaction(ctx context.Context, txid string) error {
+	n.mu.Lock()
+	t, ok := n.txns[txid]
+	if !ok {
+		_, committed := n.committedByUUID[txid]
+		n.mu.Unlock()
+		if committed {
+			return ErrTxnFinished
+		}
+		return ErrTxnNotFound
+	}
+	delete(n.txns, txid)
+	n.unpinLocked(t)
+	spillDir := t.spillDir()
+	var spilled []string
+	for k := range t.spilled {
+		spilled = append(spilled, k)
+	}
+	n.mu.Unlock()
+
+	// Best-effort cleanup of spilled intermediary data; orphans left by a
+	// crash here are reclaimed by the global GC's spill sweep (§5).
+	for _, k := range spilled {
+		_ = n.store.Delete(ctx, records.SpillKey(spillDir, k))
+	}
+	n.metrics.add(func(m *NodeMetrics) { m.Aborted++ })
+	n.release()
+	return nil
+}
+
+// unpinLocked releases the transaction's reader pins. Callers hold n.mu.
+func (n *Node) unpinLocked(t *txnState) {
+	for id := range t.pinned {
+		if n.readers[id]--; n.readers[id] <= 0 {
+			delete(n.readers, id)
+		}
+	}
+	t.pinned = make(map[idgen.ID]bool)
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aft/internal/baselines"
+	"aft/internal/core"
+	"aft/internal/workload"
+)
+
+// nodeConcurrency models the shared-data-structure contention that caps a
+// real AFT node near 40-45 concurrent clients (§6.5.1); see DESIGN.md.
+const nodeConcurrency = 42
+
+// Fig7 reproduces Figure 7 (§6.5.1): single-node throughput as the number
+// of synchronous closed-loop clients grows from 1 to 50, over DynamoDB and
+// Redis, with the moderately contended workload (Zipf 1.5).
+//
+// Expected shapes: linear scaling until ~40 clients, then a plateau; Redis
+// sustains higher peak throughput than DynamoDB because its lower IO
+// latency completes each closed-loop transaction faster.
+func Fig7(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	ctx := context.Background()
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	const keys = 1000
+	const zipf = 1.5
+	window := 1500 * time.Millisecond
+	if opts.Quick {
+		window = 400 * time.Millisecond
+	}
+	clientCounts := []int{1, 5, 10, 20, 30, 40, 45, 50}
+	if opts.Quick {
+		clientCounts = []int{1, 10, 40, 50}
+	}
+
+	table := Table{
+		Title:  "Figure 7: single-node throughput vs clients (txn/s, paper-equivalent)",
+		Header: []string{"store", "clients", "throughput"},
+		Notes:  []string{fmt.Sprintf("node concurrency limit %d models §6.5.1 contention plateau", nodeConcurrency)},
+	}
+
+	for _, kind := range []storeKind{kindDynamo, kindRedis} {
+		for _, clients := range clientCounts {
+			store := opts.newStore(kind)
+			node, err := core.NewNode(core.Config{
+				NodeID:          "fig7",
+				Store:           store,
+				EnableDataCache: true,
+				MaxConcurrent:   nodeConcurrency,
+			})
+			if err != nil {
+				return table, err
+			}
+			reg := workload.NewRegistry()
+			if err := seedAFT(ctx, node, reg, keys, payload); err != nil {
+				return table, err
+			}
+			platform, err := opts.newPlatform(node)
+			if err != nil {
+				return table, err
+			}
+			exec := baselines.NewAFT(baselines.AFTConfig{Platform: platform, Payload: payload, Registry: reg})
+
+			gens := make([]*workload.Generator, clients)
+			for c := range gens {
+				gens[c] = workload.NewGenerator(opts.Seed+int64(c),
+					workload.NewZipf(opts.Seed+int64(100+c), keys, zipf), 2, 1, 2)
+			}
+			count, elapsed, err := runForDuration(clients, window, func(client int) error {
+				_, err := exec.Execute(ctx, gens[client].Next())
+				return err
+			})
+			if err != nil {
+				return table, fmt.Errorf("fig7 %s clients=%d: %w", kind, clients, err)
+			}
+			tps := opts.rescaleRate(float64(count) / elapsed.Seconds())
+			table.Rows = append(table.Rows, []string{
+				string(kind), fmt.Sprint(clients), fmt.Sprintf("%.0f", tps),
+			})
+		}
+	}
+	return table, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aft/internal/baselines"
+	"aft/internal/cluster"
+	"aft/internal/core"
+	"aft/internal/workload"
+)
+
+// Fig8 reproduces Figure 8 (§6.5.2): aggregate throughput of multi-node
+// deployments, 40 closed-loop clients per node, over DynamoDB and Redis,
+// against the ideal (single-node throughput times node count).
+//
+// Expected shape: near-linear scaling within ~90% of ideal — the multicast
+// and commit protocols keep nodes off each other's critical paths.
+func Fig8(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	ctx := context.Background()
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	const keys = 1000
+	const zipf = 1.5
+	const clientsPerNode = 40
+	window := 1500 * time.Millisecond
+	nodeCounts := []int{1, 2, 4, 8, 16}
+	if opts.Quick {
+		window = 400 * time.Millisecond
+		nodeCounts = []int{1, 2, 4}
+	}
+
+	table := Table{
+		Title:  "Figure 8: distributed throughput, 40 clients/node (txn/s, paper-equivalent)",
+		Header: []string{"store", "nodes", "clients", "throughput", "ideal", "of ideal"},
+	}
+
+	for _, kind := range []storeKind{kindDynamo, kindRedis} {
+		var perNodeTPS float64
+		for _, nodes := range nodeCounts {
+			store := opts.newStore(kind)
+			c, err := cluster.New(cluster.Config{
+				Nodes: nodes,
+				Store: store,
+				Node: core.Config{
+					EnableDataCache: true,
+					MaxConcurrent:   nodeConcurrency,
+				},
+				MulticastPeriod: opts.multicastPeriod(),
+				PruneMulticast:  true,
+			})
+			if err != nil {
+				return table, err
+			}
+			if err := c.Start(ctx); err != nil {
+				return table, err
+			}
+			// Seed through one member so all data is committed state.
+			seedNode := c.Nodes()[0]
+			reg := workload.NewRegistry()
+			if err := seedAFT(ctx, seedNode, reg, keys, payload); err != nil {
+				c.Stop()
+				return table, err
+			}
+			c.FlushMulticast()
+
+			platform, err := opts.newPlatform(c.Client())
+			if err != nil {
+				c.Stop()
+				return table, err
+			}
+			exec := baselines.NewAFT(baselines.AFTConfig{Platform: platform, Payload: payload, Registry: reg})
+
+			clients := clientsPerNode * nodes
+			gens := make([]*workload.Generator, clients)
+			for i := range gens {
+				gens[i] = workload.NewGenerator(opts.Seed+int64(i),
+					workload.NewZipf(opts.Seed+int64(1000+i), keys, zipf), 2, 1, 2)
+			}
+			count, elapsed, err := runForDuration(clients, window, func(client int) error {
+				_, err := exec.Execute(ctx, gens[client].Next())
+				return err
+			})
+			c.Stop()
+			if err != nil {
+				return table, fmt.Errorf("fig8 %s nodes=%d: %w", kind, nodes, err)
+			}
+			tps := opts.rescaleRate(float64(count) / elapsed.Seconds())
+			if nodes == 1 {
+				perNodeTPS = tps
+			}
+			ideal := perNodeTPS * float64(nodes)
+			table.Rows = append(table.Rows, []string{
+				string(kind), fmt.Sprint(nodes), fmt.Sprint(clients),
+				fmt.Sprintf("%.0f", tps), fmt.Sprintf("%.0f", ideal),
+				fmt.Sprintf("%.0f%%", 100*tps/ideal),
+			})
+		}
+	}
+	return table, nil
+}
+
+// multicastPeriod scales the paper's 1-second broadcast period to the
+// experiment's time scale.
+func (o Options) multicastPeriod() time.Duration {
+	if o.Scale <= 0 {
+		return 5 * time.Millisecond
+	}
+	return time.Duration(float64(time.Second) * o.Scale)
+}

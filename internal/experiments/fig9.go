@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aft/internal/baselines"
+	"aft/internal/cluster"
+	"aft/internal/core"
+	"aft/internal/workload"
+)
+
+// Fig9 reproduces Figure 9 (§6.6): throughput of a single node under 40
+// clients (Zipf 1.5) with global data garbage collection enabled versus
+// disabled, plus the GC's deletion rate over time.
+//
+// Expected shape: the GC'd and non-GC'd throughput curves overlap — the
+// supersedence bookkeeping happens off the critical path — while the GC
+// deletes transactions at roughly the commit rate of the contended
+// workload.
+func Fig9(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	ctx := context.Background()
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	const keys = 1000
+	const zipf = 1.5
+	const clients = 40
+	buckets := 8
+	bucket := 500 * time.Millisecond
+	if opts.Quick {
+		buckets = 4
+		bucket = 200 * time.Millisecond
+	}
+
+	table := Table{
+		Title:  "Figure 9: throughput with and without global GC (txn/s, paper-equivalent)",
+		Header: []string{"t(bucket)", "GC throughput", "No-GC throughput", "txns deleted/s"},
+	}
+
+	run := func(gc bool) ([]float64, []float64, error) {
+		store := opts.newStore(kindDynamo)
+		cfg := cluster.Config{
+			Nodes:           1,
+			Store:           store,
+			Node:            core.Config{EnableDataCache: true, MaxConcurrent: nodeConcurrency},
+			MulticastPeriod: opts.multicastPeriod(),
+			PruneMulticast:  true,
+		}
+		if gc {
+			// GC cadence tied to the sampling bucket so several local
+			// sweeps and global collections land inside every bucket.
+			cfg.LocalGCInterval = bucket / 8
+			cfg.GlobalGCInterval = bucket / 4
+		}
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := c.Start(ctx); err != nil {
+			return nil, nil, err
+		}
+		defer c.Stop()
+		node := c.Nodes()[0]
+		reg := workload.NewRegistry()
+		if err := seedAFT(ctx, node, reg, keys, payload); err != nil {
+			return nil, nil, err
+		}
+		platform, err := opts.newPlatform(c.Client())
+		if err != nil {
+			return nil, nil, err
+		}
+		exec := baselines.NewAFT(baselines.AFTConfig{Platform: platform, Payload: payload, Registry: reg})
+		gens := make([]*workload.Generator, clients)
+		for i := range gens {
+			gens[i] = workload.NewGenerator(opts.Seed+int64(i),
+				workload.NewZipf(opts.Seed+int64(500+i), keys, zipf), 2, 1, 2)
+		}
+
+		// Sample committed and deleted counts per bucket while clients run.
+		tput := make([]float64, buckets)
+		deleted := make([]float64, buckets)
+		done := make(chan error, 1)
+		go func() {
+			_, _, err := runForDuration(clients, time.Duration(buckets)*bucket, func(client int) error {
+				_, err := exec.Execute(ctx, gens[client].Next())
+				return err
+			})
+			done <- err
+		}()
+		prevCommitted := int64(0)
+		prevDeleted := int64(0)
+		for b := 0; b < buckets; b++ {
+			time.Sleep(bucket)
+			committed := c.TotalCommitted()
+			del := c.FaultManager().Metrics().Snapshot().TxnsDeleted
+			tput[b] = opts.rescaleRate(float64(committed-prevCommitted) / bucket.Seconds())
+			deleted[b] = opts.rescaleRate(float64(del-prevDeleted) / bucket.Seconds())
+			prevCommitted, prevDeleted = committed, del
+		}
+		if err := <-done; err != nil {
+			return nil, nil, err
+		}
+		return tput, deleted, nil
+	}
+
+	gcTput, gcDeleted, err := run(true)
+	if err != nil {
+		return table, fmt.Errorf("fig9 gc run: %w", err)
+	}
+	noGcTput, _, err := run(false)
+	if err != nil {
+		return table, fmt.Errorf("fig9 no-gc run: %w", err)
+	}
+	for b := 0; b < buckets; b++ {
+		t := opts.rescale(time.Duration(b) * bucket)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%.0fs", t.Seconds()),
+			fmt.Sprintf("%.0f", gcTput[b]),
+			fmt.Sprintf("%.0f", noGcTput[b]),
+			fmt.Sprintf("%.0f", gcDeleted[b]),
+		})
+	}
+	return table, nil
+}

@@ -1,0 +1,352 @@
+// Package faultmgr implements AFT's fault manager (§4.2) and the global
+// data garbage collector it doubles as (§5.2).
+//
+// The fault manager lives off the request critical path. It receives every
+// node's committed-transaction stream without pruning, periodically scans
+// the Transaction Commit Set in storage for commit records it never saw —
+// records persisted by a node that failed before broadcasting them — and
+// re-announces those to every node, guaranteeing that an acknowledged
+// commit is eventually visible everywhere (liveness).
+//
+// As the global GC, it runs Algorithm 2 over its own commit index to find
+// superseded transactions, asks all nodes whether they have locally
+// deleted each one (§5.1), and — only when *every* node has — deletes the
+// transaction's key versions and commit record from storage. It is
+// stateless with respect to storage: if it fails, it simply rescans the
+// Commit Set (§4.2).
+package faultmgr
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+	"aft/internal/storage"
+)
+
+// Node is the surface the fault manager needs from an AFT node.
+// *core.Node implements it.
+type Node interface {
+	ID() string
+	MergeRemoteCommits(recs []*records.CommitRecord)
+	LocallyDeleted(ids []idgen.ID) map[idgen.ID]bool
+	ForgetDeleted(ids []idgen.ID)
+}
+
+// Membership supplies the current node set. Knowing all nodes is a
+// classical membership problem requiring coordination; the paper delegates
+// it to Kubernetes (§5.2 footnote) and we delegate it to the cluster layer.
+type Membership interface {
+	Nodes() []Node
+}
+
+// StaticMembership is a fixed node set, for tests and single-shot tools.
+type StaticMembership []Node
+
+// Nodes implements Membership.
+func (s StaticMembership) Nodes() []Node { return s }
+
+// Metrics counts fault-manager activity.
+type Metrics struct {
+	mu              sync.Mutex
+	Ingested        int64 // records received via (unpruned) broadcast taps
+	Recovered       int64 // records found only by scanning storage
+	TxnsDeleted     int64 // transactions whose data the global GC removed
+	VersionsDeleted int64 // key versions removed from storage
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	Ingested, Recovered, TxnsDeleted, VersionsDeleted int64
+}
+
+// Snapshot returns a copy of the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{Ingested: m.Ingested, Recovered: m.Recovered,
+		TxnsDeleted: m.TxnsDeleted, VersionsDeleted: m.VersionsDeleted}
+}
+
+// Manager is the fault manager / global GC.
+type Manager struct {
+	store      storage.Store
+	membership Membership
+
+	mu sync.Mutex
+	// commits is the manager's own view of all committed transactions,
+	// fed by unpruned broadcast streams and storage scans.
+	commits map[idgen.ID]*records.CommitRecord
+	// latest maps each key to the newest committed version the manager
+	// knows, for Algorithm 2.
+	latest map[string]idgen.ID
+
+	metrics Metrics
+}
+
+// New returns a Manager over the shared store with the given membership.
+func New(store storage.Store, membership Membership) *Manager {
+	return &Manager{
+		store:      store,
+		membership: membership,
+		commits:    make(map[idgen.ID]*records.CommitRecord),
+		latest:     make(map[string]idgen.ID),
+	}
+}
+
+// Metrics returns the manager's counters.
+func (m *Manager) Metrics() *Metrics { return &m.metrics }
+
+// Ingest consumes one node's unpruned commit stream; register it as a
+// multicast bus tap.
+func (m *Manager) Ingest(from string, recs []*records.CommitRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range recs {
+		if m.installLocked(rec) {
+			m.metrics.mu.Lock()
+			m.metrics.Ingested++
+			m.metrics.mu.Unlock()
+		}
+	}
+}
+
+// installLocked records a commit in the manager's index. Callers hold m.mu.
+func (m *Manager) installLocked(rec *records.CommitRecord) bool {
+	id := rec.ID()
+	if _, ok := m.commits[id]; ok {
+		return false
+	}
+	m.commits[id] = rec
+	for _, k := range rec.WriteSet {
+		if cur, ok := m.latest[k]; !ok || cur.Less(id) {
+			m.latest[k] = id
+		}
+	}
+	return true
+}
+
+// KnownCommits returns the number of transactions in the manager's index.
+func (m *Manager) KnownCommits() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.commits)
+}
+
+// ScanStorage reads the Transaction Commit Set and re-announces to every
+// node any commit record the manager had not already received via
+// broadcast (§4.2): this recovers commits acknowledged by a node that
+// failed before its multicast round.
+func (m *Manager) ScanStorage(ctx context.Context) error {
+	keys, err := m.store.List(ctx, records.CommitPrefix)
+	if err != nil {
+		return err
+	}
+	var missed []*records.CommitRecord
+	for _, sk := range keys {
+		id, err := records.ParseCommitKey(sk)
+		if err != nil {
+			continue
+		}
+		m.mu.Lock()
+		_, known := m.commits[id]
+		m.mu.Unlock()
+		if known {
+			continue
+		}
+		payload, err := m.store.Get(ctx, sk)
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				continue // concurrently deleted
+			}
+			return err
+		}
+		rec, err := records.UnmarshalCommitRecord(payload)
+		if err != nil {
+			continue // unreadable record: skip, never delete data we can't attribute
+		}
+		m.mu.Lock()
+		if m.installLocked(rec) {
+			missed = append(missed, rec)
+		}
+		m.mu.Unlock()
+	}
+	if len(missed) == 0 {
+		return nil
+	}
+	m.metrics.mu.Lock()
+	m.metrics.Recovered += int64(len(missed))
+	m.metrics.mu.Unlock()
+	for _, n := range m.membership.Nodes() {
+		n.MergeRemoteCommits(missed)
+	}
+	return nil
+}
+
+// supersededLocked is Algorithm 2 over the manager's index.
+func (m *Manager) supersededLocked(rec *records.CommitRecord) bool {
+	if len(rec.WriteSet) == 0 {
+		return true
+	}
+	id := rec.ID()
+	for _, k := range rec.WriteSet {
+		latest, ok := m.latest[k]
+		if !ok || !id.Less(latest) {
+			return false
+		}
+	}
+	return true
+}
+
+// CollectOnce runs one global GC round (§5.2): find superseded
+// transactions, confirm every node has locally deleted them, then delete
+// their key versions, spill data, and commit records from storage, oldest
+// first. maxDelete bounds one round (0 = unlimited). It returns the IDs
+// whose data was deleted.
+func (m *Manager) CollectOnce(ctx context.Context, maxDelete int) ([]idgen.ID, error) {
+	// Phase 1: candidate list, oldest first (§5.2.1 mitigation).
+	m.mu.Lock()
+	candidates := make([]*records.CommitRecord, 0)
+	for _, rec := range m.commits {
+		if m.supersededLocked(rec) {
+			candidates = append(candidates, rec)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].ID().Less(candidates[j].ID())
+	})
+	if maxDelete > 0 && len(candidates) > maxDelete {
+		candidates = candidates[:maxDelete]
+	}
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	ids := make([]idgen.ID, len(candidates))
+	for i, rec := range candidates {
+		ids[i] = rec.ID()
+	}
+
+	// Phase 2: every node must have locally deleted the metadata; a
+	// transaction still cached anywhere may still be read (§5.2).
+	nodes := m.membership.Nodes()
+	confirmed := make(map[idgen.ID]bool, len(ids))
+	for _, id := range ids {
+		confirmed[id] = true
+	}
+	for _, n := range nodes {
+		deleted := n.LocallyDeleted(ids)
+		for _, id := range ids {
+			if !deleted[id] {
+				confirmed[id] = false
+			}
+		}
+	}
+
+	// Phase 3: delete data and metadata for fully confirmed transactions.
+	var removed []idgen.ID
+	for _, rec := range candidates {
+		id := rec.ID()
+		if !confirmed[id] {
+			continue
+		}
+		if err := m.deleteTxnData(ctx, rec); err != nil {
+			return removed, err
+		}
+		m.mu.Lock()
+		delete(m.commits, id)
+		m.mu.Unlock()
+		removed = append(removed, id)
+	}
+	if len(removed) > 0 {
+		for _, n := range nodes {
+			n.ForgetDeleted(removed)
+		}
+		m.metrics.mu.Lock()
+		m.metrics.TxnsDeleted += int64(len(removed))
+		m.metrics.mu.Unlock()
+	}
+	return removed, nil
+}
+
+// SweepSpills garbage-collects orphaned spill data (§3.3): intermediary
+// writes proactively persisted by a saturated write buffer whose
+// transaction crashed before committing. A spill directory is named
+// "<startTimestamp>_<uuid>"; it is an orphan if no commit record with that
+// UUID exists and its start timestamp is older than cutoff (a grace period
+// protects in-flight transactions). Returns the number of keys deleted.
+func (m *Manager) SweepSpills(ctx context.Context, cutoff int64) (int, error) {
+	keys, err := m.store.List(ctx, records.SpillPrefix)
+	if err != nil {
+		return 0, err
+	}
+	// Commit records reference live spill dirs; collect them.
+	live := make(map[string]bool)
+	m.mu.Lock()
+	for _, rec := range m.commits {
+		if rec.SpillDir != "" {
+			live[rec.SpillDir] = true
+		}
+	}
+	m.mu.Unlock()
+
+	deleted := 0
+	for _, sk := range keys {
+		dir, _, err := records.ParseSpillKey(sk)
+		if err != nil {
+			continue
+		}
+		if live[dir] {
+			continue
+		}
+		id, err := idgen.Parse(dir)
+		if err != nil || id.Timestamp >= cutoff {
+			continue // malformed or within the grace period
+		}
+		// The transaction may have committed without the manager knowing;
+		// check storage for a commit record carrying its UUID first.
+		if committed, err := m.uuidCommitted(ctx, id.UUID); err != nil {
+			return deleted, err
+		} else if committed {
+			continue
+		}
+		if err := m.store.Delete(ctx, sk); err != nil {
+			return deleted, err
+		}
+		deleted++
+	}
+	return deleted, nil
+}
+
+// uuidCommitted reports whether any commit record in storage carries uuid.
+func (m *Manager) uuidCommitted(ctx context.Context, uuid string) (bool, error) {
+	keys, err := m.store.List(ctx, records.CommitPrefix)
+	if err != nil {
+		return false, err
+	}
+	for _, sk := range keys {
+		id, err := records.ParseCommitKey(sk)
+		if err == nil && id.UUID == uuid {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// deleteTxnData removes a transaction's key versions, spill data, and
+// commit record. The commit record goes last so that a crash mid-delete
+// leaves a record that a rescan can re-process.
+func (m *Manager) deleteTxnData(ctx context.Context, rec *records.CommitRecord) error {
+	for _, k := range rec.WriteSet {
+		if err := m.store.Delete(ctx, rec.StorageKeyFor(k)); err != nil {
+			return err
+		}
+		m.metrics.mu.Lock()
+		m.metrics.VersionsDeleted++
+		m.metrics.mu.Unlock()
+	}
+	return m.store.Delete(ctx, records.CommitKey(rec.ID()))
+}

@@ -1,0 +1,253 @@
+package faultmgr
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aft/internal/core"
+	"aft/internal/idgen"
+	"aft/internal/multicast"
+	"aft/internal/records"
+	"aft/internal/storage"
+	"aft/internal/storage/dynamosim"
+)
+
+func newNode(t *testing.T, store *dynamosim.Store, id string) *core.Node {
+	t.Helper()
+	n, err := core.NewNode(core.Config{NodeID: id, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func commit(t *testing.T, n *core.Node, kvs map[string]string) idgen.ID {
+	t.Helper()
+	ctx := context.Background()
+	txid, err := n.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range kvs {
+		if err := n.Put(ctx, txid, k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := n.CommitTransaction(ctx, txid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestIngestBuildsIndex(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	n1 := newNode(t, store, "n1")
+	m := New(store, StaticMembership{n1})
+	commit(t, n1, map[string]string{"k": "v"})
+	m.Ingest("n1", n1.Drain())
+	if m.KnownCommits() != 1 {
+		t.Fatalf("known = %d", m.KnownCommits())
+	}
+	if m.Metrics().Snapshot().Ingested != 1 {
+		t.Fatal("ingest not counted")
+	}
+	// Duplicate ingest is a no-op.
+	m.Ingest("n1", nil)
+}
+
+// TestScanRecoversUnbroadcastCommits reproduces the §4.2 liveness scenario:
+// a node commits (record durable in storage), acknowledges, and dies before
+// broadcasting. The fault manager's scan finds the record and announces it
+// to the surviving nodes.
+func TestScanRecoversUnbroadcastCommits(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	dead := newNode(t, store, "dead")
+	commit(t, dead, map[string]string{"k": "orphan"})
+	// "dead" never drains/broadcasts: simulate the crash by dropping it.
+
+	survivor := newNode(t, store, "survivor")
+	m := New(store, StaticMembership{survivor})
+	if err := m.ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics().Snapshot().Recovered != 1 {
+		t.Fatalf("recovered = %d, want 1", m.Metrics().Snapshot().Recovered)
+	}
+	// The survivor can now read the orphaned commit.
+	txid, _ := survivor.StartTransaction(ctx)
+	v, err := survivor.Get(ctx, txid, "k")
+	if err != nil || string(v) != "orphan" {
+		t.Fatalf("survivor read = %q, %v", v, err)
+	}
+	// A second scan finds nothing new.
+	if err := m.ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics().Snapshot().Recovered != 1 {
+		t.Fatal("rescan double-counted")
+	}
+}
+
+func TestScanIsRestartSafe(t *testing.T) {
+	// §4.2: the fault manager is stateless; a fresh instance rebuilds its
+	// view by scanning.
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n1 := newNode(t, store, "n1")
+	commit(t, n1, map[string]string{"a": "1"})
+	commit(t, n1, map[string]string{"b": "1"})
+
+	m1 := New(store, StaticMembership{n1})
+	if err := m1.ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(store, StaticMembership{n1}) // "restart"
+	if err := m2.ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m2.KnownCommits() != 2 {
+		t.Fatalf("restarted manager knows %d commits, want 2", m2.KnownCommits())
+	}
+}
+
+func TestCollectOnceDeletesOnlyWhenAllNodesAgree(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n1, n2 := newNode(t, store, "n1"), newNode(t, store, "n2")
+
+	bus := multicast.NewBus()
+	bus.Register(n1)
+	bus.Register(n2)
+	m := New(store, StaticMembership{n1, n2})
+	bus.Tap(m.Ingest)
+
+	id1 := commit(t, n1, map[string]string{"k": "v1"})
+	bus.FlushPeer(n1, false)
+	commit(t, n1, map[string]string{"k": "v2"})
+	bus.FlushPeer(n1, false)
+
+	// Only n1 has GC'd the superseded transaction so far.
+	if removed := n1.SweepLocalMetadata(0); len(removed) != 1 {
+		t.Fatalf("n1 swept %d", len(removed))
+	}
+	removed, err := m.CollectOnce(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatal("global GC deleted before all nodes agreed")
+	}
+	if _, err := store.Get(ctx, records.DataKey("k", id1)); err != nil {
+		t.Fatalf("data deleted prematurely: %v", err)
+	}
+
+	// After n2 also sweeps, the global GC may delete.
+	if removed := n2.SweepLocalMetadata(0); len(removed) != 1 {
+		t.Fatalf("n2 swept %d", len(removed))
+	}
+	removed, err = m.CollectOnce(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || !removed[0].Equal(id1) {
+		t.Fatalf("global GC removed %v, want [%v]", removed, id1)
+	}
+	// Data and commit record are gone from storage.
+	if _, err := store.Get(ctx, records.DataKey("k", id1)); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("old version still in storage: %v", err)
+	}
+	if _, err := store.Get(ctx, records.CommitKey(id1)); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("old commit record still in storage: %v", err)
+	}
+	// Node bookkeeping cleared.
+	if n1.LocallyDeleted([]idgen.ID{id1})[id1] {
+		t.Fatal("ForgetDeleted not propagated")
+	}
+	m2 := m.Metrics().Snapshot()
+	if m2.TxnsDeleted != 1 || m2.VersionsDeleted != 1 {
+		t.Fatalf("metrics = %+v", m2)
+	}
+}
+
+func TestCollectOnceOldestFirstAndLimited(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n1 := newNode(t, store, "n1")
+	m := New(store, StaticMembership{n1})
+	for i := 0; i < 4; i++ {
+		commit(t, n1, map[string]string{"k": string(rune('0' + i))})
+	}
+	m.Ingest("n1", n1.Drain())
+	n1.SweepLocalMetadata(0) // removes the 3 superseded
+	removed, err := m.CollectOnce(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("limited collect removed %d", len(removed))
+	}
+	if !removed[0].Less(removed[1]) {
+		t.Fatal("not oldest-first")
+	}
+	removed2, err := m.CollectOnce(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed2) != 1 {
+		t.Fatalf("second collect removed %d, want 1", len(removed2))
+	}
+}
+
+func TestCollectNeverTouchesLiveLatestVersion(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n1 := newNode(t, store, "n1")
+	m := New(store, StaticMembership{n1})
+	id := commit(t, n1, map[string]string{"k": "only"})
+	m.Ingest("n1", n1.Drain())
+	n1.SweepLocalMetadata(0)
+	removed, err := m.CollectOnce(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatal("collected the only (un-superseded) version")
+	}
+	if _, err := store.Get(ctx, records.DataKey("k", id)); err != nil {
+		t.Fatalf("live version deleted: %v", err)
+	}
+}
+
+func TestEndToEndReadAfterGlobalGC(t *testing.T) {
+	// After global GC removes old versions, fresh transactions still read
+	// the latest value correctly.
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n1 := newNode(t, store, "n1")
+	m := New(store, StaticMembership{n1})
+	for i := 0; i < 10; i++ {
+		commit(t, n1, map[string]string{"k": "v" + string(rune('0'+i))})
+	}
+	m.Ingest("n1", n1.Drain())
+	n1.SweepLocalMetadata(0)
+	if _, err := m.CollectOnce(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	txid, _ := n1.StartTransaction(ctx)
+	v, err := n1.Get(ctx, txid, "k")
+	if err != nil || string(v) != "v9" {
+		t.Fatalf("read after GC = %q, %v", v, err)
+	}
+	// Storage holds exactly one version of k plus one commit record.
+	versions, _ := store.List(ctx, records.DataKeyPrefix("k"))
+	if len(versions) != 1 {
+		t.Fatalf("versions left = %v", versions)
+	}
+	commits, _ := store.List(ctx, records.CommitPrefix)
+	if len(commits) != 1 {
+		t.Fatalf("commit records left = %d", len(commits))
+	}
+}

@@ -1,0 +1,114 @@
+package faultmgr
+
+import (
+	"context"
+	"testing"
+
+	"aft/internal/core"
+	"aft/internal/records"
+	"aft/internal/storage/dynamosim"
+)
+
+// spillNode builds a node with an aggressive spill threshold.
+func spillNode(t *testing.T, store *dynamosim.Store, id string) *core.Node {
+	t.Helper()
+	n, err := core.NewNode(core.Config{NodeID: id, Store: store, SpillThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSweepSpillsRemovesOrphans(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n := spillNode(t, store, "n1")
+	m := New(store, StaticMembership{n})
+
+	// An orphan: a transaction spills, then its node "crashes" (we simply
+	// never commit or abort).
+	orphan, _ := n.StartTransaction(ctx)
+	if err := n.Put(ctx, orphan, "big", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	spills, _ := store.List(ctx, records.SpillPrefix)
+	if len(spills) != 1 {
+		t.Fatalf("setup: %d spill keys", len(spills))
+	}
+
+	// Grace period: a cutoff in the past protects the in-flight spill.
+	deleted, err := m.SweepSpills(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 {
+		t.Fatal("sweep deleted a spill within the grace period")
+	}
+	// A cutoff beyond the transaction's start timestamp reclaims it.
+	deleted, err = m.SweepSpills(ctx, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 {
+		t.Fatalf("deleted = %d, want 1", deleted)
+	}
+	spills, _ = store.List(ctx, records.SpillPrefix)
+	if len(spills) != 0 {
+		t.Fatalf("spill keys left: %v", spills)
+	}
+}
+
+func TestSweepSpillsKeepsCommittedData(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n := spillNode(t, store, "n1")
+	m := New(store, StaticMembership{n})
+
+	// A committed transaction whose payload lives in the spill area.
+	txid, _ := n.StartTransaction(ctx)
+	if err := n.Put(ctx, txid, "big", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	m.Ingest("n1", n.Drain())
+
+	deleted, err := m.SweepSpills(ctx, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 {
+		t.Fatal("sweep deleted committed spill data")
+	}
+	// The committed value is still readable.
+	reader, _ := n.StartTransaction(ctx)
+	v, err := n.Get(ctx, reader, "big")
+	if err != nil || len(v) != 64 {
+		t.Fatalf("read after sweep = %d bytes, %v", len(v), err)
+	}
+}
+
+func TestSweepSpillsChecksStorageForUnknownCommits(t *testing.T) {
+	// Even if the manager's in-memory index is empty (fresh restart), a
+	// spill whose transaction committed must survive: the sweep consults
+	// the commit set in storage.
+	store := dynamosim.New(dynamosim.Options{})
+	ctx := context.Background()
+	n := spillNode(t, store, "n1")
+	txid, _ := n.StartTransaction(ctx)
+	if err := n.Put(ctx, txid, "big", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(store, StaticMembership{n}) // knows nothing
+	deleted, err := fresh.SweepSpills(ctx, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 {
+		t.Fatal("restarted manager deleted a committed spill")
+	}
+}

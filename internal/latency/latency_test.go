@@ -1,0 +1,150 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilModelSamplesZero(t *testing.T) {
+	var m *Model
+	if d := m.Sample(OpGet, 1); d != 0 {
+		t.Fatalf("nil model sampled %v, want 0", d)
+	}
+	m2 := NewModel(nil, 1)
+	if d := m2.Sample(OpPut, 1); d != 0 {
+		t.Fatalf("nil-profile model sampled %v, want 0", d)
+	}
+}
+
+func TestZeroProfileSamplesZero(t *testing.T) {
+	m := NewModel(ZeroProfile(), 7)
+	for op := OpGet; op < numOps; op++ {
+		if d := m.Sample(op, 10); d != 0 {
+			t.Fatalf("op %v sampled %v, want 0", op, d)
+		}
+	}
+}
+
+func TestSampleDeterministicBySeed(t *testing.T) {
+	a := NewModel(DynamoDBProfile(), 42)
+	b := NewModel(DynamoDBProfile(), 42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Sample(OpGet, 1), b.Sample(OpGet, 1); x != y {
+			t.Fatalf("sample %d: %v != %v for same seed", i, x, y)
+		}
+	}
+}
+
+func TestSampleMedianRoughlyHonored(t *testing.T) {
+	m := NewModel(DynamoDBProfile(), 1)
+	const n = 20000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		samples[i] = m.Sample(OpGet, 1)
+	}
+	// Count how many fall below the configured median; for a log-normal
+	// body with a small tail this should be close to half.
+	med := DynamoDBProfile()[OpGet].Median
+	below := 0
+	for _, s := range samples {
+		if s < med {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("fraction below median = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestBatchPerItemAdds(t *testing.T) {
+	p := Profile{OpBatchWrite: {Median: time.Millisecond, PerItem: time.Millisecond}}
+	m := NewModel(p, 3)
+	one := m.Sample(OpBatchWrite, 1)
+	ten := m.Sample(OpBatchWrite, 10)
+	if ten < one+8*time.Millisecond {
+		t.Fatalf("10-item batch %v not sufficiently larger than 1-item %v", ten, one)
+	}
+}
+
+func TestTailFactorProducesOutliers(t *testing.T) {
+	p := Profile{OpPut: {Median: time.Millisecond, Sigma: 0.01, TailProb: 0.5, TailFactor: 100}}
+	m := NewModel(p, 9)
+	outliers := 0
+	for i := 0; i < 1000; i++ {
+		if m.Sample(OpPut, 1) > 50*time.Millisecond {
+			outliers++
+		}
+	}
+	if outliers < 300 || outliers > 700 {
+		t.Fatalf("outliers = %d/1000, want ~500", outliers)
+	}
+}
+
+func TestProfilesDistinctScales(t *testing.T) {
+	// Redis < DynamoDB < S3 medians for gets — this ordering drives the
+	// Figure 3 shape and must hold in the profiles.
+	r := RedisProfile()[OpGet].Median
+	d := DynamoDBProfile()[OpGet].Median
+	s := S3Profile()[OpGet].Median
+	if !(r < d && d < s) {
+		t.Fatalf("expected redis(%v) < dynamo(%v) < s3(%v)", r, d, s)
+	}
+}
+
+func TestRedisHasNoBatchWrite(t *testing.T) {
+	if _, ok := RedisProfile()[OpBatchWrite]; ok {
+		t.Fatal("redis profile must not support cross-shard batch writes")
+	}
+}
+
+func TestSleeperScales(t *testing.T) {
+	start := time.Now()
+	NoSleep.Sleep(time.Hour)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("NoSleep slept")
+	}
+	s := &Sleeper{Scale: 0.001}
+	start = time.Now()
+	s.Sleep(10 * time.Millisecond) // scaled to 10µs
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("scaled sleep took too long")
+	}
+	var nilSleeper *Sleeper
+	nilSleeper.Sleep(time.Hour) // must not panic or block
+}
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{OpGet: "get", OpPut: "put", OpBatchWrite: "batch",
+		OpDelete: "delete", OpList: "list", OpTransact: "transact", OpInvoke: "invoke", numOps: "unknown"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := DynamoDBProfile()
+	q := p.Clone()
+	q[OpGet] = Dist{Median: time.Hour}
+	if p[OpGet].Median == time.Hour {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSampleConcurrentSafe(t *testing.T) {
+	m := NewModel(S3Profile(), 11)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				m.Sample(OpPut, 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,227 @@
+// Package multicast implements the background commit-set exchange of §4:
+// each AFT node periodically (default every 1 second) gathers the
+// transactions it committed since the last round and broadcasts them to all
+// other nodes, pruning locally superseded transactions first (§4.1,
+// Algorithm 2). The fault manager receives the stream *without* pruning
+// (§4.2) so that committed-but-unannounced transactions can be recovered.
+package multicast
+
+import (
+	"sync"
+	"time"
+
+	"aft/internal/records"
+)
+
+// Peer is the node-side surface the multicast protocol needs. *core.Node
+// implements it.
+type Peer interface {
+	// ID names the peer.
+	ID() string
+	// Drain returns commit records accumulated since the last call.
+	Drain() []*records.CommitRecord
+	// IsSuperseded implements Algorithm 2 against local state.
+	IsSuperseded(rec *records.CommitRecord) bool
+	// MergeRemoteCommits installs records committed by other peers.
+	MergeRemoteCommits(recs []*records.CommitRecord)
+}
+
+// Tap receives unpruned commit streams; the fault manager registers one.
+type Tap func(from string, recs []*records.CommitRecord)
+
+// BusMetrics counts multicast traffic, used by the pruning ablation bench.
+type BusMetrics struct {
+	mu        sync.Mutex
+	Broadcast int64 // records actually sent to peers
+	Pruned    int64 // records suppressed by supersedence pruning
+	Rounds    int64
+}
+
+// BusSnapshot is a point-in-time copy of BusMetrics.
+type BusSnapshot struct {
+	Broadcast, Pruned, Rounds int64
+}
+
+// Snapshot returns a copy of the counters.
+func (m *BusMetrics) Snapshot() BusSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return BusSnapshot{Broadcast: m.Broadcast, Pruned: m.Pruned, Rounds: m.Rounds}
+}
+
+// Bus is an in-process multicast fabric connecting the nodes of one
+// deployment. (Networked deployments exchange the same messages over the
+// wire protocol; the Bus is the simulation substrate.)
+type Bus struct {
+	mu      sync.Mutex
+	peers   map[string]Peer
+	taps    []Tap
+	metrics BusMetrics
+}
+
+// NewBus returns an empty Bus.
+func NewBus() *Bus {
+	return &Bus{peers: make(map[string]Peer)}
+}
+
+// Register adds a peer to the fabric.
+func (b *Bus) Register(p Peer) {
+	b.mu.Lock()
+	b.peers[p.ID()] = p
+	b.mu.Unlock()
+}
+
+// Unregister removes a peer (node failure or scale-down).
+func (b *Bus) Unregister(id string) {
+	b.mu.Lock()
+	delete(b.peers, id)
+	b.mu.Unlock()
+}
+
+// Tap subscribes f to the unpruned commit stream of every peer.
+func (b *Bus) Tap(f Tap) {
+	b.mu.Lock()
+	b.taps = append(b.taps, f)
+	b.mu.Unlock()
+}
+
+// Metrics returns the bus traffic counters.
+func (b *Bus) Metrics() *BusMetrics { return &b.metrics }
+
+// Peers returns the registered peer IDs.
+func (b *Bus) Peers() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.peers))
+	for id := range b.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// FlushPeer runs one multicast round for peer p: drain, tap (unpruned),
+// prune superseded (§4.1), deliver to all other registered peers. Returns
+// the number of records broadcast.
+func (b *Bus) FlushPeer(p Peer, prune bool) int {
+	recs := p.Drain()
+	b.mu.Lock()
+	taps := append([]Tap(nil), b.taps...)
+	others := make([]Peer, 0, len(b.peers))
+	for id, q := range b.peers {
+		if id != p.ID() {
+			others = append(others, q)
+		}
+	}
+	b.mu.Unlock()
+
+	if len(recs) == 0 {
+		return 0
+	}
+	// The fault manager stream is never pruned (§4.2).
+	for _, tap := range taps {
+		tap(p.ID(), recs)
+	}
+	send := recs
+	pruned := 0
+	if prune {
+		send = send[:0:0]
+		for _, rec := range recs {
+			if p.IsSuperseded(rec) {
+				pruned++
+				continue
+			}
+			send = append(send, rec)
+		}
+	}
+	for _, q := range others {
+		q.MergeRemoteCommits(send)
+	}
+	b.metrics.mu.Lock()
+	b.metrics.Broadcast += int64(len(send))
+	b.metrics.Pruned += int64(pruned)
+	b.metrics.Rounds++
+	b.metrics.mu.Unlock()
+	return len(send)
+}
+
+// Multicaster runs the periodic broadcast loop for one node (the
+// "background thread" of §4).
+type Multicaster struct {
+	bus    *Bus
+	peer   Peer
+	period time.Duration
+	prune  bool
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewMulticaster wires peer to bus with the given broadcast period (the
+// paper uses 1 second; tests use milliseconds). Pruning is controlled by
+// prune so the §4.1 optimization can be ablated.
+func NewMulticaster(bus *Bus, peer Peer, period time.Duration, prune bool) *Multicaster {
+	if period <= 0 {
+		period = time.Second
+	}
+	return &Multicaster{bus: bus, peer: peer, period: period, prune: prune}
+}
+
+// Start registers the peer and launches the broadcast loop. It is a no-op
+// if already started.
+func (m *Multicaster) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.bus.Register(m.peer)
+	m.stop = make(chan struct{})
+	stop := m.stop
+	m.stopped.Add(1)
+	go func() {
+		defer m.stopped.Done()
+		ticker := time.NewTicker(m.period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				m.bus.FlushPeer(m.peer, m.prune)
+			}
+		}
+	}()
+}
+
+// Flush runs one broadcast round immediately (tests and shutdown paths).
+func (m *Multicaster) Flush() int { return m.bus.FlushPeer(m.peer, m.prune) }
+
+// Stop halts the loop, runs a final flush, and unregisters the peer.
+func (m *Multicaster) Stop() {
+	m.mu.Lock()
+	if m.stop == nil {
+		m.mu.Unlock()
+		return
+	}
+	close(m.stop)
+	m.stop = nil
+	m.mu.Unlock()
+	m.stopped.Wait()
+	m.bus.FlushPeer(m.peer, m.prune)
+	m.bus.Unregister(m.peer.ID())
+}
+
+// Kill halts the loop WITHOUT flushing — simulating a node crash that
+// commits transactions but dies before broadcasting them (the liveness
+// hazard the fault manager exists to cover, §4.2).
+func (m *Multicaster) Kill() {
+	m.mu.Lock()
+	if m.stop != nil {
+		close(m.stop)
+		m.stop = nil
+	}
+	m.mu.Unlock()
+	m.stopped.Wait()
+	m.bus.Unregister(m.peer.ID())
+}

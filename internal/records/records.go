@@ -1,0 +1,223 @@
+// Package records defines AFT's persistent record formats and the storage
+// key layout.
+//
+// AFT never overwrites keys in place (§3.3): each key version written by a
+// transaction is mapped to a unique storage key derived from the
+// transaction's ID, and a commit record — the entry in the Transaction
+// Commit Set — is persisted after all of a transaction's key versions are
+// durable. The commit record carries the transaction's write set, which is
+// also the cowritten set of every key version it wrote (§3.2).
+package records
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"aft/internal/idgen"
+)
+
+// Storage key prefixes. Data keys, commit records, and spilled intermediary
+// data live in disjoint namespaces of the shared storage backend.
+const (
+	// DataPrefix namespaces key-version payloads.
+	DataPrefix = "aft/d/"
+	// CommitPrefix namespaces the Transaction Commit Set.
+	CommitPrefix = "aft/c/"
+	// SpillPrefix namespaces intermediary data proactively written by a
+	// saturated Atomic Write Buffer before commit (§3.3). Spilled data is
+	// invisible until the commit record referencing it is persisted.
+	SpillPrefix = "aft/s/"
+	// PackPrefix namespaces packed transaction objects: the S3-optimized
+	// layout (§8 "Efficient Data Layout") that writes a transaction's
+	// whole write set as one object instead of one object per key.
+	PackPrefix = "aft/p/"
+)
+
+// escapeKey makes a user key safe for embedding in a storage key by
+// escaping '%' and '/' (the layout separator).
+func escapeKey(key string) string {
+	key = strings.ReplaceAll(key, "%", "%25")
+	return strings.ReplaceAll(key, "/", "%2F")
+}
+
+// unescapeKey reverses escapeKey.
+func unescapeKey(key string) string {
+	key = strings.ReplaceAll(key, "%2F", "/")
+	return strings.ReplaceAll(key, "%25", "%")
+}
+
+// DataKey returns the unique storage key holding the version of key written
+// by transaction id.
+func DataKey(key string, id idgen.ID) string {
+	return DataPrefix + escapeKey(key) + "/" + id.String()
+}
+
+// DataKeyPrefix returns the storage prefix under which all versions of key
+// live; List(DataKeyPrefix(k)) enumerates them.
+func DataKeyPrefix(key string) string {
+	return DataPrefix + escapeKey(key) + "/"
+}
+
+// ParseDataKey decodes a storage key produced by DataKey.
+func ParseDataKey(storageKey string) (key string, id idgen.ID, err error) {
+	rest, ok := strings.CutPrefix(storageKey, DataPrefix)
+	if !ok {
+		return "", idgen.Null, fmt.Errorf("records: %q is not a data key", storageKey)
+	}
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 {
+		return "", idgen.Null, fmt.Errorf("records: malformed data key %q", storageKey)
+	}
+	id, err = idgen.Parse(rest[i+1:])
+	if err != nil {
+		return "", idgen.Null, fmt.Errorf("records: malformed data key %q: %v", storageKey, err)
+	}
+	return unescapeKey(rest[:i]), id, nil
+}
+
+// CommitKey returns the storage key of transaction id's commit record.
+func CommitKey(id idgen.ID) string { return CommitPrefix + id.String() }
+
+// ParseCommitKey decodes a storage key produced by CommitKey.
+func ParseCommitKey(storageKey string) (idgen.ID, error) {
+	rest, ok := strings.CutPrefix(storageKey, CommitPrefix)
+	if !ok {
+		return idgen.Null, fmt.Errorf("records: %q is not a commit key", storageKey)
+	}
+	return idgen.Parse(rest)
+}
+
+// SpillKey returns the staging storage key for key within spill directory
+// dir (a "<startTimestamp>_<uuid>" string identifying the transaction).
+func SpillKey(dir, key string) string {
+	return SpillPrefix + dir + "/" + escapeKey(key)
+}
+
+// ParseSpillKey decodes a storage key produced by SpillKey.
+func ParseSpillKey(storageKey string) (dir, key string, err error) {
+	rest, ok := strings.CutPrefix(storageKey, SpillPrefix)
+	if !ok {
+		return "", "", fmt.Errorf("records: %q is not a spill key", storageKey)
+	}
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return "", "", fmt.Errorf("records: malformed spill key %q", storageKey)
+	}
+	return rest[:i], unescapeKey(rest[i+1:]), nil
+}
+
+// CommitRecord is one entry of the Transaction Commit Set: the transaction's
+// ID and write set, persisted only after every key version in the write set
+// is durable (§3.3). The write set doubles as the cowritten set of each key
+// version the transaction wrote.
+type CommitRecord struct {
+	// Timestamp and UUID form the transaction ID.
+	Timestamp int64  `json:"ts"`
+	UUID      string `json:"uuid"`
+	// WriteSet lists the user keys written by the transaction.
+	WriteSet []string `json:"writeset"`
+	// Node identifies the committing AFT node (diagnostics only; the
+	// protocols never depend on it).
+	Node string `json:"node,omitempty"`
+	// SpillDir, when non-empty, is the staging directory holding payloads
+	// for the keys in Spilled (written early by a saturated write buffer).
+	SpillDir string `json:"spill,omitempty"`
+	// Spilled lists the keys whose payload lives under SpillDir rather
+	// than at the conventional DataKey location.
+	Spilled []string `json:"spilled,omitempty"`
+	// Packed marks the S3-optimized layout: every key version of this
+	// transaction lives inside one packed object at PackKey(ID()).
+	Packed bool `json:"packed,omitempty"`
+}
+
+// PackKey returns the storage key of transaction id's packed object.
+func PackKey(id idgen.ID) string { return PackPrefix + id.String() }
+
+// StorageKeyFor returns the storage key holding this transaction's version
+// of key, accounting for spilled payloads.
+func (r *CommitRecord) StorageKeyFor(key string) string {
+	if r.Packed {
+		return PackKey(r.ID())
+	}
+	for _, s := range r.Spilled {
+		if s == key {
+			return SpillKey(r.SpillDir, key)
+		}
+	}
+	return DataKey(key, r.ID())
+}
+
+// ID returns the transaction ID of the record.
+func (r *CommitRecord) ID() idgen.ID {
+	return idgen.ID{Timestamp: r.Timestamp, UUID: r.UUID}
+}
+
+// Cowritten reports whether key is in the record's write set — i.e. whether
+// key was cowritten with every other key version of this transaction.
+func (r *CommitRecord) Cowritten(key string) bool {
+	for _, k := range r.WriteSet {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal encodes the record for persistence.
+func (r *CommitRecord) Marshal() ([]byte, error) { return json.Marshal(r) }
+
+// UnmarshalCommitRecord decodes a persisted commit record.
+func UnmarshalCommitRecord(b []byte) (*CommitRecord, error) {
+	var r CommitRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("records: bad commit record: %v", err)
+	}
+	return &r, nil
+}
+
+// NewCommitRecord builds a record for transaction id writing writeSet from
+// node. The write set is copied.
+func NewCommitRecord(id idgen.ID, writeSet []string, node string) *CommitRecord {
+	return &CommitRecord{
+		Timestamp: id.Timestamp,
+		UUID:      id.UUID,
+		WriteSet:  append([]string(nil), writeSet...),
+		Node:      node,
+	}
+}
+
+// Pack encodes a transaction's write set as one object (the §8 packed
+// layout). Values survive a JSON round trip via base64.
+func Pack(writes map[string][]byte) ([]byte, error) { return json.Marshal(writes) }
+
+// Unpack decodes a packed object.
+func Unpack(b []byte) (map[string][]byte, error) {
+	var m map[string][]byte
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("records: corrupt packed object: %v", err)
+	}
+	return m, nil
+}
+
+// ExtractPacked returns key's value from a packed object.
+func ExtractPacked(packed []byte, key string) ([]byte, error) {
+	m, err := Unpack(packed)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := m[key]
+	if !ok {
+		return nil, fmt.Errorf("records: key %q missing from packed object", key)
+	}
+	return v, nil
+}
+
+// KeyVersion names one version of one user key.
+type KeyVersion struct {
+	Key string
+	ID  idgen.ID
+}
+
+// String renders the key version for diagnostics.
+func (kv KeyVersion) String() string { return kv.Key + "@" + kv.ID.String() }

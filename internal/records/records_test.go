@@ -1,0 +1,135 @@
+package records
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aft/internal/idgen"
+)
+
+func TestDataKeyRoundTrip(t *testing.T) {
+	f := func(key string, ts int64, uuid string) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		id := idgen.ID{Timestamp: ts, UUID: uuid}
+		if uuidHasSlashProblem(uuid) {
+			return true // UUIDs we generate never contain '/'
+		}
+		gotKey, gotID, err := ParseDataKey(DataKey(key, id))
+		return err == nil && gotKey == key && gotID.Equal(id)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uuidHasSlashProblem(uuid string) bool {
+	for _, r := range uuid {
+		if r == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDataKeyTrickyUserKeys(t *testing.T) {
+	id := idgen.ID{Timestamp: 7, UUID: "n-1-ab"}
+	for _, key := range []string{"plain", "with/slash", "with%percent", "%2F", "a/b/c%25", ""} {
+		k, got, err := ParseDataKey(DataKey(key, id))
+		if err != nil || k != key || !got.Equal(id) {
+			t.Errorf("round trip of %q failed: %q, %v, %v", key, k, got, err)
+		}
+	}
+}
+
+func TestDataKeyPrefixMatchesDataKey(t *testing.T) {
+	id := idgen.ID{Timestamp: 1, UUID: "u"}
+	dk := DataKey("user/key", id)
+	pfx := DataKeyPrefix("user/key")
+	if len(dk) <= len(pfx) || dk[:len(pfx)] != pfx {
+		t.Fatalf("DataKey %q does not start with prefix %q", dk, pfx)
+	}
+	// Prefix for one key must not match versions of an extended key name.
+	other := DataKey("user/key2", id)
+	if other[:len(pfx)] == pfx {
+		t.Fatalf("prefix %q wrongly matches %q", pfx, other)
+	}
+}
+
+func TestParseDataKeyErrors(t *testing.T) {
+	for _, bad := range []string{"", "wrong/prefix", DataPrefix + "noslash", DataPrefix + "k/badid"} {
+		if _, _, err := ParseDataKey(bad); err == nil {
+			t.Errorf("ParseDataKey(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestCommitKeyRoundTrip(t *testing.T) {
+	id := idgen.ID{Timestamp: 42, UUID: "node-1-ff"}
+	got, err := ParseCommitKey(CommitKey(id))
+	if err != nil || !got.Equal(id) {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+	if _, err := ParseCommitKey("aft/d/x"); err == nil {
+		t.Fatal("ParseCommitKey accepted a data key")
+	}
+}
+
+func TestCommitRecordMarshalRoundTrip(t *testing.T) {
+	id := idgen.ID{Timestamp: 9, UUID: "u9"}
+	rec := NewCommitRecord(id, []string{"a", "b"}, "node-1")
+	b, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCommitRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ID().Equal(id) || got.Node != "node-1" || len(got.WriteSet) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestUnmarshalCommitRecordError(t *testing.T) {
+	if _, err := UnmarshalCommitRecord([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestCowritten(t *testing.T) {
+	rec := NewCommitRecord(idgen.ID{Timestamp: 1, UUID: "u"}, []string{"k", "l"}, "")
+	if !rec.Cowritten("k") || !rec.Cowritten("l") {
+		t.Fatal("write-set keys not cowritten")
+	}
+	if rec.Cowritten("m") {
+		t.Fatal("foreign key reported cowritten")
+	}
+}
+
+func TestNewCommitRecordCopiesWriteSet(t *testing.T) {
+	ws := []string{"a"}
+	rec := NewCommitRecord(idgen.ID{Timestamp: 1, UUID: "u"}, ws, "")
+	ws[0] = "mutated"
+	if rec.WriteSet[0] != "a" {
+		t.Fatal("write set aliased caller slice")
+	}
+}
+
+func TestKeyVersionString(t *testing.T) {
+	kv := KeyVersion{Key: "k", ID: idgen.ID{Timestamp: 3, UUID: "u"}}
+	if kv.String() != "k@3_u" {
+		t.Fatalf("String = %q", kv.String())
+	}
+}
+
+func TestCommitKeysSortByTimestampWithinFixedWidth(t *testing.T) {
+	// Bootstrap reads the Transaction Commit Set via a prefix List; the
+	// layout must keep commit keys of same-width timestamps in ID order.
+	a := CommitKey(idgen.ID{Timestamp: 100, UUID: "a"})
+	b := CommitKey(idgen.ID{Timestamp: 200, UUID: "a"})
+	if !(a < b) {
+		t.Fatalf("commit keys out of order: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats provides the measurement plumbing for the benchmark
+// harness: latency recorders with percentile summaries (the paper reports
+// median and 99th percentile throughout §6) and throughput timelines for the
+// time-series figures (Figures 9 and 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency samples. It is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one latency sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Summary is a percentile digest of a set of latency samples.
+type Summary struct {
+	Count  int
+	Median time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Summarize computes the digest of everything recorded so far.
+func (r *Recorder) Summarize() Summary {
+	r.mu.Lock()
+	s := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	return Summarize(s)
+}
+
+// Summarize computes a percentile digest of samples. An empty input yields a
+// zero Summary.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum time.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Count:  len(s),
+		Median: Percentile(s, 50),
+		P95:    Percentile(s, 95),
+		P99:    Percentile(s, 99),
+		Mean:   sum / time.Duration(len(s)),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of sorted samples
+// using nearest-rank. It panics if sorted is empty.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Millis renders d as fractional milliseconds, the unit used in the paper's
+// latency figures.
+func Millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// String renders the summary in "median/p99" form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d median=%.1fms p99=%.1fms", s.Count, Millis(s.Median), Millis(s.P99))
+}
+
+// Timeline bins events into fixed-width buckets to produce
+// throughput-over-time series (Figures 9 and 10). It is safe for concurrent
+// use.
+type Timeline struct {
+	mu     sync.Mutex
+	width  time.Duration
+	counts []int64
+	start  time.Time
+}
+
+// NewTimeline returns a Timeline with the given bucket width, anchored at
+// start.
+func NewTimeline(start time.Time, width time.Duration) *Timeline {
+	if width <= 0 {
+		width = time.Second
+	}
+	return &Timeline{width: width, start: start}
+}
+
+// Add records one event at time t. Events before start are clamped into the
+// first bucket.
+func (tl *Timeline) Add(t time.Time) {
+	idx := int(t.Sub(tl.start) / tl.width)
+	if idx < 0 {
+		idx = 0
+	}
+	tl.mu.Lock()
+	for len(tl.counts) <= idx {
+		tl.counts = append(tl.counts, 0)
+	}
+	tl.counts[idx]++
+	tl.mu.Unlock()
+}
+
+// Point is one bucket of a Timeline expressed as a rate.
+type Point struct {
+	// Offset is the bucket's start offset from the timeline anchor.
+	Offset time.Duration
+	// Rate is events per second within the bucket.
+	Rate float64
+}
+
+// Series returns the timeline as per-second rates.
+func (tl *Timeline) Series() []Point {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]Point, len(tl.counts))
+	secs := tl.width.Seconds()
+	for i, c := range tl.counts {
+		out[i] = Point{Offset: time.Duration(i) * tl.width, Rate: float64(c) / secs}
+	}
+	return out
+}
+
+// Counter is a concurrency-safe monotonic event counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds delta to the counter.
+func (c *Counter) Inc(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Median != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{5 * time.Millisecond})
+	if s.Count != 1 || s.Median != 5*time.Millisecond || s.P99 != 5*time.Millisecond ||
+		s.Min != 5*time.Millisecond || s.Max != 5*time.Millisecond {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownDistribution(t *testing.T) {
+	// 1..100 ms
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := Summarize(samples)
+	if s.Median != 50*time.Millisecond {
+		t.Errorf("median = %v, want 50ms", s.Median)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", s.P99)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", s.Mean)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4}
+	if Percentile(sorted, 0) != 1 {
+		t.Error("p0 should be min")
+	}
+	if Percentile(sorted, 100) != 4 {
+		t.Error("p100 should be max")
+	}
+	if Percentile(sorted, 50) != 2 {
+		t.Errorf("p50 = %v, want 2", Percentile(sorted, 50))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile of empty slice should panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			if v < 0 {
+				v = -v
+			}
+			s[i] = time.Duration(v)
+		}
+		sum := Summarize(s)
+		return sum.Min <= sum.Median && sum.Median <= sum.P95 &&
+			sum.P95 <= sum.P99 && sum.P99 <= sum.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", r.Count())
+	}
+	if s := r.Summarize(); s.Median != time.Millisecond {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestMillis(t *testing.T) {
+	if Millis(1500*time.Microsecond) != 1.5 {
+		t.Fatalf("Millis = %v", Millis(1500*time.Microsecond))
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Count: 3, Median: time.Millisecond, P99: 2 * time.Millisecond}
+	if got := s.String(); got != "n=3 median=1.0ms p99=2.0ms" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start, time.Second)
+	tl.Add(start)
+	tl.Add(start.Add(100 * time.Millisecond))
+	tl.Add(start.Add(1500 * time.Millisecond))
+	tl.Add(start.Add(-time.Hour)) // clamped to first bucket
+	pts := tl.Series()
+	if len(pts) != 2 {
+		t.Fatalf("series length = %d, want 2", len(pts))
+	}
+	if pts[0].Rate != 3 {
+		t.Errorf("bucket 0 rate = %v, want 3", pts[0].Rate)
+	}
+	if pts[1].Rate != 1 {
+		t.Errorf("bucket 1 rate = %v, want 1", pts[1].Rate)
+	}
+	if pts[1].Offset != time.Second {
+		t.Errorf("bucket 1 offset = %v", pts[1].Offset)
+	}
+}
+
+func TestTimelineZeroWidthDefaultsToSecond(t *testing.T) {
+	tl := NewTimeline(time.Unix(0, 0), 0)
+	tl.Add(time.Unix(0, 0).Add(2500 * time.Millisecond))
+	pts := tl.Series()
+	if len(pts) != 3 {
+		t.Fatalf("series length = %d, want 3", len(pts))
+	}
+}
+
+func TestTimelineConcurrent(t *testing.T) {
+	start := time.Now()
+	tl := NewTimeline(start, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tl.Add(time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range tl.Series() {
+		total += p.Rate * 0.01
+	}
+	if int(total+0.5) != 1600 {
+		t.Fatalf("total events = %v, want 1600", total)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 2000 {
+		t.Fatalf("counter = %d, want 2000", c.Value())
+	}
+}

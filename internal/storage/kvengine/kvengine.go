@@ -1,0 +1,154 @@
+// Package kvengine is the sharded in-memory key-value core that backs every
+// simulated storage engine in this repository. It provides durable-once-
+// acknowledged semantics (everything lives in process memory for the
+// simulation; "durability" means a write is immediately visible to every
+// subsequent read, including List scans) and is safe for concurrent use.
+package kvengine
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Engine is a sharded concurrent map from string keys to byte values.
+type Engine struct {
+	shards []*shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// New returns an Engine with n shards (n < 1 is normalized to 1).
+func New(n int) *Engine {
+	if n < 1 {
+		n = 1
+	}
+	e := &Engine{shards: make([]*shard, n)}
+	for i := range e.shards {
+		e.shards[i] = &shard{data: make(map[string][]byte)}
+	}
+	return e
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardFor returns the shard index that owns key; exposed so the Redis
+// simulator can enforce single-shard MSET semantics.
+func (e *Engine) ShardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(e.shards)))
+}
+
+func (e *Engine) shardOf(key string) *shard { return e.shards[e.ShardFor(key)] }
+
+// Get returns a copy of the value at key and whether it exists.
+func (e *Engine) Get(key string) ([]byte, bool) {
+	s := e.shardOf(key)
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores a copy of value at key.
+func (e *Engine) Put(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	s := e.shardOf(key)
+	s.mu.Lock()
+	s.data[key] = v
+	s.mu.Unlock()
+}
+
+// PutAll stores copies of all items. The application is not atomic across
+// shards; callers that need atomic visibility layer it above (as AFT does
+// with its commit record).
+func (e *Engine) PutAll(items map[string][]byte) {
+	// Group by shard to take each shard lock once.
+	byShard := make(map[int][][2]string, len(e.shards))
+	for k, v := range items {
+		i := e.ShardFor(k)
+		byShard[i] = append(byShard[i], [2]string{k, string(v)})
+	}
+	for i, kvs := range byShard {
+		s := e.shards[i]
+		s.mu.Lock()
+		for _, kv := range kvs {
+			s.data[kv[0]] = []byte(kv[1])
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Delete removes key if present.
+func (e *Engine) Delete(key string) {
+	s := e.shardOf(key)
+	s.mu.Lock()
+	delete(s.data, key)
+	s.mu.Unlock()
+}
+
+// List returns all keys with the given prefix in lexicographic order.
+func (e *Engine) List(prefix string) []string {
+	var out []string
+	for _, s := range e.shards {
+		s.mu.RLock()
+		for k := range s.data {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, k)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of keys.
+func (e *Engine) Len() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.RLock()
+		n += len(s.data)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// LockShard acquires the write lock of shard i; the Redis simulator uses it
+// to serialize multi-key operations within one shard. The returned function
+// releases the lock.
+func (e *Engine) LockShard(i int) func() {
+	s := e.shards[i]
+	s.mu.Lock()
+	return s.mu.Unlock
+}
+
+// GetLocked reads key assuming the owning shard lock is already held.
+func (e *Engine) GetLocked(key string) ([]byte, bool) {
+	v, ok := e.shardOf(key).data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// PutLocked writes key assuming the owning shard lock is already held.
+func (e *Engine) PutLocked(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	e.shardOf(key).data[key] = v
+}

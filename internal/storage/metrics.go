@@ -1,0 +1,41 @@
+package storage
+
+import "sync/atomic"
+
+// Metrics counts engine operations. Backends embed one and callers read it
+// to attribute IO volume in experiments (e.g. the API-call accounting in
+// §6.3 and §6.4 of the paper).
+type Metrics struct {
+	Gets       atomic.Int64
+	Puts       atomic.Int64
+	Batches    atomic.Int64
+	BatchItems atomic.Int64
+	Deletes    atomic.Int64
+	Lists      atomic.Int64
+	Transacts  atomic.Int64
+	Conflicts  atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of a Metrics.
+type Snapshot struct {
+	Gets, Puts, Batches, BatchItems, Deletes, Lists, Transacts, Conflicts int64
+}
+
+// Snapshot returns the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Gets:       m.Gets.Load(),
+		Puts:       m.Puts.Load(),
+		Batches:    m.Batches.Load(),
+		BatchItems: m.BatchItems.Load(),
+		Deletes:    m.Deletes.Load(),
+		Lists:      m.Lists.Load(),
+		Transacts:  m.Transacts.Load(),
+		Conflicts:  m.Conflicts.Load(),
+	}
+}
+
+// Calls returns the total number of engine round trips (batch = 1 call).
+func (s Snapshot) Calls() int64 {
+	return s.Gets + s.Puts + s.Batches + s.Deletes + s.Lists + s.Transacts
+}

@@ -1,0 +1,12 @@
+package redissim
+
+import (
+	"testing"
+
+	"aft/internal/storage"
+	"aft/internal/storage/storagetest"
+)
+
+func TestConformance(t *testing.T) {
+	storagetest.Run(t, func() storage.Store { return New(Options{Shards: 4}) })
+}

@@ -1,0 +1,174 @@
+// Package redissim simulates a cluster-mode Redis deployment (the paper
+// runs AWS ElastiCache with 2 shards): a memory-speed KV store where each
+// shard is linearizable but no guarantees hold across shards, and multi-key
+// writes (MSET) are only possible within a single shard.
+//
+// Substitution note (see DESIGN.md §2): the simulator reproduces the two
+// properties the evaluation leans on — sub-millisecond IO (§6.1.2) and the
+// inability to batch arbitrary cross-shard write sets, which is why AFT
+// issues sequential writes over Redis (§6.3, §6.4).
+package redissim
+
+import (
+	"context"
+	"sync"
+
+	"aft/internal/latency"
+	"aft/internal/storage"
+	"aft/internal/storage/kvengine"
+)
+
+// Options configures the simulator.
+type Options struct {
+	// Shards is the cluster shard count; 0 defaults to 2 (the paper's
+	// configuration).
+	Shards int
+	// Latency is the per-operation latency model; nil means no latency.
+	Latency *latency.Model
+	// Sleeper injects latencies; nil means never sleep.
+	Sleeper *latency.Sleeper
+}
+
+// Store is a simulated Redis cluster implementing storage.Store.
+type Store struct {
+	engine  *kvengine.Engine
+	model   *latency.Model
+	sleeper *latency.Sleeper
+	metrics storage.Metrics
+
+	mu  sync.RWMutex
+	off bool
+}
+
+var _ storage.Store = (*Store)(nil)
+
+// New returns an empty simulated cluster.
+func New(opts Options) *Store {
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 2
+	}
+	return &Store{
+		engine:  kvengine.New(shards),
+		model:   opts.Latency,
+		sleeper: opts.Sleeper,
+	}
+}
+
+// Name implements storage.Store.
+func (s *Store) Name() string { return "redis" }
+
+// Capabilities implements storage.Store. BatchWrites is false: MSET exists
+// but only within one shard, so arbitrary write sets cannot rely on it.
+func (s *Store) Capabilities() storage.Capabilities { return storage.Capabilities{} }
+
+// Metrics returns the store's operation counters.
+func (s *Store) Metrics() *storage.Metrics { return &s.metrics }
+
+// NumShards returns the cluster's shard count.
+func (s *Store) NumShards() int { return s.engine.NumShards() }
+
+// ShardFor returns the shard that owns key.
+func (s *Store) ShardFor(key string) int { return s.engine.ShardFor(key) }
+
+// SetAvailable toggles fault injection.
+func (s *Store) SetAvailable(up bool) {
+	s.mu.Lock()
+	s.off = !up
+	s.mu.Unlock()
+}
+
+func (s *Store) check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	off := s.off
+	s.mu.RUnlock()
+	if off {
+		return storage.ErrUnavailable
+	}
+	return nil
+}
+
+// Get implements storage.Store. Each shard is linearizable: the read takes
+// the shard lock for the duration of the (simulated) operation.
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	s.metrics.Gets.Add(1)
+	s.sleeper.Sleep(s.model.Sample(latency.OpGet, 1))
+	v, ok := s.engine.Get(key)
+	if !ok {
+		return nil, storage.ErrNotFound
+	}
+	return v, nil
+}
+
+// Put implements storage.Store.
+func (s *Store) Put(ctx context.Context, key string, value []byte) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	s.metrics.Puts.Add(1)
+	s.sleeper.Sleep(s.model.Sample(latency.OpPut, 1))
+	s.engine.Put(key, value)
+	return nil
+}
+
+// BatchPut implements storage.Store. It behaves like MSET: if every key
+// hashes to the same shard the write is applied atomically in one round
+// trip; otherwise it returns ErrBatchUnsupported and the caller must fall
+// back to sequential puts (as AFT does over Redis, §6.1.2).
+func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	shard := -1
+	for k := range items {
+		sh := s.engine.ShardFor(k)
+		if shard == -1 {
+			shard = sh
+		} else if sh != shard {
+			return storage.ErrBatchUnsupported
+		}
+	}
+	s.metrics.Batches.Add(1)
+	s.metrics.BatchItems.Add(int64(len(items)))
+	s.sleeper.Sleep(s.model.Sample(latency.OpPut, len(items)))
+	unlock := s.engine.LockShard(shard)
+	defer unlock()
+	for k, v := range items {
+		s.engine.PutLocked(k, v)
+	}
+	return nil
+}
+
+// Delete implements storage.Store.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	s.metrics.Deletes.Add(1)
+	s.sleeper.Sleep(s.model.Sample(latency.OpDelete, 1))
+	s.engine.Delete(key)
+	return nil
+}
+
+// List implements storage.Store. Cluster-mode Redis scans every shard
+// (SCAN per node); the simulator charges one list latency per shard.
+func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	s.metrics.Lists.Add(1)
+	s.sleeper.Sleep(s.model.Sample(latency.OpList, s.engine.NumShards()))
+	return s.engine.List(prefix), nil
+}
+
+// Len returns the number of stored keys (test/diagnostic helper).
+func (s *Store) Len() int { return s.engine.Len() }

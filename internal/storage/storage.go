@@ -1,0 +1,79 @@
+// Package storage defines the interface AFT requires from an underlying
+// storage engine, together with shared errors and operation metrics.
+//
+// AFT's only assumption about the storage layer is durability: once a write
+// is acknowledged, it survives (§3.1). It does not rely on the engine for
+// consistency, visibility, or partitioning. The interface therefore exposes
+// plain point operations plus optional batching, which AFT's commit protocol
+// exploits when available (§6.1.1).
+package storage
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors shared by all backends.
+var (
+	// ErrNotFound is returned by Get for a missing key.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrBatchUnsupported is returned by BatchPut on engines without a
+	// multi-key write primitive (e.g. cluster-mode Redis across shards).
+	ErrBatchUnsupported = errors.New("storage: batch writes unsupported")
+	// ErrBatchTooLarge is returned when a batch exceeds the engine limit.
+	ErrBatchTooLarge = errors.New("storage: batch exceeds engine limit")
+	// ErrConflict is returned by transaction-mode operations that lost a
+	// conflict and should be retried by the caller.
+	ErrConflict = errors.New("storage: transaction conflict")
+	// ErrUnavailable is returned when the engine has been shut down or
+	// fault injection has disabled it.
+	ErrUnavailable = errors.New("storage: engine unavailable")
+)
+
+// Capabilities describes what a backend can do beyond point operations.
+type Capabilities struct {
+	// BatchWrites reports whether BatchPut writes multiple keys in one
+	// engine round trip.
+	BatchWrites bool
+	// MaxBatchSize bounds one BatchPut call when BatchWrites is true
+	// (DynamoDB's BatchWriteItem accepts 25 items); 0 means unbounded.
+	MaxBatchSize int
+	// Transactions reports whether the engine exposes a native
+	// serializable transaction mode (DynamoDB's TransactWriteItems).
+	Transactions bool
+}
+
+// Store is the storage abstraction AFT interposes on. Implementations must
+// be safe for concurrent use and must not acknowledge writes before they are
+// durable.
+type Store interface {
+	// Name identifies the backend ("dynamodb", "s3", "redis", ...).
+	Name() string
+	// Capabilities reports optional features.
+	Capabilities() Capabilities
+	// Get returns the value stored at key, or ErrNotFound.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// Put durably stores value at key, overwriting any prior value.
+	Put(ctx context.Context, key string, value []byte) error
+	// BatchPut durably stores all items, or fails without partial
+	// application only if the engine supports atomic batches; engines are
+	// permitted to apply batches non-atomically (AFT never depends on
+	// batch atomicity — the commit record provides atomic visibility).
+	BatchPut(ctx context.Context, items map[string][]byte) error
+	// Delete removes key; deleting a missing key is not an error.
+	Delete(ctx context.Context, key string) error
+	// List returns, in lexicographic order, every key with the prefix.
+	List(ctx context.Context, prefix string) ([]string, error)
+}
+
+// Transactor is the optional serializable transaction-mode interface
+// (modeled on DynamoDB's transaction API, which AFT is compared against in
+// §6.1.2). Transactions are read-only or write-only, never mixed.
+type Transactor interface {
+	// TransactGet atomically reads all keys; missing keys yield nil
+	// entries. Returns ErrConflict if the transaction lost a conflict.
+	TransactGet(ctx context.Context, keys []string) (map[string][]byte, error)
+	// TransactPut atomically writes all items or none, returning
+	// ErrConflict if the transaction lost a conflict.
+	TransactPut(ctx context.Context, items map[string][]byte) error
+}

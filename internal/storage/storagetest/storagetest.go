@@ -1,0 +1,211 @@
+// Package storagetest provides a conformance suite for storage.Store
+// implementations: any backend AFT runs over must pass it. The suite
+// checks the contract the shim depends on — durability-once-acknowledged
+// (read-your-acknowledged-writes), copy semantics, ordered prefix listing,
+// concurrent safety — plus the capability behaviours AFT's commit path
+// branches on.
+package storagetest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aft/internal/storage"
+)
+
+// Factory builds a fresh, empty store for each subtest.
+type Factory func() storage.Store
+
+// Run executes the conformance suite against stores built by factory.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("GetMissing", func(t *testing.T) {
+		s := factory()
+		if _, err := s.Get(context.Background(), "missing"); !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("Get missing = %v, want ErrNotFound", err)
+		}
+	})
+	t.Run("PutThenGet", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		if err := s.Put(ctx, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Get(ctx, "k")
+		if err != nil || string(v) != "v" {
+			t.Fatalf("Get = %q, %v", v, err)
+		}
+	})
+	t.Run("OverwriteLastWins", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		s.Put(ctx, "k", []byte("v1"))
+		s.Put(ctx, "k", []byte("v2"))
+		v, _ := s.Get(ctx, "k")
+		if string(v) != "v2" {
+			t.Fatalf("Get = %q", v)
+		}
+	})
+	t.Run("EmptyAndNilValues", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		if err := s.Put(ctx, "nil", nil); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Get(ctx, "nil")
+		if err != nil || len(v) != 0 {
+			t.Fatalf("Get = %v, %v", v, err)
+		}
+	})
+	t.Run("ValueCopySemantics", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		in := []byte("abc")
+		s.Put(ctx, "k", in)
+		in[0] = 'X'
+		v, _ := s.Get(ctx, "k")
+		if string(v) != "abc" {
+			t.Fatalf("store aliased caller slice: %q", v)
+		}
+		v[0] = 'Y'
+		v2, _ := s.Get(ctx, "k")
+		if string(v2) != "abc" {
+			t.Fatalf("store aliased returned slice: %q", v2)
+		}
+	})
+	t.Run("DeleteIdempotent", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		s.Put(ctx, "k", []byte("v"))
+		if err := s.Delete(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(ctx, "k"); err != nil {
+			t.Fatalf("second delete = %v", err)
+		}
+		if _, err := s.Get(ctx, "k"); !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("Get after delete = %v", err)
+		}
+	})
+	t.Run("ListPrefixOrdered", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		for _, k := range []string{"p/3", "p/1", "q/x", "p/2", "p"} {
+			s.Put(ctx, k, nil)
+		}
+		got, err := s.List(ctx, "p/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"p/1", "p/2", "p/3"}
+		if len(got) != len(want) {
+			t.Fatalf("List = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("List = %v, want %v", got, want)
+			}
+		}
+	})
+	t.Run("ListEmptyPrefix", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		s.Put(ctx, "a", nil)
+		s.Put(ctx, "b", nil)
+		got, err := s.List(ctx, "")
+		if err != nil || len(got) != 2 {
+			t.Fatalf("List(\"\") = %v, %v", got, err)
+		}
+	})
+	t.Run("BatchPutContract", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		caps := s.Capabilities()
+		items := map[string][]byte{"b1": {1}, "b2": {2}}
+		err := s.BatchPut(ctx, items)
+		if caps.BatchWrites {
+			if err != nil {
+				t.Fatalf("BatchPut on batch-capable store = %v", err)
+			}
+			for k := range items {
+				if _, err := s.Get(ctx, k); err != nil {
+					t.Fatalf("batched key %s unreadable: %v", k, err)
+				}
+			}
+			if caps.MaxBatchSize > 0 {
+				big := map[string][]byte{}
+				for i := 0; i <= caps.MaxBatchSize; i++ {
+					big[fmt.Sprintf("big-%d", i)] = nil
+				}
+				if err := s.BatchPut(ctx, big); !errors.Is(err, storage.ErrBatchTooLarge) {
+					t.Fatalf("oversized batch = %v, want ErrBatchTooLarge", err)
+				}
+			}
+		} else if err != nil && !errors.Is(err, storage.ErrBatchUnsupported) {
+			// Batch-incapable stores may still apply single-shard batches
+			// (Redis MSET); any failure must be ErrBatchUnsupported.
+			t.Fatalf("BatchPut = %v, want nil or ErrBatchUnsupported", err)
+		}
+	})
+	t.Run("ContextCancelled", func(t *testing.T) {
+		s := factory()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := s.Put(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Put with cancelled ctx = %v", err)
+		}
+		if _, err := s.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Get with cancelled ctx = %v", err)
+		}
+	})
+	t.Run("ConcurrentReadersWriters", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					k := fmt.Sprintf("w%d-%d", w, i%10)
+					if err := s.Put(ctx, k, []byte{byte(i)}); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := s.Get(ctx, k); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	t.Run("ReadYourAcknowledgedWrites", func(t *testing.T) {
+		// Durability contract: once Put returns, every subsequent Get
+		// (from any goroutine) sees the value — AFT's write-ordering
+		// protocol depends on this.
+		s := factory()
+		ctx := context.Background()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("ack-%d", i)
+				if err := s.Put(ctx, k, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := s.Get(ctx, k)
+				if err != nil || v[0] != byte(i) {
+					t.Errorf("acknowledged write not readable: %v, %v", v, err)
+					return
+				}
+			}
+		}()
+		<-done
+	})
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"context"
+
+	"aft/internal/idgen"
+)
+
+// Client is a connection pool speaking the AFT wire protocol to one node.
+// It implements lb.Backend, so remote nodes compose with the load balancer
+// exactly like in-process ones.
+type Client struct {
+	addr string
+	id   string
+
+	mu    sync.Mutex
+	idle  []*clientConn
+	total int
+	max   int
+	dead  bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to an AFT server at addr. maxConns bounds the connection
+// pool (0 defaults to 16). The initial connection doubles as a liveness
+// check and learns the node's ID.
+func Dial(addr string, maxConns int) (*Client, error) {
+	if maxConns <= 0 {
+		maxConns = 16
+	}
+	c := &Client{addr: addr, max: maxConns}
+	cc, err := c.newConn()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(cc, &Request{Op: OpPing})
+	if err != nil {
+		cc.conn.Close()
+		return nil, err
+	}
+	c.id = string(resp.Value)
+	c.put(cc)
+	return c, nil
+}
+
+func (c *Client) newConn() (*clientConn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", c.addr, err)
+	}
+	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// get borrows a pooled connection, dialing when the pool is empty.
+func (c *Client) get() (*clientConn, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.total++
+	c.mu.Unlock()
+	return c.newConn()
+}
+
+// put returns a healthy connection to the pool.
+func (c *Client) put(cc *clientConn) {
+	c.mu.Lock()
+	if !c.dead && len(c.idle) < c.max {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+func (c *Client) roundTrip(cc *clientConn, req *Request) (*Response, error) {
+	if err := cc.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp Response
+	if err := cc.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	return &resp, nil
+}
+
+// call runs one request on a pooled connection; connections that error are
+// discarded rather than reused.
+func (c *Client) call(req *Request) (*Response, error) {
+	cc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(cc, req)
+	if err != nil {
+		cc.conn.Close()
+		return nil, err
+	}
+	c.put(cc)
+	return resp, nil
+}
+
+// ID returns the remote node's identifier (lb.Backend).
+func (c *Client) ID() string { return c.id }
+
+// StartTransaction implements lb.Backend over the wire.
+func (c *Client) StartTransaction(ctx context.Context) (string, error) {
+	resp, err := c.call(&Request{Op: OpStart})
+	if err != nil {
+		return "", err
+	}
+	return resp.TxID, DecodeErr(resp.Code, resp.Message)
+}
+
+// Get implements lb.Backend over the wire.
+func (c *Client) Get(ctx context.Context, txid, key string) ([]byte, error) {
+	resp, err := c.call(&Request{Op: OpGet, TxID: txid, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := DecodeErr(resp.Code, resp.Message); err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Put implements lb.Backend over the wire.
+func (c *Client) Put(ctx context.Context, txid, key string, value []byte) error {
+	resp, err := c.call(&Request{Op: OpPut, TxID: txid, Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	return DecodeErr(resp.Code, resp.Message)
+}
+
+// CommitTransaction implements lb.Backend over the wire.
+func (c *Client) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
+	resp, err := c.call(&Request{Op: OpCommit, TxID: txid})
+	if err != nil {
+		return idgen.Null, err
+	}
+	if err := DecodeErr(resp.Code, resp.Message); err != nil {
+		return idgen.Null, err
+	}
+	return idFromResponse(resp), nil
+}
+
+// AbortTransaction implements lb.Backend over the wire.
+func (c *Client) AbortTransaction(ctx context.Context, txid string) error {
+	resp, err := c.call(&Request{Op: OpAbort, TxID: txid})
+	if err != nil {
+		return err
+	}
+	return DecodeErr(resp.Code, resp.Message)
+}
+
+// ResumeTransaction re-attaches to a transaction after a function retry.
+func (c *Client) ResumeTransaction(ctx context.Context, txid string) error {
+	resp, err := c.call(&Request{Op: OpResume, TxID: txid})
+	if err != nil {
+		return err
+	}
+	return DecodeErr(resp.Code, resp.Message)
+}
+
+// Close tears down the pool.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.dead = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.conn.Close()
+	}
+}

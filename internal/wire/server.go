@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"aft/internal/core"
+)
+
+// Server exposes an AFT node over TCP. Each accepted connection handles
+// requests sequentially; clients open multiple connections for
+// parallelism.
+type Server struct {
+	node *core.Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps node; call Serve with a listener.
+func NewServer(node *core.Node) *Server {
+	return &Server{node: node, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts serving on addr ("host:port"); it returns once the
+// listener is bound, serving in the background. Use Close to stop.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	ctx := context.Background()
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: decode: %v", err)
+			}
+			return
+		}
+		resp := s.handle(ctx, &req)
+		if err := enc.Encode(resp); err != nil {
+			s.logf("wire: encode: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(ctx context.Context, req *Request) *Response {
+	resp := &Response{TxID: req.TxID}
+	var err error
+	switch req.Op {
+	case OpStart:
+		resp.TxID, err = s.node.StartTransaction(ctx)
+	case OpGet:
+		resp.Value, err = s.node.Get(ctx, req.TxID, req.Key)
+	case OpPut:
+		err = s.node.Put(ctx, req.TxID, req.Key, req.Value)
+	case OpCommit:
+		cid, cerr := s.node.CommitTransaction(ctx, req.TxID)
+		resp.CommitTS, err = cid.Timestamp, cerr
+	case OpAbort:
+		err = s.node.AbortTransaction(ctx, req.TxID)
+	case OpResume:
+		err = s.node.ResumeTransaction(ctx, req.TxID)
+	case OpPing:
+		resp.Value = []byte(s.node.ID())
+	default:
+		err = &RemoteError{Message: "unknown op"}
+	}
+	resp.Code, resp.Message = EncodeErr(err)
+	return resp
+}
+
+// Close stops the listener and all live connections, then waits for
+// handler goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

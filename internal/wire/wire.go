@@ -1,0 +1,132 @@
+// Package wire implements AFT's network protocol: a compact
+// request/response RPC over TCP using gob encoding, plus the server that
+// exposes an AFT node and the client that speaks to it.
+//
+// The protocol mirrors the Table 1 API exactly: StartTransaction, Get,
+// Put, CommitTransaction, AbortTransaction. Sentinel errors cross the wire
+// as codes so clients can retry on the conditions the paper calls out
+// (ErrNoValidVersion aborts, lost transactions after node failure).
+package wire
+
+import (
+	"aft/internal/core"
+	"aft/internal/idgen"
+	"aft/internal/storage"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpStart Op = iota + 1
+	OpGet
+	OpPut
+	OpCommit
+	OpAbort
+	OpResume
+	OpPing
+)
+
+// Request is one client->server message.
+type Request struct {
+	Op    Op
+	TxID  string
+	Key   string
+	Value []byte
+}
+
+// ErrCode classifies errors across the wire.
+type ErrCode uint8
+
+// Wire error codes, mapped back to the core sentinel errors client-side.
+const (
+	ErrNone ErrCode = iota
+	ErrCodeTxnNotFound
+	ErrCodeTxnFinished
+	ErrCodeKeyNotFound
+	ErrCodeNoValidVersion
+	ErrCodeUnavailable
+	ErrCodeOther
+)
+
+// Response is one server->client message.
+type Response struct {
+	TxID     string
+	Value    []byte
+	CommitTS int64
+	Code     ErrCode
+	Message  string
+}
+
+// EncodeErr converts an error into a wire code + message.
+func EncodeErr(err error) (ErrCode, string) {
+	switch {
+	case err == nil:
+		return ErrNone, ""
+	case errorIs(err, core.ErrTxnNotFound):
+		return ErrCodeTxnNotFound, err.Error()
+	case errorIs(err, core.ErrTxnFinished):
+		return ErrCodeTxnFinished, err.Error()
+	case errorIs(err, core.ErrKeyNotFound):
+		return ErrCodeKeyNotFound, err.Error()
+	case errorIs(err, core.ErrNoValidVersion):
+		return ErrCodeNoValidVersion, err.Error()
+	case errorIs(err, storage.ErrUnavailable):
+		return ErrCodeUnavailable, err.Error()
+	default:
+		return ErrCodeOther, err.Error()
+	}
+}
+
+// DecodeErr converts a wire code back into a sentinel (or opaque) error.
+func DecodeErr(code ErrCode, msg string) error {
+	switch code {
+	case ErrNone:
+		return nil
+	case ErrCodeTxnNotFound:
+		return core.ErrTxnNotFound
+	case ErrCodeTxnFinished:
+		return core.ErrTxnFinished
+	case ErrCodeKeyNotFound:
+		return core.ErrKeyNotFound
+	case ErrCodeNoValidVersion:
+		return core.ErrNoValidVersion
+	case ErrCodeUnavailable:
+		return storage.ErrUnavailable
+	default:
+		return &RemoteError{Message: msg}
+	}
+}
+
+// RemoteError is a non-sentinel error reported by the server.
+type RemoteError struct{ Message string }
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	if e.Message == "" {
+		return "aft: remote error"
+	}
+	return "aft: remote error: " + e.Message
+}
+
+// errorIs is errors.Is without importing errors in the hot path (gob
+// registration keeps this file dependency-light).
+func errorIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// idFromResponse rebuilds a commit ID from a response.
+func idFromResponse(r *Response) idgen.ID {
+	return idgen.ID{Timestamp: r.CommitTS, UUID: r.TxID}
+}

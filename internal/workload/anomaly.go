@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"aft/internal/idgen"
+)
+
+// Meta is the consistency metadata embedded in every value when running
+// anomaly-detection workloads: "we detect consistency anomalies by
+// embedding the same metadata aft uses — a timestamp, a UUID, and a
+// cowritten key set — into the key-value pairs" (§6.1.2). It adds ~70
+// bytes to the 4 KB payload, as in the paper.
+type Meta struct {
+	// TS is the writer's version-order timestamp (write time for plain
+	// storage clients; commit time resolved via the Registry for AFT).
+	TS int64 `json:"ts"`
+	// UUID identifies the writing request.
+	UUID string `json:"uuid"`
+	// Cowritten is the writing request's full write set.
+	Cowritten []string `json:"cw"`
+}
+
+// OrderID renders the metadata's write-time version order as an ID.
+func (m Meta) OrderID() idgen.ID { return idgen.ID{Timestamp: m.TS, UUID: m.UUID} }
+
+// Wrap prefixes payload with encoded metadata.
+func Wrap(meta Meta, payload []byte) ([]byte, error) {
+	hdr, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(hdr)+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(hdr)))
+	copy(out[4:], hdr)
+	copy(out[4+len(hdr):], payload)
+	return out, nil
+}
+
+// Unwrap splits a wrapped value into metadata and payload.
+func Unwrap(b []byte) (Meta, []byte, error) {
+	if len(b) < 4 {
+		return Meta{}, nil, fmt.Errorf("workload: value too short for metadata")
+	}
+	n := binary.BigEndian.Uint32(b)
+	if int(n) > len(b)-4 {
+		return Meta{}, nil, fmt.Errorf("workload: corrupt metadata header")
+	}
+	var meta Meta
+	if err := json.Unmarshal(b[4:4+n], &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("workload: corrupt metadata: %v", err)
+	}
+	return meta, b[4+n:], nil
+}
+
+// Registry resolves writer UUIDs to version-order IDs. Plain-storage
+// clients register a write-time ID when a request first writes; AFT
+// harnesses register the commit ID returned by CommitTransaction. The
+// anomaly check runs post-hoc, when the registry is complete.
+type Registry struct {
+	mu    sync.Mutex
+	order map[string]idgen.ID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{order: make(map[string]idgen.ID)} }
+
+// Register binds uuid to its version-order ID; later registrations win
+// (AFT commit IDs refine provisional write-time stamps).
+func (r *Registry) Register(uuid string, id idgen.ID) {
+	r.mu.Lock()
+	r.order[uuid] = id
+	r.mu.Unlock()
+}
+
+// Lookup resolves uuid; ok is false for never-registered writers (dirty
+// reads of requests that crashed before registering).
+func (r *Registry) Lookup(uuid string) (idgen.ID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.order[uuid]
+	return id, ok
+}
+
+// ReadObs is one observed read within a request.
+type ReadObs struct {
+	Key string
+	// Meta is the metadata embedded in the value read.
+	Meta Meta
+	// AfterOwnWrite records whether this request had already written Key
+	// before this read (the RYW condition).
+	AfterOwnWrite bool
+}
+
+// Trace is the observation record of one logical request.
+type Trace struct {
+	// UUID identifies the request.
+	UUID string
+	// Reads lists every read observation in order.
+	Reads []ReadObs
+}
+
+// Anomalies summarizes a set of traces, mirroring Table 2's two columns.
+type Anomalies struct {
+	// RYW counts requests that read a key they had written and observed
+	// another writer's version.
+	RYW int
+	// FracturedReads counts requests whose read observations violate the
+	// Atomic Readset definition (this encompasses repeatable-read
+	// anomalies, §6.1.2).
+	FracturedReads int
+	// DirtyReads counts requests that observed a writer which never
+	// finished (no registry entry) — uncommitted data.
+	DirtyReads int
+	// Requests is the number of traces checked.
+	Requests int
+}
+
+// orderOf resolves the version-order ID for an observation: the registry
+// entry when present, else the embedded (write-time) timestamp.
+func orderOf(reg *Registry, m Meta) (idgen.ID, bool) {
+	if id, ok := reg.Lookup(m.UUID); ok {
+		return id, true
+	}
+	if m.TS != 0 {
+		return idgen.ID{Timestamp: m.TS, UUID: m.UUID}, true
+	}
+	return idgen.Null, false
+}
+
+// Check counts anomalies across traces. Each request contributes at most
+// one RYW and one FR anomaly (Table 2 reports anomalous transactions, not
+// anomalous reads).
+func Check(traces []Trace, reg *Registry) Anomalies {
+	out := Anomalies{Requests: len(traces)}
+	for _, tr := range traces {
+		ryw, fr, dirty := checkOne(tr, reg)
+		if ryw {
+			out.RYW++
+		}
+		if fr {
+			out.FracturedReads++
+		}
+		if dirty {
+			out.DirtyReads++
+		}
+	}
+	return out
+}
+
+func checkOne(tr Trace, reg *Registry) (ryw, fr, dirty bool) {
+	for _, obs := range tr.Reads {
+		if obs.AfterOwnWrite && obs.Meta.UUID != tr.UUID {
+			ryw = true
+		}
+		if _, ok := orderOf(reg, obs.Meta); !ok {
+			dirty = true
+		}
+	}
+	// Fractured reads: for every pair of observations (k from A, l from
+	// B), if l is in A's cowritten set and B's version order precedes
+	// A's, the read set is not an Atomic Readset (Definition 1). Reads of
+	// the request's own buffered writes are not fractures.
+	for _, a := range tr.Reads {
+		if a.Meta.UUID == tr.UUID {
+			continue
+		}
+		idA, okA := orderOf(reg, a.Meta)
+		if !okA {
+			continue
+		}
+		cow := map[string]bool{}
+		for _, k := range a.Meta.Cowritten {
+			cow[k] = true
+		}
+		for _, b := range tr.Reads {
+			if b.Meta.UUID == tr.UUID || !cow[b.Key] {
+				continue
+			}
+			idB, okB := orderOf(reg, b.Meta)
+			if !okB {
+				continue
+			}
+			if idB.Less(idA) {
+				return ryw, true, dirty
+			}
+		}
+	}
+	return ryw, fr, dirty
+}
+
+// TraceCollector accumulates traces concurrently.
+type TraceCollector struct {
+	mu     sync.Mutex
+	traces []Trace
+}
+
+// Add appends one trace.
+func (c *TraceCollector) Add(tr Trace) {
+	c.mu.Lock()
+	c.traces = append(c.traces, tr)
+	c.mu.Unlock()
+}
+
+// Traces returns the accumulated traces.
+func (c *TraceCollector) Traces() []Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Trace(nil), c.traces...)
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Op is one storage operation of a request.
+type Op struct {
+	Kind OpKind
+	Key  string
+}
+
+// Request is one logical request: a linear chain of functions, each with an
+// ordered operation list (§2.2).
+type Request struct {
+	// Funcs holds each function's operations in execution order.
+	Funcs [][]Op
+}
+
+// WriteSet returns the distinct keys the request writes, in first-write
+// order.
+func (r Request) WriteSet() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, fn := range r.Funcs {
+		for _, op := range fn {
+			if op.Kind == OpWrite && !seen[op.Key] {
+				seen[op.Key] = true
+				out = append(out, op.Key)
+			}
+		}
+	}
+	return out
+}
+
+// Ops returns the total operation count.
+func (r Request) Ops() int {
+	n := 0
+	for _, fn := range r.Funcs {
+		n += len(fn)
+	}
+	return n
+}
+
+// Generator produces Requests with a fixed shape and a key distribution.
+type Generator struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	keys KeyChooser
+
+	// Functions is the chain length (paper default: 2).
+	Functions int
+	// WritesPerFunc and ReadsPerFunc shape each function (paper default:
+	// 1 write, 2 reads).
+	WritesPerFunc int
+	ReadsPerFunc  int
+}
+
+// NewGenerator returns a Generator for the paper's canonical 2-function,
+// 1-write + 2-read-per-function transaction, parameterizable for the
+// transaction-length (§6.4) and read-ratio (§6.3) sweeps.
+func NewGenerator(seed int64, keys KeyChooser, functions, writesPerFunc, readsPerFunc int) *Generator {
+	if functions < 1 {
+		functions = 1
+	}
+	return &Generator{
+		rng:           rand.New(rand.NewSource(seed)),
+		keys:          keys,
+		Functions:     functions,
+		WritesPerFunc: writesPerFunc,
+		ReadsPerFunc:  readsPerFunc,
+	}
+}
+
+// Next generates one request. Within each function, writes are interleaved
+// before reads (write-then-read exposes read-your-writes behaviour across
+// the chain, which the Table 2 RYW detection relies on).
+func (g *Generator) Next() Request {
+	funcs := make([][]Op, g.Functions)
+	for f := range funcs {
+		ops := make([]Op, 0, g.WritesPerFunc+g.ReadsPerFunc)
+		for w := 0; w < g.WritesPerFunc; w++ {
+			ops = append(ops, Op{Kind: OpWrite, Key: g.keys.Next()})
+		}
+		for r := 0; r < g.ReadsPerFunc; r++ {
+			ops = append(ops, Op{Kind: OpRead, Key: g.keys.Next()})
+		}
+		funcs[f] = ops
+	}
+	return Request{Funcs: funcs}
+}
+
+// NewRatioGenerator returns a Generator for the §6.3 read-write-ratio
+// sweep: totalOps operations split across functions with readFraction of
+// them reads (0.0 to 1.0).
+func NewRatioGenerator(seed int64, keys KeyChooser, functions, totalOps int, readFraction float64) *Generator {
+	if functions < 1 {
+		functions = 1
+	}
+	perFunc := totalOps / functions
+	reads := int(float64(perFunc)*readFraction + 0.5)
+	return NewGenerator(seed, keys, functions, perFunc-reads, reads)
+}

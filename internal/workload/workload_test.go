@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aft/internal/idgen"
+)
+
+func TestZipfSkewIncreasesWithCoefficient(t *testing.T) {
+	count := func(coeff float64) int {
+		z := NewZipf(1, 1000, coeff)
+		hot := 0
+		for i := 0; i < 10000; i++ {
+			if z.Next() == KeyName(0) {
+				hot++
+			}
+		}
+		return hot
+	}
+	light, heavy := count(1.0), count(2.0)
+	if !(heavy > light) {
+		t.Fatalf("hot-key counts: z=1.0 %d, z=2.0 %d; skew not increasing", light, heavy)
+	}
+	if light == 0 {
+		t.Fatal("zipf never produced the hottest key")
+	}
+}
+
+func TestZipfDeterministicBySeed(t *testing.T) {
+	a, b := NewZipf(7, 100, 1.5), NewZipf(7, 100, 1.5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfKeysInRange(t *testing.T) {
+	z := NewZipf(3, 50, 1.2)
+	if z.Keys() != 50 {
+		t.Fatalf("Keys = %d", z.Keys())
+	}
+	for i := 0; i < 1000; i++ {
+		k := z.Next()
+		if !strings.HasPrefix(k, "key-") {
+			t.Fatalf("key format %q", k)
+		}
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	u := NewUniform(5, 10)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform covered %d/10 keys", len(seen))
+	}
+}
+
+func TestPayloadDeterministicAndSized(t *testing.T) {
+	a, b := Payload(1, 4096), Payload(1, 4096)
+	if len(a) != 4096 || string(a) != string(b) {
+		t.Fatal("payload not deterministic or mis-sized")
+	}
+	if string(Payload(2, 4096)) == string(a) {
+		t.Fatal("different seeds gave identical payloads")
+	}
+}
+
+func TestGeneratorShape(t *testing.T) {
+	g := NewGenerator(1, NewUniform(1, 100), 2, 1, 2)
+	req := g.Next()
+	if len(req.Funcs) != 2 {
+		t.Fatalf("functions = %d", len(req.Funcs))
+	}
+	for _, fn := range req.Funcs {
+		if len(fn) != 3 {
+			t.Fatalf("ops per function = %d", len(fn))
+		}
+		if fn[0].Kind != OpWrite || fn[1].Kind != OpRead || fn[2].Kind != OpRead {
+			t.Fatalf("op order = %+v", fn)
+		}
+	}
+	if req.Ops() != 6 {
+		t.Fatalf("total ops = %d", req.Ops())
+	}
+}
+
+func TestWriteSetDeduplicated(t *testing.T) {
+	req := Request{Funcs: [][]Op{
+		{{OpWrite, "a"}, {OpWrite, "b"}},
+		{{OpWrite, "a"}, {OpRead, "c"}},
+	}}
+	ws := req.WriteSet()
+	if len(ws) != 2 || ws[0] != "a" || ws[1] != "b" {
+		t.Fatalf("write set = %v", ws)
+	}
+}
+
+func TestRatioGenerator(t *testing.T) {
+	for _, tc := range []struct {
+		frac          float64
+		reads, writes int
+	}{
+		{0.0, 0, 5}, {1.0, 5, 0}, {0.6, 3, 2},
+	} {
+		g := NewRatioGenerator(1, NewUniform(1, 10), 2, 10, tc.frac)
+		req := g.Next()
+		reads, writes := 0, 0
+		for _, fn := range req.Funcs {
+			for _, op := range fn {
+				if op.Kind == OpRead {
+					reads++
+				} else {
+					writes++
+				}
+			}
+		}
+		if reads != tc.reads*2 || writes != tc.writes*2 {
+			t.Fatalf("frac %.1f: reads=%d writes=%d", tc.frac, reads, writes)
+		}
+	}
+}
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	f := func(ts int64, uuid string, cow []string, payload []byte) bool {
+		meta := Meta{TS: ts, UUID: uuid, Cowritten: cow}
+		b, err := Wrap(meta, payload)
+		if err != nil {
+			return false
+		}
+		got, body, err := Unwrap(b)
+		if err != nil || got.TS != ts || got.UUID != uuid || len(body) != len(payload) {
+			return false
+		}
+		for i := range body {
+			if body[i] != payload[i] {
+				return false
+			}
+		}
+		return len(got.Cowritten) == len(cow)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnwrapErrors(t *testing.T) {
+	if _, _, err := Unwrap([]byte{1, 2}); err == nil {
+		t.Fatal("short value accepted")
+	}
+	if _, _, err := Unwrap([]byte{0, 0, 0, 200, 'x'}); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+	if _, _, err := Unwrap([]byte{0, 0, 0, 2, '{', '!'}); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestMetadataOverheadRoughly70Bytes(t *testing.T) {
+	// §6.1.2: "about an extra 70 bytes on top of the 4KB payload".
+	meta := Meta{TS: 1718000000000000000, UUID: "plain-12345", Cowritten: []string{KeyName(1), KeyName(2), KeyName(3)}}
+	b, err := Wrap(meta, Payload(1, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := len(b) - 4096
+	if overhead < 40 || overhead > 200 {
+		t.Fatalf("metadata overhead = %d bytes, want ~70-150", overhead)
+	}
+}
+
+func mkTrace(uuid string, reads ...ReadObs) Trace { return Trace{UUID: uuid, Reads: reads} }
+
+func TestCheckRYWAnomaly(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("me", idgen.ID{Timestamp: 1, UUID: "me"})
+	reg.Register("other", idgen.ID{Timestamp: 2, UUID: "other"})
+	// I wrote k, then read k and saw "other": RYW anomaly.
+	bad := mkTrace("me", ReadObs{Key: "k", Meta: Meta{UUID: "other"}, AfterOwnWrite: true})
+	// Reading my own write: fine.
+	good := mkTrace("me", ReadObs{Key: "k", Meta: Meta{UUID: "me"}, AfterOwnWrite: true})
+	res := Check([]Trace{bad, good}, reg)
+	if res.RYW != 1 || res.Requests != 2 {
+		t.Fatalf("anomalies = %+v", res)
+	}
+}
+
+func TestCheckFracturedRead(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("T1", idgen.ID{Timestamp: 1, UUID: "T1"})
+	reg.Register("T2", idgen.ID{Timestamp: 2, UUID: "T2"})
+	// T2 wrote {k,l}; I read k from T2 but l from T1: fractured.
+	bad := mkTrace("me",
+		ReadObs{Key: "k", Meta: Meta{UUID: "T2", Cowritten: []string{"k", "l"}}},
+		ReadObs{Key: "l", Meta: Meta{UUID: "T1", Cowritten: []string{"l"}}},
+	)
+	// Reading l from T2 as well: atomic.
+	good := mkTrace("me",
+		ReadObs{Key: "k", Meta: Meta{UUID: "T2", Cowritten: []string{"k", "l"}}},
+		ReadObs{Key: "l", Meta: Meta{UUID: "T2", Cowritten: []string{"k", "l"}}},
+	)
+	// Reading l from a NEWER transaction than T2: allowed by Definition 1.
+	reg.Register("T3", idgen.ID{Timestamp: 3, UUID: "T3"})
+	alsoGood := mkTrace("me",
+		ReadObs{Key: "k", Meta: Meta{UUID: "T2", Cowritten: []string{"k", "l"}}},
+		ReadObs{Key: "l", Meta: Meta{UUID: "T3", Cowritten: []string{"l"}}},
+	)
+	res := Check([]Trace{bad, good, alsoGood}, reg)
+	if res.FracturedReads != 1 {
+		t.Fatalf("anomalies = %+v", res)
+	}
+}
+
+func TestCheckRepeatableReadViolationCountsAsFR(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("T1", idgen.ID{Timestamp: 1, UUID: "T1"})
+	reg.Register("T2", idgen.ID{Timestamp: 2, UUID: "T2"})
+	// Read k twice, newer version first then older: FR (encompasses
+	// repeatable-read anomalies, §6.1.2).
+	tr := mkTrace("me",
+		ReadObs{Key: "k", Meta: Meta{UUID: "T2", Cowritten: []string{"k"}}},
+		ReadObs{Key: "k", Meta: Meta{UUID: "T1", Cowritten: []string{"k"}}},
+	)
+	if res := Check([]Trace{tr}, reg); res.FracturedReads != 1 {
+		t.Fatalf("anomalies = %+v", res)
+	}
+}
+
+func TestCheckDirtyReadDetection(t *testing.T) {
+	reg := NewRegistry()
+	// Writer never registered and carries no write-time TS: dirty.
+	tr := mkTrace("me", ReadObs{Key: "k", Meta: Meta{UUID: "ghost"}})
+	if res := Check([]Trace{tr}, reg); res.DirtyReads != 1 {
+		t.Fatalf("anomalies = %+v", res)
+	}
+	// With an embedded write-time TS it is orderable, not dirty.
+	tr2 := mkTrace("me", ReadObs{Key: "k", Meta: Meta{UUID: "ghost2", TS: 5}})
+	if res := Check([]Trace{tr2}, reg); res.DirtyReads != 0 {
+		t.Fatalf("anomalies = %+v", res)
+	}
+}
+
+func TestCheckFallsBackToEmbeddedTS(t *testing.T) {
+	// No registry entries at all: ordering comes from write-time stamps.
+	reg := NewRegistry()
+	tr := mkTrace("me",
+		ReadObs{Key: "k", Meta: Meta{UUID: "B", TS: 2, Cowritten: []string{"k", "l"}}},
+		ReadObs{Key: "l", Meta: Meta{UUID: "A", TS: 1, Cowritten: []string{"l"}}},
+	)
+	if res := Check([]Trace{tr}, reg); res.FracturedReads != 1 {
+		t.Fatalf("anomalies = %+v", res)
+	}
+}
+
+func TestRegistryLaterRegistrationWins(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("u", idgen.ID{Timestamp: 1, UUID: "u"})
+	reg.Register("u", idgen.ID{Timestamp: 9, UUID: "u"})
+	id, ok := reg.Lookup("u")
+	if !ok || id.Timestamp != 9 {
+		t.Fatalf("lookup = %v, %v", id, ok)
+	}
+	if _, ok := reg.Lookup("nope"); ok {
+		t.Fatal("missing uuid found")
+	}
+}
+
+func TestTraceCollectorConcurrent(t *testing.T) {
+	var c TraceCollector
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				c.Add(Trace{UUID: "x"})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if len(c.Traces()) != 800 {
+		t.Fatalf("traces = %d", len(c.Traces()))
+	}
+}
