@@ -18,8 +18,11 @@
 //	    return txn.Put("cart", append(cart, newItem...))
 //	})
 //
-// For multi-node deployments, see NewCluster; for networked deployments,
-// see Serve and Dial.
+// For multi-node deployments, see NewCluster; set Sharded in the
+// ClusterConfig to partition metadata ownership across nodes with a
+// consistent-hash ring (scoped multicast, scoped GC, shard-affinity
+// routing) — read-atomic guarantees are unchanged. For networked
+// deployments, see Serve and Dial.
 package aft
 
 import (
@@ -28,6 +31,7 @@ import (
 	"aft/internal/cluster"
 	"aft/internal/core"
 	"aft/internal/idgen"
+	"aft/internal/shard"
 	"aft/internal/storage"
 	"aft/internal/wire"
 )
@@ -48,8 +52,13 @@ type (
 	// Cluster is a multi-replica AFT deployment with multicast, garbage
 	// collection, fault management, and a load-balanced client.
 	Cluster = cluster.Cluster
-	// ClusterConfig parameterizes a Cluster.
+	// ClusterConfig parameterizes a Cluster. Set Sharded (plus optional
+	// NumShards / VNodes) for partitioned metadata ownership.
 	ClusterConfig = cluster.Config
+	// ShardRing is the consistent-hash ring of a sharded cluster
+	// (Cluster.Ring); it exposes key→owner resolution, per-node shard
+	// distributions, ring versions, and rebalance plans.
+	ShardRing = shard.Ring
 )
 
 // Sentinel errors re-exported from the core.
@@ -64,6 +73,10 @@ var (
 	ErrTxnNotFound = core.ErrTxnNotFound
 	// ErrTxnFinished means the transaction already committed or aborted.
 	ErrTxnFinished = core.ErrTxnFinished
+	// ErrVersionVanished means the global GC collected a read version
+	// mid-transaction (possible in sharded deployments); redo the
+	// transaction.
+	ErrVersionVanished = core.ErrVersionVanished
 )
 
 // Client is the transactional surface shared by a *Node, the cluster's

@@ -89,5 +89,6 @@ func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) err
 }
 
 func retriable(err error) bool {
-	return errors.Is(err, ErrNoValidVersion) || errors.Is(err, ErrTxnNotFound)
+	return errors.Is(err, ErrNoValidVersion) || errors.Is(err, ErrTxnNotFound) ||
+		errors.Is(err, ErrVersionVanished)
 }

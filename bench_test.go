@@ -379,3 +379,64 @@ func BenchmarkFig10(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSharded measures the commit path through broadcast versus
+// shard-scoped clusters (the §8 partitioning direction implemented in
+// internal/shard) at 2/4/8/16 nodes. Per-node commit-index size is
+// reported per mode; the sharded configuration's grows with a node's
+// keyspace share rather than global write volume.
+func BenchmarkSharded(b *testing.B) {
+	payload := workload.Payload(1, 1024)
+	for _, sharded := range []bool{false, true} {
+		mode := "Broadcast"
+		if sharded {
+			mode = "Sharded"
+		}
+		for _, nodes := range []int{2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", mode, nodes), func(b *testing.B) {
+				c, err := cluster.New(cluster.Config{
+					Nodes:           nodes,
+					Sharded:         sharded,
+					Store:           dynamosim.New(dynamosim.Options{}),
+					MulticastPeriod: time.Millisecond,
+					PruneMulticast:  true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				if err := c.Start(ctx); err != nil {
+					b.Fatal(err)
+				}
+				defer c.Stop()
+				client := c.Client()
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					// b.Fatal must not be called off the benchmark
+					// goroutine; report and drain instead.
+					i := 0
+					for pb.Next() {
+						key := workload.KeyName(i % 1024)
+						txid, err := client.StartTransactionHint(ctx, key)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := client.Put(ctx, txid, key, payload); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := client.CommitTransaction(ctx, txid); err != nil {
+							b.Error(err)
+							return
+						}
+						i++
+					}
+				})
+				b.StopTimer()
+				c.FlushMulticast()
+				b.ReportMetric(c.MeanMetadataSize(), "index-entries/node")
+			})
+		}
+	}
+}

@@ -1,33 +1,56 @@
 // Command aft-bench regenerates the paper's evaluation tables and figures
-// (§6) against the simulated substrates.
+// (§6) against the simulated substrates, plus the repo's own scaling
+// scenarios (sharded metadata exchange).
 //
 // Usage:
 //
 //	aft-bench -experiment all                 # every figure and table
 //	aft-bench -experiment fig3 -scale 0.1     # one experiment, 10x speed
 //	aft-bench -experiment fig7 -quick         # CI-sized run
+//	aft-bench -experiment sharded -json out/  # broadcast vs sharded exchange
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablation. Output latencies and throughputs are reported in
-// paper-equivalent units (measured values divided by the time scale).
+// fig9, fig10, ablation, sharded. Output latencies and throughputs are
+// reported in paper-equivalent units (measured values divided by the time
+// scale).
+//
+// Every run also writes machine-readable results to BENCH_<name>.json in
+// the -json directory ("" disables): the rendered tables plus, for the
+// sharded experiment, the raw per-cell measurements (throughput, p50/p99
+// latency, mean per-node commit-index size, multicast deliveries).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"aft/internal/experiments"
 )
 
+// benchResult is the BENCH_<name>.json schema.
+type benchResult struct {
+	Experiment   string                    `json:"experiment"`
+	Scale        float64                   `json:"scale"`
+	Quick        bool                      `json:"quick"`
+	Seed         int64                     `json:"seed"`
+	Payload      int                       `json:"payload"`
+	WallTimeMS   int64                     `json:"wall_time_ms"`
+	Tables       []experiments.Table       `json:"tables"`
+	ShardedCells []experiments.ShardedCell `json:"sharded_cells,omitempty"`
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
 		payload    = flag.Int("payload", 4096, "value size in bytes")
+		jsonDir    = flag.String("json", ".", "directory for BENCH_<name>.json results; empty disables")
 	)
 	flag.Parse()
 
@@ -58,6 +81,7 @@ func main() {
 		{"fig9", one(experiments.Fig9)},
 		{"fig10", one(experiments.Fig10)},
 		{"ablation", one(experiments.Ablation)},
+		{"sharded", one(experiments.Sharded)},
 	}
 
 	selected := map[string]bool{}
@@ -80,18 +104,51 @@ func main() {
 		ran = true
 		fmt.Printf("running %s (scale=%.2g quick=%v)...\n", e.name, *scale, *quick)
 		start := time.Now()
-		tables, err := e.run(opts)
+		res := benchResult{
+			Experiment: e.name, Scale: *scale, Quick: *quick,
+			Seed: *seed, Payload: *payload,
+		}
+		var err error
+		if e.name == "sharded" {
+			// The sharded experiment exposes raw cells; render the table
+			// from them so the run happens once.
+			res.ShardedCells, err = experiments.ShardedCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.ShardedTable(res.ShardedCells)
+				res.Tables = []experiments.Table{t}
+			}
+		} else {
+			res.Tables, err = e.run(opts)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aft-bench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
+		res.WallTimeMS = time.Since(start).Milliseconds()
+		for _, t := range res.Tables {
 			t.Print(os.Stdout)
 		}
 		fmt.Printf("  (%s wall time)\n", time.Since(start).Round(time.Millisecond))
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+e.name+".json")
+			if err := writeJSON(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "aft-bench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "aft-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -1,0 +1,3 @@
+module aft
+
+go 1.22

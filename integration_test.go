@@ -262,3 +262,75 @@ func TestIntegrationPublicAPIOverWireCluster(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestIntegrationShardedZeroAnomaliesWithCrashesAndGC repeats the
+// zero-anomaly check on a sharded cluster: metadata ownership is
+// partitioned across nodes (scoped multicast, scoped GC votes, storage
+// fallback reads), and the §3 guarantees must be indistinguishable from
+// the broadcast deployment.
+func TestIntegrationShardedZeroAnomaliesWithCrashesAndGC(t *testing.T) {
+	ctx := context.Background()
+	c, err := cluster.New(cluster.Config{
+		Nodes:            4,
+		Sharded:          true,
+		Store:            dynamosim.New(dynamosim.Options{}),
+		MulticastPeriod:  time.Millisecond,
+		PruneMulticast:   true,
+		LocalGCInterval:  2 * time.Millisecond,
+		GlobalGCInterval: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	platform, err := faas.New(faas.Config{
+		Client:             c.Client(),
+		CrashRate:          0.15,
+		MaxFunctionRetries: 50,
+		MaxRequestRetries:  50,
+		Seed:               13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := workload.NewRegistry()
+	exec := baselines.NewAFT(baselines.AFTConfig{
+		Platform: platform,
+		Payload:  workload.Payload(1, 128),
+		Registry: reg,
+	})
+
+	var collector workload.TraceCollector
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(int64(w), workload.NewZipf(int64(w), 8, 1.5), 2, 1, 2)
+			for i := 0; i < 60; i++ {
+				tr, err := exec.Execute(ctx, gen.Next())
+				if err != nil {
+					if errors.Is(err, faas.ErrRetriesExhausted) {
+						continue
+					}
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				collector.Add(tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := workload.Check(collector.Traces(), reg)
+	if res.RYW != 0 || res.FracturedReads != 0 || res.DirtyReads != 0 {
+		t.Fatalf("anomalies in sharded mode: %+v", res)
+	}
+	if res.Requests < 300 {
+		t.Fatalf("too few successful requests: %d", res.Requests)
+	}
+}

@@ -20,6 +20,11 @@ type LoadSample struct {
 	ActiveTransactions int
 	// CommittedDelta is the number of commits since the previous sample.
 	CommittedDelta int64
+	// MeanMetadataSize is the mean per-node commit-index size. In sharded
+	// deployments adding nodes shrinks it (each node owns a smaller
+	// keyspace share), so memory-pressure policies can scale on it; in
+	// broadcast deployments it is invariant to node count.
+	MeanMetadataSize float64
 }
 
 // Policy decides scaling actions: a positive return adds that many nodes,
@@ -128,8 +133,13 @@ func (a *Autoscaler) Start() {
 func (a *Autoscaler) Step(ctx context.Context) {
 	nodes := a.cluster.Nodes()
 	sample := LoadSample{Nodes: len(nodes)}
+	totalMeta := 0
 	for _, n := range nodes {
 		sample.ActiveTransactions += n.ActiveTransactions()
+		totalMeta += n.MetadataSize()
+	}
+	if len(nodes) > 0 {
+		sample.MeanMetadataSize = float64(totalMeta) / float64(len(nodes))
 	}
 	committed := a.cluster.TotalCommitted()
 	a.mu.Lock()

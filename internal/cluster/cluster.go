@@ -24,6 +24,8 @@ import (
 	"aft/internal/latency"
 	"aft/internal/lb"
 	"aft/internal/multicast"
+	"aft/internal/records"
+	"aft/internal/shard"
 	"aft/internal/storage"
 )
 
@@ -62,6 +64,17 @@ type Config struct {
 	Sleeper *latency.Sleeper
 	// Clock is shared by all nodes; nil selects the wall clock.
 	Clock idgen.Clock
+	// Sharded partitions metadata ownership across nodes with a
+	// consistent-hash ring (internal/shard): multicast delivers each
+	// commit record only to the owners of the shards its write set
+	// touches, nodes cache and GC-vote only for owned shards, and the
+	// load balancer routes first-key-hinted transactions to the owner.
+	// Read-atomic guarantees are unchanged — any node still serves any
+	// transaction, recovering non-owned metadata from storage on demand.
+	Sharded bool
+	// NumShards and VNodes tune the ring; 0 selects shard.DefaultShards /
+	// shard.DefaultVNodes. Ignored unless Sharded.
+	NumShards, VNodes int
 }
 
 type member struct {
@@ -76,6 +89,7 @@ type Cluster struct {
 	bus      *multicast.Bus
 	fm       *faultmgr.Manager
 	balancer *lb.Balancer
+	ring     *shard.Ring // nil unless cfg.Sharded
 
 	mu       sync.Mutex
 	members  map[string]*member
@@ -107,6 +121,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.fm = faultmgr.New(cfg.Store, membershipFunc(c.fmNodes))
 	c.bus.Tap(c.fm.Ingest)
+	if cfg.Sharded {
+		c.ring = shard.New(cfg.NumShards, cfg.VNodes)
+		owners := func(rec *records.CommitRecord) []string {
+			return c.ring.OwnersForKeys(rec.WriteSet)
+		}
+		c.bus.SetRouter(owners)
+		c.fm.SetScope(owners)
+		c.balancer.SetPlacer(c.ring.Owner)
+	}
 	return c, nil
 }
 
@@ -160,7 +183,28 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 	if err != nil {
 		return nil, err
 	}
+	if c.ring != nil {
+		// Register on the bus BEFORE joining the ring: the instant the
+		// ring routes a shard here, scoped multicast must be able to
+		// deliver (FlushPeer silently skips owners not on the bus).
+		// Then join the ring before bootstrapping so warm-up covers
+		// exactly the shards this node owns. The ownership closure
+		// reads live ring state, so later rebalances apply without
+		// re-wiring.
+		c.bus.Register(node)
+		// The tight per-node cap means a join also spills shards BETWEEN
+		// survivors, not only to the joiner — warm those survivors from
+		// the fault manager just like a leave does. (The joiner itself
+		// is not in membership yet; its scoped Bootstrap below covers
+		// its own shards.)
+		c.reannounceForPlan(c.ring.AddNode(id))
+		node.SetOwnership(func(key string) bool { return c.ring.OwnsKey(id, key) })
+	}
 	if err := node.Bootstrap(ctx); err != nil {
+		if c.ring != nil {
+			c.reannounceForPlan(c.ring.RemoveNode(id))
+			c.bus.Unregister(id)
+		}
 		return nil, fmt.Errorf("cluster: bootstrapping %s: %w", id, err)
 	}
 	m := &member{
@@ -173,6 +217,10 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 		// The cluster shut down while this node (e.g. a standby being
 		// promoted) was warming up; do not register or start loops.
 		c.mu.Unlock()
+		if c.ring != nil {
+			c.reannounceForPlan(c.ring.RemoveNode(id))
+			c.bus.Unregister(id)
+		}
 		return nil, fmt.Errorf("cluster: stopped")
 	}
 	m.mc.Start()
@@ -250,6 +298,14 @@ func (c *Cluster) Kill(nodeID string) error {
 
 	c.balancer.Remove(nodeID)
 	m.mc.Kill()
+	if c.ring != nil {
+		// Rebalance: the dead node's shards move to survivors. Warm the
+		// gaining owners from the fault manager's global view — their
+		// multicast history for those shards went to the dead node, and
+		// a stale-but-valid local version would otherwise keep serving
+		// (the storage fallback only fires on a local miss).
+		c.reannounceForPlan(c.ring.RemoveNode(nodeID))
+	}
 
 	if haveStandby {
 		c.bg.Add(1)
@@ -284,7 +340,43 @@ func (c *Cluster) RemoveNode(nodeID string) error {
 
 	c.balancer.Remove(nodeID)
 	m.mc.Stop() // graceful: flush pending commit broadcasts
+	if c.ring != nil {
+		c.reannounceForPlan(c.ring.RemoveNode(nodeID))
+	}
 	return nil
+}
+
+// reannounceForPlan warms every shard-gaining node of a rebalance plan
+// with the fault manager's records for its gained shards. Node joins need
+// no push — their scoped Bootstrap reads the commit set from storage —
+// but survivors of a leave would otherwise keep partial shard views.
+func (c *Cluster) reannounceForPlan(plan shard.Plan) {
+	if len(plan.Moves) == 0 {
+		return
+	}
+	gainer := make(map[int]string, len(plan.Moves)) // moved shard -> gaining node
+	for _, mv := range plan.Moves {
+		if mv.To != "" {
+			gainer[mv.Shard] = mv.To
+		}
+	}
+	c.fm.Reannounce(func(rec *records.CommitRecord) []string {
+		var targets []string
+	keys:
+		for _, k := range rec.WriteSet {
+			to, ok := gainer[c.ring.ShardOf(k)]
+			if !ok {
+				continue
+			}
+			for _, seen := range targets {
+				if seen == to {
+					continue keys
+				}
+			}
+			targets = append(targets, to)
+		}
+		return targets
+	})
 }
 
 // AddNode manually scales the cluster up by one replica.
@@ -294,6 +386,23 @@ func (c *Cluster) AddNode(ctx context.Context) (*core.Node, error) {
 
 // Client returns the deployment's load-balanced client surface.
 func (c *Cluster) Client() *lb.Balancer { return c.balancer }
+
+// Ring returns the shard ring, or nil for non-sharded deployments.
+func (c *Cluster) Ring() *shard.Ring { return c.ring }
+
+// MeanMetadataSize returns the mean per-node commit-index size — the
+// quantity sharding shrinks (each node caches only its keyspace share).
+func (c *Cluster) MeanMetadataSize() float64 {
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range nodes {
+		total += n.MetadataSize()
+	}
+	return float64(total) / float64(len(nodes))
+}
 
 // Bus returns the multicast fabric (metrics, taps).
 func (c *Cluster) Bus() *multicast.Bus { return c.bus }

@@ -220,6 +220,13 @@ func TestGCLoopsDeleteSupersededData(t *testing.T) {
 	ctx := context.Background()
 	for i := 0; i < 20; i++ {
 		runTxn(t, c.Client(), map[string]string{"hot": fmt.Sprintf("v%d", i)})
+		// Flush after every write so each record reaches the peer before
+		// the next write supersedes it. Otherwise §4.1 sender pruning can
+		// (timing-dependently, e.g. under -race) withhold a record from
+		// the peer entirely, and the §5.2 unanimity check then blocks the
+		// global GC forever — no record is ever deletable and the wait
+		// below would hit its deadline.
+		c.FlushMulticast()
 	}
 	deadline := time.After(3 * time.Second)
 	for {

@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"aft/internal/records"
+	"aft/internal/storage/dynamosim"
+)
+
+func newShardedCluster(t *testing.T, nodes int, mutate ...func(*Config)) (*Cluster, *dynamosim.Store) {
+	t.Helper()
+	return newTestCluster(t, append([]func(*Config){func(cfg *Config) {
+		cfg.Nodes = nodes
+		cfg.Sharded = true
+	}}, mutate...)...)
+}
+
+// TestShardedMetadataShrinks is the PR's acceptance criterion: with 8
+// nodes under a uniform write workload, the sharded cluster's mean
+// per-node commit-index size is at most half the broadcast cluster's.
+func TestShardedMetadataShrinks(t *testing.T) {
+	const nodes, txns = 8, 400
+	run := func(sharded bool) float64 {
+		c, _ := newTestCluster(t, func(cfg *Config) {
+			cfg.Nodes = nodes
+			cfg.Sharded = sharded
+			// Only the explicit FlushMulticast moves records, so the
+			// measurement cannot race an in-flight periodic round.
+			cfg.MulticastPeriod = time.Hour
+		})
+		client := c.Client()
+		for i := 0; i < txns; i++ {
+			runTxn(t, client, map[string]string{fmt.Sprintf("key-%d", i): "v"})
+		}
+		c.FlushMulticast()
+		return c.MeanMetadataSize()
+	}
+	broadcast := run(false)
+	shardedSize := run(true)
+	if broadcast < txns {
+		t.Fatalf("broadcast mean commit-index size = %.1f, want >= %d", broadcast, txns)
+	}
+	if shardedSize > 0.5*broadcast {
+		t.Errorf("sharded mean commit-index size %.1f > 0.5x broadcast %.1f", shardedSize, broadcast)
+	}
+	t.Logf("mean per-node commit-index size: broadcast=%.1f sharded=%.1f (%.2fx)",
+		broadcast, shardedSize, shardedSize/broadcast)
+}
+
+// TestShardedAnyNodeServesAnyKey: ownership partitions metadata caching,
+// not serveability — every node serves every key, recovering non-owned
+// commit metadata from storage.
+func TestShardedAnyNodeServesAnyKey(t *testing.T) {
+	c, _ := newShardedCluster(t, 4)
+	client := c.Client()
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		runTxn(t, client, map[string]string{keys[i]: "v-" + keys[i]})
+	}
+	c.FlushMulticast()
+
+	ctx := context.Background()
+	for _, n := range c.Nodes() {
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			v, err := n.Get(ctx, txid, k)
+			if err != nil {
+				t.Fatalf("node %s reading %s: %v", n.ID(), k, err)
+			}
+			if string(v) != "v-"+k {
+				t.Fatalf("node %s read %s = %q", n.ID(), k, v)
+			}
+		}
+		if err := n.AbortTransaction(ctx, txid); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedFanoutScoped: the bus delivers each record only to shard
+// owners, so record×peer deliveries shrink versus broadcast's (N-1)
+// fan-out.
+func TestShardedFanoutScoped(t *testing.T) {
+	const nodes, txns = 8, 200
+	run := func(sharded bool) (deliveries, sent int64) {
+		c, _ := newTestCluster(t, func(cfg *Config) {
+			cfg.Nodes = nodes
+			cfg.Sharded = sharded
+			cfg.MulticastPeriod = time.Hour // measure explicit flushes only
+		})
+		client := c.Client()
+		for i := 0; i < txns; i++ {
+			runTxn(t, client, map[string]string{fmt.Sprintf("key-%d", i): "v"})
+		}
+		c.FlushMulticast()
+		snap := c.Bus().Metrics().Snapshot()
+		return snap.Deliveries, snap.Broadcast
+	}
+	bcast, _ := run(false)
+	scoped, _ := run(true)
+	if scoped*2 > bcast {
+		t.Errorf("sharded deliveries %d not < 0.5x broadcast %d", scoped, bcast)
+	}
+	t.Logf("record x peer deliveries: broadcast=%d sharded=%d", bcast, scoped)
+}
+
+// TestShardedGlobalGCCollects: the scoped global GC (owner-only votes)
+// still collects superseded transactions from storage.
+func TestShardedGlobalGCCollects(t *testing.T) {
+	c, store := newShardedCluster(t, 3)
+	client := c.Client()
+	const overwrites = 30
+	for i := 0; i < overwrites; i++ {
+		runTxn(t, client, map[string]string{"hot": fmt.Sprintf("v%d", i)})
+	}
+	c.FlushMulticast()
+	for _, n := range c.Nodes() {
+		n.SweepLocalMetadata(0)
+	}
+	ctx := context.Background()
+	if err := c.FaultManager().ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c.FaultManager().CollectOnce(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) == 0 {
+		t.Fatal("scoped global GC collected nothing")
+	}
+	commits, err := store.List(ctx, records.CommitPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) >= overwrites {
+		t.Errorf("commit set still has %d records after GC", len(commits))
+	}
+	// The newest version must survive and stay readable everywhere.
+	for _, n := range c.Nodes() {
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := n.Get(ctx, txid, "hot")
+		if err != nil {
+			t.Fatalf("node %s reading hot after GC: %v", n.ID(), err)
+		}
+		if string(v) != fmt.Sprintf("v%d", overwrites-1) {
+			t.Fatalf("node %s read hot = %q after GC", n.ID(), v)
+		}
+		n.AbortTransaction(ctx, txid)
+	}
+}
+
+// TestShardedKillRebalances: killing a node moves its shards to
+// survivors, whose caches warm lazily — every key stays readable.
+func TestShardedKillRebalances(t *testing.T) {
+	c, _ := newShardedCluster(t, 4)
+	client := c.Client()
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		runTxn(t, client, map[string]string{keys[i]: "v"})
+	}
+	c.FlushMulticast()
+
+	victim := c.Nodes()[0].ID()
+	v0 := c.Ring().Version()
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Ring().Version(); got != v0+1 {
+		t.Fatalf("ring version = %d after kill, want %d", got, v0+1)
+	}
+	for _, id := range c.Ring().Nodes() {
+		if id == victim {
+			t.Fatalf("victim %s still on the ring", victim)
+		}
+	}
+
+	ctx := context.Background()
+	for _, n := range c.Nodes() {
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if _, err := n.Get(ctx, txid, k); err != nil {
+				t.Fatalf("node %s reading %s after kill: %v", n.ID(), k, err)
+			}
+		}
+		n.AbortTransaction(ctx, txid)
+	}
+}
+
+// TestShardedStandbyPromotionJoinsRing: a promoted standby joins the ring
+// and takes ownership of shards.
+func TestShardedStandbyPromotionJoinsRing(t *testing.T) {
+	c, _ := newShardedCluster(t, 3, func(cfg *Config) {
+		cfg.Standbys = 1
+		cfg.DetectDelay = time.Millisecond
+		cfg.JoinDelay = time.Millisecond
+	})
+	victim := c.Nodes()[0].ID()
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.Nodes()) == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(c.Nodes()); got != 3 {
+		t.Fatalf("cluster has %d nodes after promotion, want 3", got)
+	}
+	if got := len(c.Ring().Nodes()); got != 3 {
+		t.Fatalf("ring has %d nodes after promotion, want 3", got)
+	}
+	for _, id := range c.Ring().Nodes() {
+		if owned := c.Ring().ShardsOwnedBy(id); len(owned) == 0 {
+			t.Errorf("ring member %s owns no shards", id)
+		}
+	}
+}
+
+// TestShardedAffinityRouting: the balancer routes first-key-hinted
+// transactions to the shard owner.
+func TestShardedAffinityRouting(t *testing.T) {
+	c, _ := newShardedCluster(t, 4)
+	client := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner, ok := c.Ring().Owner(key)
+		if !ok {
+			t.Fatalf("no owner for %s", key)
+		}
+		txid, err := client.StartTransactionHint(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Put(ctx, txid, key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.CommitTransaction(ctx, txid); err != nil {
+			t.Fatal(err)
+		}
+		// The owner node must have committed it.
+		n, ok := c.Node(owner)
+		if !ok {
+			t.Fatalf("owner %s not a live node", owner)
+		}
+		if n.Metrics().Snapshot().Committed == 0 {
+			t.Fatalf("owner %s committed nothing after hinted txn on %s", owner, key)
+		}
+	}
+	if placed := client.Placed(); placed != 32 {
+		t.Errorf("Placed() = %d, want 32", placed)
+	}
+}
+
+// TestShardedKillWarmsNewOwner is the regression test for rebalance
+// staleness: the records of a killed node's shards were multicast to the
+// dead owner only, so the gaining survivor would serve a stale (if
+// atomic) version from its partial view forever — its local read
+// succeeds, and the storage fallback only fires on a miss. The fault
+// manager must re-announce moved-shard records to gaining owners.
+func TestShardedKillWarmsNewOwner(t *testing.T) {
+	c, _ := newShardedCluster(t, 4)
+	client := c.Client()
+	const overwrites = 20
+	for i := 0; i < overwrites; i++ {
+		runTxn(t, client, map[string]string{"hot": fmt.Sprintf("v%d", i)})
+	}
+	c.FlushMulticast()
+
+	owner, ok := c.Ring().Owner("hot")
+	if !ok {
+		t.Fatal("no owner for hot")
+	}
+	if err := c.Kill(owner); err != nil {
+		t.Fatal(err)
+	}
+	newOwner, _ := c.Ring().Owner("hot")
+	n, ok := c.Node(newOwner)
+	if !ok {
+		t.Fatalf("new owner %s not live", newOwner)
+	}
+
+	ctx := context.Background()
+	txid, err := n.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.Get(ctx, txid, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AbortTransaction(ctx, txid)
+	if want := fmt.Sprintf("v%d", overwrites-1); string(v) != want {
+		t.Fatalf("new owner %s read %q, want %q (stale view after rebalance)", newOwner, v, want)
+	}
+}
+
+// TestShardedJoinKeepsFreshness is the join-side regression test for
+// rebalance staleness: the tight per-node shard cap makes a join spill
+// shards BETWEEN survivors too, and a survivor gaining a shard while
+// holding only its own older commit of a key would serve it forever
+// (local hit, no fallback). After a join, every node must read the
+// newest version of every key.
+func TestShardedJoinKeepsFreshness(t *testing.T) {
+	c, _ := newShardedCluster(t, 2, func(cfg *Config) {
+		cfg.MulticastPeriod = time.Hour // explicit flushes only
+	})
+	client := c.Client()
+	// An odd key count makes v0 and v1 of each key land on different
+	// round-robin nodes, so a survivor gaining a shard can be one that
+	// holds only the stale v0 it committed itself.
+	const keys = 201
+	for _, ver := range []string{"v0", "v1"} {
+		for i := 0; i < keys; i++ {
+			runTxn(t, client, map[string]string{fmt.Sprintf("key-%d", i): ver})
+		}
+	}
+	c.FlushMulticast()
+
+	ctx := context.Background()
+	if _, err := c.AddNode(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Owners must be fresh immediately: shard-affinity routes reads to
+	// them, and only the rebalance re-announce keeps a gaining survivor
+	// from serving its own stale commit.
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		owner, ok := c.Ring().Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s", k)
+		}
+		n, ok := c.Node(owner)
+		if !ok {
+			t.Fatalf("owner %s of %s not live", owner, k)
+		}
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := n.Get(ctx, txid, k)
+		if err != nil {
+			t.Fatalf("owner %s reading %s after join: %v", owner, k, err)
+		}
+		if string(v) != "v1" {
+			t.Fatalf("owner %s read %s = %q after join, want v1 (stale survivor view)", owner, k, v)
+		}
+		n.AbortTransaction(ctx, txid)
+	}
+
+	// Non-owners may serve their own stale commits until the local GC
+	// evicts non-owned metadata; after one sweep, every node converges
+	// through the storage fallback.
+	for _, n := range c.Nodes() {
+		n.SweepLocalMetadata(0)
+	}
+	for _, n := range c.Nodes() {
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			v, err := n.Get(ctx, txid, k)
+			if err != nil {
+				t.Fatalf("node %s reading %s after sweep: %v", n.ID(), k, err)
+			}
+			if string(v) != "v1" {
+				t.Fatalf("node %s read %s = %q after sweep, want v1", n.ID(), k, v)
+			}
+		}
+		n.AbortTransaction(ctx, txid)
+	}
+}
+
+// TestShardedCrossShardGCCollects is the regression test for the
+// cross-shard GC leak: a transaction writing keys owned by DIFFERENT
+// nodes is cached by each owner, but each owner only ever learns
+// superseding writes for its own shards. Requiring full-write-set
+// supersedence at the sweep would let such records pin every owner's
+// cache (and their GC votes) forever; owners must sweep on owned-key
+// supersedence only.
+func TestShardedCrossShardGCCollects(t *testing.T) {
+	c, store := newShardedCluster(t, 4, func(cfg *Config) {
+		cfg.MulticastPeriod = time.Hour // explicit flushes only
+	})
+	client := c.Client()
+
+	// Find two keys with different owners.
+	keyA := "key-a"
+	var keyB string
+	ownerA, _ := c.Ring().Owner(keyA)
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key-b%d", i)
+		if o, _ := c.Ring().Owner(k); o != ownerA {
+			keyB = k
+			break
+		}
+	}
+
+	// T1 writes both shards; T2 and T3 supersede one key each.
+	runTxn(t, client, map[string]string{keyA: "t1", keyB: "t1"})
+	runTxn(t, client, map[string]string{keyA: "t2"})
+	runTxn(t, client, map[string]string{keyB: "t3"})
+	c.FlushMulticast()
+	for _, n := range c.Nodes() {
+		n.SweepLocalMetadata(0)
+	}
+
+	ctx := context.Background()
+	if err := c.FaultManager().ScanStorage(ctx); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c.FaultManager().CollectOnce(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("global GC collected %d transactions, want 1 (the cross-shard T1)", len(removed))
+	}
+	// T1's storage footprint is gone; T2/T3 survive and serve.
+	if keys, _ := store.List(ctx, records.DataPrefix); len(keys) != 2 {
+		t.Errorf("storage has %d data versions after GC, want 2 (t2, t3)", len(keys))
+	}
+	for _, n := range c.Nodes() {
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, want := range map[string]string{keyA: "t2", keyB: "t3"} {
+			v, err := n.Get(ctx, txid, k)
+			if err != nil || string(v) != want {
+				t.Fatalf("node %s read %s = %q, %v; want %q", n.ID(), k, v, err, want)
+			}
+		}
+		n.AbortTransaction(ctx, txid)
+	}
+}

@@ -44,6 +44,13 @@ func (n *Node) Bootstrap(ctx context.Context) error {
 			return fmt.Errorf("aft: decoding commit record %s: %w", sk, err)
 		}
 		n.mu.Lock()
+		// Sharded mode: warm only the shards this node owns, so warm-up
+		// cost scales with the node's share of the keyspace. Non-owned
+		// metadata stays recoverable on demand (read.go fallback).
+		if !n.ownsAnyLocked(rec) {
+			n.mu.Unlock()
+			continue
+		}
 		if n.installLocked(rec) {
 			n.committedByUUID[rec.UUID] = rec.ID()
 			installed++

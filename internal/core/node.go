@@ -46,6 +46,12 @@ var (
 	// compatible with the transaction's read set (§3.6); the paper
 	// prescribes abort-and-retry.
 	ErrNoValidVersion = errors.New("aft: no valid version for read set")
+	// ErrVersionVanished means a selected version's payload was deleted
+	// by the global GC between selection and fetch. In sharded
+	// deployments a non-owner's read pin cannot block the owner-voted
+	// collection, so this race is possible (akin to §5.2.1's missing
+	// versions); clients should redo the transaction.
+	ErrVersionVanished = errors.New("aft: version collected mid-read; retry transaction")
 )
 
 // Config parameterizes a node.
@@ -117,6 +123,14 @@ type Node struct {
 	// locallyDeleted records transactions whose metadata the local GC
 	// removed, to answer the global GC's queries (§5.2).
 	locallyDeleted map[idgen.ID]*records.CommitRecord
+	// owns filters metadata ownership in sharded deployments: when
+	// non-nil, this node caches commit metadata only for transactions
+	// touching at least one key it owns. Nil (the default, and all
+	// non-sharded deployments) means the node owns the whole keyspace.
+	// Ownership never affects which transactions the node can *serve*:
+	// reads of non-owned keys fall back to the Transaction Commit Set in
+	// storage (read.go).
+	owns func(key string) bool
 
 	data *dataCache // nil when disabled
 
@@ -125,16 +139,18 @@ type Node struct {
 
 // NodeMetrics exposes node-level counters for the evaluation harness.
 type NodeMetrics struct {
-	mu            sync.Mutex
-	Started       int64
-	Committed     int64
-	Aborted       int64
-	Reads         int64
-	CacheHits     int64
-	Spills        int64
-	MergedRemote  int64
-	PrunedMerges  int64
-	SweptMetadata int64
+	mu             sync.Mutex
+	Started        int64
+	Committed      int64
+	Aborted        int64
+	Reads          int64
+	CacheHits      int64
+	Spills         int64
+	MergedRemote   int64
+	PrunedMerges   int64
+	SweptMetadata  int64
+	PrunedNonOwned int64 // records dropped or swept for non-owned shards
+	RemoteFetches  int64 // reads that recovered metadata from storage
 }
 
 func (m *NodeMetrics) add(f func(*NodeMetrics)) {
@@ -146,7 +162,8 @@ func (m *NodeMetrics) add(f func(*NodeMetrics)) {
 // NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
 type NodeMetricsSnapshot struct {
 	Started, Committed, Aborted, Reads, CacheHits, Spills,
-	MergedRemote, PrunedMerges, SweptMetadata int64
+	MergedRemote, PrunedMerges, SweptMetadata,
+	PrunedNonOwned, RemoteFetches int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -157,7 +174,8 @@ func (m *NodeMetrics) Snapshot() NodeMetricsSnapshot {
 		Started: m.Started, Committed: m.Committed, Aborted: m.Aborted,
 		Reads: m.Reads, CacheHits: m.CacheHits, Spills: m.Spills,
 		MergedRemote: m.MergedRemote, PrunedMerges: m.PrunedMerges,
-		SweptMetadata: m.SweptMetadata,
+		SweptMetadata: m.SweptMetadata, PrunedNonOwned: m.PrunedNonOwned,
+		RemoteFetches: m.RemoteFetches,
 	}
 }
 
@@ -199,6 +217,32 @@ func NewNode(cfg Config) (*Node, error) {
 
 // ID returns the node's identifier.
 func (n *Node) ID() string { return n.cfg.NodeID }
+
+// SetOwnership installs the node's shard-ownership filter (sharded
+// deployments). owns must report whether this node currently owns the
+// given user key's shard; it is consulted under the node lock and must be
+// fast and non-blocking (ring lookups qualify). Passing nil restores
+// whole-keyspace ownership. The filter scopes what metadata the node
+// *caches* — merges, bootstrap, and GC sweeps — never what it can serve.
+func (n *Node) SetOwnership(owns func(key string) bool) {
+	n.mu.Lock()
+	n.owns = owns
+	n.mu.Unlock()
+}
+
+// ownsAnyLocked reports whether the node owns at least one key of rec's
+// write set (true when no filter is installed). Callers hold n.mu.
+func (n *Node) ownsAnyLocked(rec *records.CommitRecord) bool {
+	if n.owns == nil {
+		return true
+	}
+	for _, k := range rec.WriteSet {
+		if n.owns(k) {
+			return true
+		}
+	}
+	return false
+}
 
 // Store returns the node's storage backend.
 func (n *Node) Store() storage.Store { return n.store }
@@ -252,7 +296,15 @@ func (n *Node) MergeRemoteCommits(recs []*records.CommitRecord) {
 		if rec == nil {
 			continue
 		}
-		if n.supersededLocked(rec) {
+		// Sharded mode: metadata for shards this node does not own is
+		// not cached here — its owners cache it, and reads can always
+		// recover it from storage. Dropped records are NOT marked
+		// locally-deleted: the global GC consults only shard owners.
+		if !n.ownsAnyLocked(rec) {
+			n.metrics.add(func(m *NodeMetrics) { m.PrunedNonOwned++ })
+			continue
+		}
+		if n.supersededForNodeLocked(rec) {
 			// A record pruned at merge time was never cached here, so
 			// from the global GC's perspective this node has already
 			// "locally deleted" it (§5.2 unanimity check). The entry is
@@ -292,6 +344,32 @@ func (n *Node) IsSuperseded(rec *records.CommitRecord) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.supersededLocked(rec)
+}
+
+// supersededForNodeLocked is the ownership-scoped variant of Algorithm 2
+// used by the merge prune and the local sweep: with a filter installed,
+// only the write-set keys this node OWNS need newer versions. An owner is
+// not responsible for a cross-shard record's other keys — their owners
+// are — and requiring full supersedence would let a record whose other
+// keys' updates were never routed here pin the cache (and its Caches GC
+// vote) forever. Callers hold n.mu.
+func (n *Node) supersededForNodeLocked(rec *records.CommitRecord) bool {
+	if n.owns == nil {
+		return n.supersededLocked(rec)
+	}
+	id := rec.ID()
+	owned := 0
+	for _, k := range rec.WriteSet {
+		if !n.owns(k) {
+			continue
+		}
+		owned++
+		latest, ok := n.index.latest(k)
+		if !ok || !id.Less(latest) {
+			return false
+		}
+	}
+	return owned > 0 // records with no owned key are handled as non-owned
 }
 
 // Drain returns the commit records accumulated since the last Drain and
@@ -341,6 +419,13 @@ func (n *Node) VersionsOf(key string) []idgen.ID {
 // cached data is evicted, and it is recorded in the locally-deleted list
 // for the global GC (§5.2). At most limit transactions are removed per
 // pass (0 means unlimited). It returns the removed transaction IDs.
+//
+// In sharded mode the sweep additionally evicts transactions touching no
+// owned key — typically this node's own commits to non-owned shards,
+// already handed to their owners by the multicast round. These need not
+// be superseded (their owners keep the authoritative cache and storage
+// retains the record), and they are NOT marked locally-deleted, because
+// the global GC consults only shard owners for deletion votes.
 func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -351,12 +436,17 @@ func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
 	// Oldest first: mitigates the §5.2.1 missing-version pitfall.
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	var removed []idgen.ID
+	var sweptOwned, sweptNonOwned int64
 	for _, id := range ids {
 		if limit > 0 && len(removed) >= limit {
 			break
 		}
 		rec := n.commits[id]
-		if !n.supersededLocked(rec) || n.readers[id] > 0 {
+		if n.readers[id] > 0 {
+			continue // pinned by an active reader (§5.1)
+		}
+		owned := n.ownsAnyLocked(rec)
+		if owned && !n.supersededForNodeLocked(rec) {
 			continue
 		}
 		delete(n.commits, id)
@@ -364,14 +454,46 @@ func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
 			n.index.remove(k, id)
 			n.data.evict(rec.StorageKeyFor(k))
 		}
-		delete(n.committedByUUID, rec.UUID)
-		n.locallyDeleted[id] = rec
+		if owned {
+			delete(n.committedByUUID, rec.UUID)
+			n.locallyDeleted[id] = rec
+			sweptOwned++
+		} else {
+			// Keep the commit-idempotency marker: a non-owned sweep can
+			// run moments after this node's own commit, and a client
+			// retrying a lost commit response must still get the §3.1
+			// idempotent success, not ErrTxnNotFound (which triggers a
+			// full redo and double-applies non-idempotent writes). The
+			// marker is reclaimed by ForgetDeleted when the global GC
+			// collects the transaction.
+			sweptNonOwned++
+		}
 		removed = append(removed, id)
 	}
 	if len(removed) > 0 {
-		n.metrics.add(func(m *NodeMetrics) { m.SweptMetadata += int64(len(removed)) })
+		n.metrics.add(func(m *NodeMetrics) {
+			m.SweptMetadata += sweptOwned
+			m.PrunedNonOwned += sweptNonOwned
+		})
 	}
 	return removed
+}
+
+// Caches reports whether each queried transaction is currently in this
+// node's Commit Set Cache. The sharded global GC votes on this instead of
+// LocallyDeleted: a shard owner that never cached a record (it gained the
+// shard after the record's multicast round) must not block collection
+// forever — "not cached" is exactly the §5.2 condition, since reads served
+// from the storage fallback are covered by the ErrVersionVanished retry.
+func (n *Node) Caches(ids []idgen.ID) map[idgen.ID]bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[idgen.ID]bool, len(ids))
+	for _, id := range ids {
+		_, ok := n.commits[id]
+		out[id] = ok
+	}
+	return out
 }
 
 // LocallyDeleted reports whether this node's local GC has deleted each of
@@ -388,13 +510,15 @@ func (n *Node) LocallyDeleted(ids []idgen.ID) map[idgen.ID]bool {
 	return out
 }
 
-// ForgetDeleted clears locally-deleted bookkeeping after the global GC has
-// removed the transactions' data from storage.
+// ForgetDeleted clears locally-deleted bookkeeping — and any retained
+// commit-idempotency markers — after the global GC has removed the
+// transactions' data from storage.
 func (n *Node) ForgetDeleted(ids []idgen.ID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, id := range ids {
 		delete(n.locallyDeleted, id)
+		delete(n.committedByUUID, id.UUID)
 	}
 }
 

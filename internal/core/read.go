@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
+	"aft/internal/storage"
 )
 
 // Get retrieves key in the context of transaction txid (Table 1), enforcing
@@ -31,34 +33,88 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 	}
 	n.metrics.add(func(m *NodeMetrics) { m.Reads++ })
 
+	// Sharded mode needs up to two attempts: a version selected from
+	// local metadata can have had its payload deleted by the owner-voted
+	// global GC (a non-owner's pin does not block it); the retry forgets
+	// the vanished version and re-selects. vanished is only ever set in
+	// sharded mode.
+	for attempt := 0; ; attempt++ {
+		v, vanished, err := n.getAttempt(ctx, t, key)
+		if vanished && attempt == 0 {
+			continue
+		}
+		return v, err
+	}
+}
+
+// getAttempt runs one pass of the read path. vanished reports that the
+// selected version's payload was missing from storage and the version has
+// been forgotten locally, so one retry is worthwhile (sharded mode only).
+func (n *Node) getAttempt(ctx context.Context, t *txnState, key string) (value []byte, vanished bool, err error) {
 	n.mu.Lock()
+	// Snapshot the ownership filter while the lock is held: SetOwnership
+	// writes it under n.mu, and this attempt consults it again after the
+	// lock is released.
+	owns := n.owns
 	// Read-your-writes: the write buffer takes precedence (§3.5).
 	if v, ok := t.writes[key]; ok {
 		out := make([]byte, len(v))
 		copy(out, v)
 		n.mu.Unlock()
-		return out, nil
+		return out, false, nil
 	}
 	if t.spilled[key] {
 		// Spilled intermediary data is still this transaction's own
 		// write; serve it for read-your-writes.
 		dir := t.spillDir()
 		n.mu.Unlock()
-		return n.store.Get(ctx, records.SpillKey(dir, key))
+		v, err := n.store.Get(ctx, records.SpillKey(dir, key))
+		return v, false, err
 	}
+	_, alreadyRead := t.readSet[key]
 
 	target, rec, err := n.atomicReadLocked(t, key)
+	if (errors.Is(err, ErrKeyNotFound) || errors.Is(err, ErrNoValidVersion)) &&
+		owns != nil && !t.metaFetched[key] {
+		// Sharded mode: a local miss is inconclusive — the key may be
+		// non-owned (its metadata lives with another node), or owned but
+		// cold (the shard was just gained in a rebalance). Recover the
+		// key's commit metadata from storage and retry Algorithm 1 once.
+		// Ownership partitions metadata caching, never serveability (§8
+		// future-work direction). metaFetched bounds the cost to one
+		// storage scan per key per transaction.
+		if t.metaFetched == nil {
+			t.metaFetched = make(map[string]bool)
+		}
+		t.metaFetched[key] = true
+		n.mu.Unlock()
+		fetched, ferr := n.fetchKeyRecords(ctx, key)
+		if ferr != nil {
+			return nil, false, fmt.Errorf("aft: recovering metadata for %q: %w", key, ferr)
+		}
+		n.mu.Lock()
+		// Install and re-select under ONE lock hold: a concurrent
+		// non-owned sweep must not evict the fetched records between
+		// installation and version selection (the selected record is
+		// pinned before the lock is released below).
+		for _, fr := range fetched {
+			n.installLocked(fr)
+		}
+		target, rec, err = n.atomicReadLocked(t, key)
+	}
 	if err != nil {
 		n.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 	// Record the read and pin the source transaction against local GC
 	// before releasing the lock, so its data cannot be deleted between
 	// version selection and payload fetch (§5.1).
 	t.readSet[key] = target
+	pinnedNow := false
 	if !t.pinned[target] {
 		t.pinned[target] = true
 		n.readers[target]++
+		pinnedNow = true
 	}
 	storageKey := rec.StorageKeyFor(key)
 	packed := rec.Packed
@@ -67,24 +123,79 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 	if v, ok := n.data.get(storageKey); ok {
 		n.metrics.add(func(m *NodeMetrics) { m.CacheHits++ })
 		if packed {
-			return records.ExtractPacked(v, key)
+			v, err := records.ExtractPacked(v, key)
+			return v, false, err
 		}
-		return v, nil
+		return v, false, nil
 	}
 	v, err := n.store.Get(ctx, storageKey)
 	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) && owns != nil {
+			// Sharded GC race: the version was superseded and collected
+			// after the owners voted; our pin could not block it. For a
+			// first read of the key, unwind the selection, forget the
+			// vanished version, and let the caller retry — a newer
+			// version exists in storage. A re-read of an already-read
+			// key cannot re-select (repeatable read requires that exact
+			// version): the transaction must be redone, signalled by
+			// ErrVersionVanished.
+			if !alreadyRead {
+				n.forgetVanished(t, key, target, rec, pinnedNow)
+				return nil, true, fmt.Errorf("aft: fetching %s: %w", storageKey, ErrVersionVanished)
+			}
+			return nil, false, fmt.Errorf("aft: fetching %s: %w", storageKey, ErrVersionVanished)
+		}
 		// The write-ordering protocol guarantees committed data is
 		// durable before its commit record (§3.3), so this indicates
 		// either storage unavailability or a GC race on a deleted
 		// version; surface it to the client for retry.
-		return nil, fmt.Errorf("aft: fetching %s: %w", storageKey, err)
+		return nil, false, fmt.Errorf("aft: fetching %s: %w", storageKey, err)
 	}
 	n.data.put(storageKey, v)
 	if packed {
 		// Cache the whole packed object once; extract this key's value.
-		return records.ExtractPacked(v, key)
+		v, err := records.ExtractPacked(v, key)
+		return v, false, err
 	}
-	return v, nil
+	return v, false, nil
+}
+
+// forgetVanished unwinds a version selection whose payload the global GC
+// deleted mid-read (sharded mode): the read-set entry and pin taken this
+// attempt are released, and the version is removed from the local
+// metadata cache so re-selection cannot pick it again.
+func (n *Node) forgetVanished(t *txnState, key string, target idgen.ID, rec *records.CommitRecord, pinnedNow bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := t.readSet[key]; ok && cur.Equal(target) {
+		delete(t.readSet, key)
+	}
+	// Let the retry recover fresh metadata even if this transaction
+	// already fetched for this key.
+	delete(t.metaFetched, key)
+	if pinnedNow && t.pinned[target] {
+		delete(t.pinned, target)
+		if n.readers[target]--; n.readers[target] <= 0 {
+			delete(n.readers, target)
+		}
+	}
+	if cached, ok := n.commits[target]; ok && cached == rec {
+		// Drop the index entries so re-selection skips the vanished
+		// version (installLocked will not re-index it while the commit
+		// entry survives).
+		for _, k := range rec.WriteSet {
+			n.index.remove(k, target)
+			n.data.evict(rec.StorageKeyFor(k))
+		}
+		// The record itself must outlive any other transaction still
+		// pinning it: their read sets resolve through n.commits in
+		// atomicReadLocked's lower-bound pass. Once unpinned, the local
+		// sweep retires it.
+		if n.readers[target] == 0 {
+			delete(n.commits, target)
+			delete(n.committedByUUID, rec.UUID)
+		}
+	}
 }
 
 // atomicReadLocked implements Algorithm 1: given the transaction's read set
@@ -142,6 +253,93 @@ func (n *Node) atomicReadLocked(t *txnState, key string) (idgen.ID, *records.Com
 	}
 	// Lines 22-23: no valid version.
 	return idgen.Null, nil, ErrNoValidVersion
+}
+
+// fetchKeyRecords recovers commit metadata for a key from storage (sharded
+// mode): it lists the key's persisted versions and returns the commit
+// record of each version the node does not already know — the caller
+// installs them under the node lock, in the same critical section as the
+// retried version selection, so a concurrent sweep cannot evict them in
+// between. A data key without a commit record is an in-flight or crashed
+// transaction and is skipped — the write-ordering protocol (§3.3) makes
+// the commit record the visibility point, so this fallback can never
+// surface a dirty read.
+//
+// Under the packed layout (§8) transactions leave no per-key data objects,
+// so the fallback scans the Transaction Commit Set instead and returns
+// records that cowrote the key.
+func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.CommitRecord, error) {
+	n.metrics.add(func(m *NodeMetrics) { m.RemoteFetches++ })
+	if n.cfg.PackedLayout {
+		return n.fetchKeyRecordsPacked(ctx, key)
+	}
+	storageKeys, err := n.store.List(ctx, records.DataKeyPrefix(key))
+	if err != nil {
+		return nil, err
+	}
+	var out []*records.CommitRecord
+	for _, sk := range storageKeys {
+		_, id, err := records.ParseDataKey(sk)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		_, known := n.commits[id]
+		n.mu.Unlock()
+		if known {
+			continue
+		}
+		payload, err := n.store.Get(ctx, records.CommitKey(id))
+		if errors.Is(err, storage.ErrNotFound) {
+			continue // uncommitted version, or GC'd concurrently
+		}
+		if err != nil {
+			return out, err
+		}
+		rec, err := records.UnmarshalCommitRecord(payload)
+		if err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// fetchKeyRecordsPacked is the packed-layout variant of fetchKeyRecords:
+// it scans the Transaction Commit Set for unknown records that cowrote
+// key. Costlier than the per-key listing, but packed deployments choose
+// that trade (one object per transaction, fewer storage keys).
+func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*records.CommitRecord, error) {
+	storageKeys, err := n.store.List(ctx, records.CommitPrefix)
+	if err != nil {
+		return nil, err
+	}
+	var out []*records.CommitRecord
+	for _, sk := range storageKeys {
+		id, err := records.ParseCommitKey(sk)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		_, known := n.commits[id]
+		n.mu.Unlock()
+		if known {
+			continue
+		}
+		payload, err := n.store.Get(ctx, sk)
+		if errors.Is(err, storage.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		rec, err := records.UnmarshalCommitRecord(payload)
+		if err != nil || !rec.Cowritten(key) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
 }
 
 // ReadSet returns a copy of the transaction's current read set, for tests

@@ -28,6 +28,11 @@ type txnState struct {
 	// spilled holds keys whose payload was proactively written to the
 	// spill area before commit (§3.3).
 	spilled map[string]bool
+	// metaFetched records keys whose metadata this transaction already
+	// recovered from storage (sharded read fallback), so repeated misses
+	// of the same key — e.g. existence probes of a truly absent key —
+	// cost one storage scan per transaction, not one per read.
+	metaFetched map[string]bool
 }
 
 func (t *txnState) spillDir() string {

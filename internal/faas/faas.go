@@ -287,6 +287,10 @@ func retriableRequest(err error) bool {
 	case errors.Is(err, core.ErrNoValidVersion):
 		// §3.6: equivalent to a snapshot miss; abort and retry.
 		return true
+	case errors.Is(err, core.ErrVersionVanished):
+		// Sharded GC collected a read version mid-transaction; redo
+		// observes the superseding state (§5.2.1 analogue).
+		return true
 	case errors.Is(err, lb.ErrBackendGone), errors.Is(err, lb.ErrUnknownTxn):
 		// The transaction's node failed; redo from scratch (§3.3.1).
 		return true

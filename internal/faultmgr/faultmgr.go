@@ -33,6 +33,10 @@ type Node interface {
 	ID() string
 	MergeRemoteCommits(recs []*records.CommitRecord)
 	LocallyDeleted(ids []idgen.ID) map[idgen.ID]bool
+	// Caches reports current Commit Set Cache membership; the sharded GC
+	// votes on it (an owner that never cached a record must not block
+	// collection).
+	Caches(ids []idgen.ID) map[idgen.ID]bool
 	ForgetDeleted(ids []idgen.ID)
 }
 
@@ -71,6 +75,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TxnsDeleted: m.TxnsDeleted, VersionsDeleted: m.VersionsDeleted}
 }
 
+// Scope maps a commit record to the node IDs responsible for its
+// metadata — in sharded deployments, the owners of the shards its write
+// set touches. The manager uses it to target storage-scan re-announcements
+// and to pick the voter set for global-GC unanimity. A nil Scope means
+// every node is responsible for everything (the paper's symmetric mode).
+type Scope func(rec *records.CommitRecord) []string
+
 // Manager is the fault manager / global GC.
 type Manager struct {
 	store      storage.Store
@@ -78,11 +89,14 @@ type Manager struct {
 
 	mu sync.Mutex
 	// commits is the manager's own view of all committed transactions,
-	// fed by unpruned broadcast streams and storage scans.
+	// fed by unpruned broadcast streams and storage scans. In sharded
+	// mode this view stays global: the bus tap is never scoped (§4.2).
 	commits map[idgen.ID]*records.CommitRecord
 	// latest maps each key to the newest committed version the manager
 	// knows, for Algorithm 2.
 	latest map[string]idgen.ID
+	// scope, when non-nil, shards the manager's node-facing work.
+	scope Scope
 
 	metrics Metrics
 }
@@ -99,6 +113,15 @@ func New(store storage.Store, membership Membership) *Manager {
 
 // Metrics returns the manager's counters.
 func (m *Manager) Metrics() *Metrics { return &m.metrics }
+
+// SetScope installs the sharding scope (see Scope). The cluster layer sets
+// it together with per-node ownership filters; the two must agree, or the
+// GC would wait forever on votes from nodes that never cache the records.
+func (m *Manager) SetScope(s Scope) {
+	m.mu.Lock()
+	m.scope = s
+	m.mu.Unlock()
+}
 
 // Ingest consumes one node's unpruned commit stream; register it as a
 // multicast bus tap.
@@ -180,10 +203,63 @@ func (m *Manager) ScanStorage(ctx context.Context) error {
 	m.metrics.mu.Lock()
 	m.metrics.Recovered += int64(len(missed))
 	m.metrics.mu.Unlock()
-	for _, n := range m.membership.Nodes() {
-		n.MergeRemoteCommits(missed)
+	m.mu.Lock()
+	scope := m.scope
+	m.mu.Unlock()
+	nodes := m.membership.Nodes()
+	if scope == nil {
+		for _, n := range nodes {
+			n.MergeRemoteCommits(missed)
+		}
+		return nil
+	}
+	// Sharded mode: re-announce each recovered record only to the owners
+	// of the shards it touches; everyone else recovers it from storage on
+	// demand. Liveness (§4.2) holds because owners — the nodes that cache
+	// and vote on the record — always learn of it.
+	perNode := make(map[string][]*records.CommitRecord)
+	for _, rec := range missed {
+		for _, id := range scope(rec) {
+			perNode[id] = append(perNode[id], rec)
+		}
+	}
+	for _, n := range nodes {
+		if batch := perNode[n.ID()]; len(batch) > 0 {
+			n.MergeRemoteCommits(batch)
+		}
 	}
 	return nil
+}
+
+// Reannounce pushes the manager's cached commit records to live nodes
+// selected by route (record → node IDs). The cluster calls it after a
+// rebalance: a node gaining a shard never received the shard's earlier
+// multicast rounds (they went to the previous owner), and without a push
+// it would serve stale-but-atomic reads from whatever partial view it
+// has. One pass over the manager's tap-fed global view buckets records
+// per target, so the cost of a rebalance is a single scan regardless of
+// how many nodes gained shards. Returns the number of records pushed,
+// counting multiplicity.
+func (m *Manager) Reannounce(route func(rec *records.CommitRecord) []string) int {
+	m.mu.Lock()
+	batches := make(map[string][]*records.CommitRecord)
+	for _, rec := range m.commits {
+		for _, id := range route(rec) {
+			batches[id] = append(batches[id], rec)
+		}
+	}
+	m.mu.Unlock()
+	if len(batches) == 0 {
+		return 0
+	}
+	pushed := 0
+	for _, n := range m.membership.Nodes() {
+		if batch := batches[n.ID()]; len(batch) > 0 {
+			n.MergeRemoteCommits(batch)
+			pushed += len(batch)
+		}
+	}
+	return pushed
 }
 
 // supersededLocked is Algorithm 2 over the manager's index.
@@ -230,18 +306,57 @@ func (m *Manager) CollectOnce(ctx context.Context, maxDelete int) ([]idgen.ID, e
 		ids[i] = rec.ID()
 	}
 
-	// Phase 2: every node must have locally deleted the metadata; a
-	// transaction still cached anywhere may still be read (§5.2).
+	// Phase 2: unanimity (§5.2). In the symmetric mode every node must
+	// have locally deleted the metadata. In sharded mode only the shard
+	// owners cache a record, so only they vote; a record whose owner is
+	// not currently live stays uncollected (conservative).
 	nodes := m.membership.Nodes()
+	m.mu.Lock()
+	scope := m.scope
+	m.mu.Unlock()
 	confirmed := make(map[idgen.ID]bool, len(ids))
 	for _, id := range ids {
 		confirmed[id] = true
 	}
-	for _, n := range nodes {
-		deleted := n.LocallyDeleted(ids)
-		for _, id := range ids {
-			if !deleted[id] {
-				confirmed[id] = false
+	if scope == nil {
+		for _, n := range nodes {
+			deleted := n.LocallyDeleted(ids)
+			for _, id := range ids {
+				if !deleted[id] {
+					confirmed[id] = false
+				}
+			}
+		}
+	} else {
+		byID := make(map[string]Node, len(nodes))
+		for _, n := range nodes {
+			byID[n.ID()] = n
+		}
+		ballots := make(map[string][]idgen.ID) // voter node -> ids it must confirm
+		for _, rec := range candidates {
+			voters := scope(rec)
+			if len(voters) == 0 {
+				confirmed[rec.ID()] = false // unowned (ring in flux): keep
+				continue
+			}
+			for _, v := range voters {
+				if _, live := byID[v]; !live {
+					confirmed[rec.ID()] = false
+					continue
+				}
+				ballots[v] = append(ballots[v], rec.ID())
+			}
+		}
+		for v, ballot := range ballots {
+			// An owner votes to collect when it does NOT cache the
+			// record: either its sweep deleted it, or it never received
+			// it (shard gained after the record's multicast round — it
+			// must not block collection forever).
+			cached := byID[v].Caches(ballot)
+			for _, id := range ballot {
+				if cached[id] {
+					confirmed[id] = false
+				}
 			}
 		}
 	}

@@ -9,6 +9,13 @@
 // commit or abort. If the pinned node is removed (failure), subsequent
 // operations fail with ErrBackendGone and the client redoes the whole
 // transaction, exactly as §3.3.1 prescribes.
+//
+// Sharded deployments additionally get shard-affinity routing: a Placer
+// maps a transaction's first-key hint to the node owning that key's shard,
+// so transactions tend to land where their metadata (and cached data)
+// already lives. Placement is a pure locality optimization — any node can
+// serve any transaction — so a missing or stale placement falls back to
+// round-robin.
 package lb
 
 import (
@@ -42,13 +49,20 @@ type Backend interface {
 	AbortTransaction(ctx context.Context, txid string) error
 }
 
+// Placer resolves a user key to the preferred backend ID (the shard
+// owner); ok is false when no preference exists. *shard.Ring's Owner
+// method satisfies this signature via the cluster wiring.
+type Placer func(key string) (backendID string, ok bool)
+
 // Balancer routes transactions across backends round-robin with per-
-// transaction affinity.
+// transaction affinity, plus optional shard-affinity placement.
 type Balancer struct {
 	mu       sync.Mutex
 	backends []Backend
 	next     int
 	affinity map[string]Backend
+	placer   Placer
+	placed   int64 // transactions routed by shard affinity
 }
 
 // New returns a Balancer over the given backends.
@@ -126,10 +140,52 @@ func (b *Balancer) lookup(txid string) (Backend, error) {
 	return nil, ErrBackendGone
 }
 
+// SetPlacer installs shard-affinity placement (nil disables it).
+func (b *Balancer) SetPlacer(p Placer) {
+	b.mu.Lock()
+	b.placer = p
+	b.mu.Unlock()
+}
+
+// Placed returns how many transactions were routed by shard affinity.
+func (b *Balancer) Placed() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.placed
+}
+
+// pickFor returns the backend owning firstKey's shard when a placer is
+// installed and the owner is registered; otherwise the next round-robin
+// backend.
+func (b *Balancer) pickFor(firstKey string) (Backend, error) {
+	b.mu.Lock()
+	if b.placer != nil && firstKey != "" {
+		if id, ok := b.placer(firstKey); ok {
+			for _, be := range b.backends {
+				if be.ID() == id {
+					b.placed++
+					b.mu.Unlock()
+					return be, nil
+				}
+			}
+		}
+	}
+	b.mu.Unlock()
+	return b.pick()
+}
+
 // StartTransaction begins a transaction on the next backend round-robin
 // and pins the transaction to it.
 func (b *Balancer) StartTransaction(ctx context.Context) (string, error) {
-	be, err := b.pick()
+	return b.StartTransactionHint(ctx, "")
+}
+
+// StartTransactionHint begins a transaction with a first-key hint: with a
+// placer installed, the transaction starts on the node owning firstKey's
+// shard (cache and metadata locality), falling back to round-robin when
+// the hint is empty or the owner is not registered.
+func (b *Balancer) StartTransactionHint(ctx context.Context, firstKey string) (string, error) {
+	be, err := b.pickFor(firstKey)
 	if err != nil {
 		return "", err
 	}

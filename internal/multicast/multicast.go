@@ -4,6 +4,12 @@
 // other nodes, pruning locally superseded transactions first (§4.1,
 // Algorithm 2). The fault manager receives the stream *without* pruning
 // (§4.2) so that committed-but-unannounced transactions can be recovered.
+//
+// The Bus optionally runs in shard-scoped mode (SetRouter): each commit
+// record is delivered only to the owners of the shards its write set
+// touches, so per-node merge work and fan-out scale with a node's share of
+// the keyspace instead of global write volume. The fault-manager tap is
+// never scoped — it always sees every record, preserving §4.2 liveness.
 package multicast
 
 import (
@@ -29,24 +35,32 @@ type Peer interface {
 // Tap receives unpruned commit streams; the fault manager registers one.
 type Tap func(from string, recs []*records.CommitRecord)
 
-// BusMetrics counts multicast traffic, used by the pruning ablation bench.
+// Router selects the peer IDs that must receive a commit record — in
+// sharded deployments, the owners of the shards its write set touches. A
+// nil Router means broadcast to every peer.
+type Router func(rec *records.CommitRecord) []string
+
+// BusMetrics counts multicast traffic, used by the pruning ablation bench
+// and the sharded-exchange comparison.
 type BusMetrics struct {
-	mu        sync.Mutex
-	Broadcast int64 // records actually sent to peers
-	Pruned    int64 // records suppressed by supersedence pruning
-	Rounds    int64
+	mu         sync.Mutex
+	Broadcast  int64 // records sent to at least one peer
+	Deliveries int64 // record×peer deliveries (the fan-out cost)
+	Pruned     int64 // records suppressed by supersedence pruning
+	Rounds     int64
 }
 
 // BusSnapshot is a point-in-time copy of BusMetrics.
 type BusSnapshot struct {
-	Broadcast, Pruned, Rounds int64
+	Broadcast, Deliveries, Pruned, Rounds int64
 }
 
 // Snapshot returns a copy of the counters.
 func (m *BusMetrics) Snapshot() BusSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return BusSnapshot{Broadcast: m.Broadcast, Pruned: m.Pruned, Rounds: m.Rounds}
+	return BusSnapshot{Broadcast: m.Broadcast, Deliveries: m.Deliveries,
+		Pruned: m.Pruned, Rounds: m.Rounds}
 }
 
 // Bus is an in-process multicast fabric connecting the nodes of one
@@ -56,6 +70,7 @@ type Bus struct {
 	mu      sync.Mutex
 	peers   map[string]Peer
 	taps    []Tap
+	router  Router
 	metrics BusMetrics
 }
 
@@ -85,6 +100,16 @@ func (b *Bus) Tap(f Tap) {
 	b.mu.Unlock()
 }
 
+// SetRouter switches the bus to shard-scoped exchange: each record is
+// delivered only to the peers r selects (minus the sender). Taps are
+// unaffected — the fault manager keeps its global, unpruned view. A nil r
+// restores broadcast mode.
+func (b *Bus) SetRouter(r Router) {
+	b.mu.Lock()
+	b.router = r
+	b.mu.Unlock()
+}
+
 // Metrics returns the bus traffic counters.
 func (b *Bus) Metrics() *BusMetrics { return &b.metrics }
 
@@ -100,16 +125,18 @@ func (b *Bus) Peers() []string {
 }
 
 // FlushPeer runs one multicast round for peer p: drain, tap (unpruned),
-// prune superseded (§4.1), deliver to all other registered peers. Returns
-// the number of records broadcast.
+// prune superseded (§4.1), deliver — to all other registered peers in
+// broadcast mode, or to each record's shard owners when a Router is set.
+// Returns the number of records sent to at least one peer.
 func (b *Bus) FlushPeer(p Peer, prune bool) int {
 	recs := p.Drain()
 	b.mu.Lock()
 	taps := append([]Tap(nil), b.taps...)
-	others := make([]Peer, 0, len(b.peers))
+	router := b.router
+	others := make(map[string]Peer, len(b.peers))
 	for id, q := range b.peers {
 		if id != p.ID() {
-			others = append(others, q)
+			others[id] = q
 		}
 	}
 	b.mu.Unlock()
@@ -117,7 +144,7 @@ func (b *Bus) FlushPeer(p Peer, prune bool) int {
 	if len(recs) == 0 {
 		return 0
 	}
-	// The fault manager stream is never pruned (§4.2).
+	// The fault manager stream is never pruned or scoped (§4.2).
 	for _, tap := range taps {
 		tap(p.ID(), recs)
 	}
@@ -133,15 +160,42 @@ func (b *Bus) FlushPeer(p Peer, prune bool) int {
 			send = append(send, rec)
 		}
 	}
-	for _, q := range others {
-		q.MergeRemoteCommits(send)
+	var deliveries, sent int
+	if router == nil {
+		for _, q := range others {
+			q.MergeRemoteCommits(send)
+		}
+		deliveries = len(send) * len(others)
+		sent = len(send)
+	} else {
+		// Shard-scoped exchange: group the round's records per owning
+		// peer so each peer still gets one merge call.
+		perPeer := make(map[string][]*records.CommitRecord)
+		for _, rec := range send {
+			routed := false
+			for _, id := range router(rec) {
+				if _, ok := others[id]; !ok {
+					continue // sender itself, or an owner not on this bus
+				}
+				perPeer[id] = append(perPeer[id], rec)
+				deliveries++
+				routed = true
+			}
+			if routed {
+				sent++
+			}
+		}
+		for id, batch := range perPeer {
+			others[id].MergeRemoteCommits(batch)
+		}
 	}
 	b.metrics.mu.Lock()
-	b.metrics.Broadcast += int64(len(send))
+	b.metrics.Broadcast += int64(sent)
+	b.metrics.Deliveries += int64(deliveries)
 	b.metrics.Pruned += int64(pruned)
 	b.metrics.Rounds++
 	b.metrics.mu.Unlock()
-	return len(send)
+	return sent
 }
 
 // Multicaster runs the periodic broadcast loop for one node (the

@@ -1,0 +1,320 @@
+// Package shard partitions AFT's metadata keyspace across the nodes of a
+// deployment.
+//
+// The paper keeps every shim node symmetric: each node's multicast round
+// broadcasts its committed-transaction set to all peers (§4.1), so per-node
+// metadata and exchange traffic grow with global write volume, and the
+// fabric is O(N²) in node count. Data and metadata partitioning is left as
+// future work (§8). This package supplies that partitioning: user keys map
+// to a fixed number of shards, and shards map to owner nodes through a
+// consistent-hash ring with virtual nodes, so that a membership change
+// moves only a small fraction of the keyspace.
+//
+// Sharding partitions metadata *ownership*, not correctness: an owner is
+// the node responsible for caching a shard's commit metadata, receiving
+// its multicast records, and voting in the global GC. Any node can still
+// serve any transaction — non-owned commit metadata is always recoverable
+// from the Transaction Commit Set in storage (see core's read fallback).
+//
+// The ring uses consistent hashing with a tight per-node shard cap
+// (bounded-load assignment): shards walk the ring to their successor
+// virtual node, skipping nodes that already own ceil(S/N) shards. This
+// keeps ownership balanced within a shard of ideal at any vnode count
+// while preserving the locality of plain consistent hashing, so a single
+// join or leave moves roughly 1/N of the shards.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Defaults used when a Ring is constructed with zero values.
+const (
+	// DefaultShards is the default shard count. It bounds rebalance-plan
+	// granularity; it should comfortably exceed the largest node count.
+	DefaultShards = 1024
+	// DefaultVNodes is the default virtual-node count per node.
+	DefaultVNodes = 128
+)
+
+// Move relocates one shard between owners as part of a rebalance plan.
+type Move struct {
+	// Shard is the shard being relocated.
+	Shard int
+	// From is the previous owner ("" when the shard was unowned — the
+	// first node joining an empty ring).
+	From string
+	// To is the new owner ("" when the last node left).
+	To string
+}
+
+// Plan describes the ownership delta produced by one membership change.
+// The multicast and GC layers consult only the current ring state; the
+// plan exists for observability, warm-up prefetching, and tests.
+type Plan struct {
+	// FromVersion and ToVersion bracket the membership change.
+	FromVersion, ToVersion uint64
+	// Moves lists every shard whose owner changed.
+	Moves []Move
+}
+
+// MovedShards returns the number of shards the plan relocates.
+func (p Plan) MovedShards() int { return len(p.Moves) }
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring maps keys to shards and shards to owner nodes. It is safe for
+// concurrent use; lookups take a read lock only.
+type Ring struct {
+	mu      sync.RWMutex
+	shards  int
+	vnodes  int
+	version uint64
+	nodes   map[string]bool
+	points  []point  // virtual nodes, sorted by hash
+	owners  []string // owners[s] = node owning shard s; "" when empty
+}
+
+// New returns a Ring with the given shard and per-node virtual-node
+// counts; values < 1 select the defaults.
+func New(shards, vnodes int) *Ring {
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{
+		shards: shards,
+		vnodes: vnodes,
+		nodes:  make(map[string]bool),
+		owners: make([]string, shards),
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer giving
+// the avalanche behaviour ring-point placement needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash64 hashes a string with FNV-1a, then mixes for spread.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return splitmix64(h)
+}
+
+// shardPoint places shard s on the ring.
+func shardPoint(s int) uint64 { return splitmix64(uint64(s) * 0x9e3779b97f4a7c15) }
+
+// NumShards returns the shard count.
+func (r *Ring) NumShards() int { return r.shards }
+
+// Version returns the ring version, incremented on every membership
+// change. Version 0 is the empty ring.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Nodes returns the current member IDs, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardOf returns the shard that key hashes to.
+func (r *Ring) ShardOf(key string) int {
+	return int(hash64(key) % uint64(r.shards))
+}
+
+// OwnerOfShard returns the node owning shard s; ok is false on an empty
+// ring or out-of-range shard.
+func (r *Ring) OwnerOfShard(s int) (string, bool) {
+	if s < 0 || s >= r.shards {
+		return "", false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner := r.owners[s]
+	return owner, owner != ""
+}
+
+// Owner returns the node owning key's shard.
+func (r *Ring) Owner(key string) (string, bool) {
+	return r.OwnerOfShard(r.ShardOf(key))
+}
+
+// OwnsKey reports whether node currently owns key's shard. An empty ring
+// owns nothing.
+func (r *Ring) OwnsKey(node, key string) bool {
+	owner, ok := r.Owner(key)
+	return ok && owner == node
+}
+
+// OwnsShard reports whether node currently owns shard s.
+func (r *Ring) OwnsShard(node string, s int) bool {
+	owner, ok := r.OwnerOfShard(s)
+	return ok && owner == node
+}
+
+// ShardsOwnedBy returns the shards node currently owns, ascending.
+func (r *Ring) ShardsOwnedBy(node string) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []int
+	for s, owner := range r.owners {
+		if owner == node {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OwnersForKeys returns the deduplicated, sorted owner set covering every
+// key's shard — the multicast target set for a commit record's write set.
+// Keys whose shard is unowned (empty ring) contribute nothing.
+func (r *Ring) OwnersForKeys(keys []string) []string {
+	r.mu.RLock()
+	seen := make(map[string]bool, 2)
+	for _, k := range keys {
+		if owner := r.owners[r.ShardOf(k)]; owner != "" {
+			seen[owner] = true
+		}
+	}
+	r.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddNode joins node to the ring and returns the rebalance plan. Adding a
+// present member is a no-op returning an empty plan.
+func (r *Ring) AddNode(node string) Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return Plan{FromVersion: r.version, ToVersion: r.version}
+	}
+	r.nodes[node] = true
+	pts := make([]point, 0, r.vnodes)
+	for i := 0; i < r.vnodes; i++ {
+		pts = append(pts, point{hash: hash64(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	r.points = append(r.points, pts...)
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r.rebuildLocked()
+}
+
+// RemoveNode retires node from the ring (failure or scale-down) and
+// returns the rebalance plan. Removing a non-member is a no-op.
+func (r *Ring) RemoveNode(node string) Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return Plan{FromVersion: r.version, ToVersion: r.version}
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return r.rebuildLocked()
+}
+
+// rebuildLocked recomputes shard ownership under the bounded-load
+// consistent-hash rule and diffs against the previous assignment. Callers
+// hold r.mu.
+func (r *Ring) rebuildLocked() Plan {
+	prev := r.owners
+	next := make([]string, r.shards)
+	if len(r.points) > 0 {
+		// Tight cap: no node owns more than ceil(S/N) shards, so balance
+		// stays within one shard of ideal regardless of arc luck.
+		maxLoad := (r.shards + len(r.nodes) - 1) / len(r.nodes)
+		load := make(map[string]int, len(r.nodes))
+		// Assign shards in ring-point order (deterministic and membership-
+		// independent) so cap spill decisions are stable across rebuilds.
+		order := make([]int, r.shards)
+		for s := range order {
+			order[s] = s
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return shardPoint(order[i]) < shardPoint(order[j])
+		})
+		for _, s := range order {
+			h := shardPoint(s)
+			// Successor virtual node, skipping full owners.
+			i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+			for tried := 0; tried < len(r.points); tried++ {
+				p := r.points[(i+tried)%len(r.points)]
+				if load[p.node] < maxLoad {
+					next[s] = p.node
+					load[p.node]++
+					break
+				}
+			}
+		}
+	}
+	plan := Plan{FromVersion: r.version, ToVersion: r.version + 1}
+	for s := range next {
+		if next[s] != prev[s] {
+			plan.Moves = append(plan.Moves, Move{Shard: s, From: prev[s], To: next[s]})
+		}
+	}
+	r.owners = next
+	r.version++
+	return plan
+}
+
+// Distribution returns the shard count per node, for balance diagnostics
+// and the bench harness.
+func (r *Ring) Distribution() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.nodes))
+	for _, owner := range r.owners {
+		if owner != "" {
+			out[owner]++
+		}
+	}
+	return out
+}
+
+// String renders a short diagnostic summary.
+func (r *Ring) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("shard.Ring{v%d, %d nodes, %d shards, %d vnodes/node}",
+		r.version, len(r.nodes), r.shards, r.vnodes)
+}

@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(t *testing.T, n int) *Ring {
+	t.Helper()
+	r := New(0, 0)
+	for i := 1; i <= n; i++ {
+		r.AddNode(fmt.Sprintf("aft-%d", i))
+	}
+	return r
+}
+
+// TestKeyBalance is the issue's balance property: with 128 vnodes per
+// node, key ownership stays within ±10% of ideal across cluster sizes.
+func TestKeyBalance(t *testing.T) {
+	const keys = 100000
+	for _, nodes := range []int{2, 4, 8, 16} {
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			r := ringWith(t, nodes)
+			counts := make(map[string]int)
+			for i := 0; i < keys; i++ {
+				owner, ok := r.Owner(fmt.Sprintf("key-%d", i))
+				if !ok {
+					t.Fatalf("key-%d unowned", i)
+				}
+				counts[owner]++
+			}
+			if len(counts) != nodes {
+				t.Fatalf("only %d of %d nodes own keys", len(counts), nodes)
+			}
+			ideal := float64(keys) / float64(nodes)
+			for node, c := range counts {
+				dev := (float64(c) - ideal) / ideal
+				if dev > 0.10 || dev < -0.10 {
+					t.Errorf("%s owns %d keys, %.1f%% from ideal %.0f", node, c, 100*dev, ideal)
+				}
+			}
+		})
+	}
+}
+
+// TestShardBalance checks the tight-cap invariant directly: no node owns
+// more than ceil(S/N) shards, and every shard is owned.
+func TestShardBalance(t *testing.T) {
+	for _, nodes := range []int{1, 3, 8, 16} {
+		r := ringWith(t, nodes)
+		dist := r.Distribution()
+		cap := (r.NumShards() + nodes - 1) / nodes
+		total := 0
+		for node, c := range dist {
+			if c > cap {
+				t.Errorf("nodes=%d: %s owns %d shards > cap %d", nodes, node, c, cap)
+			}
+			total += c
+		}
+		if total != r.NumShards() {
+			t.Errorf("nodes=%d: %d shards owned, want %d", nodes, total, r.NumShards())
+		}
+	}
+}
+
+// TestMinimalMovementOnJoin is the issue's movement property: one node
+// joining an 8-node ring relocates only a small fraction of the shards,
+// and the joiner receives close to its fair share.
+func TestMinimalMovementOnJoin(t *testing.T) {
+	r := ringWith(t, 8)
+	plan := r.AddNode("aft-9")
+	fair := r.NumShards() / 9
+	moved := plan.MovedShards()
+	if moved > 2*fair {
+		t.Errorf("join moved %d shards, want <= %d (2x fair share %d)", moved, 2*fair, fair)
+	}
+	toJoiner := 0
+	for _, m := range plan.Moves {
+		if m.To == "aft-9" {
+			toJoiner++
+		}
+	}
+	if toJoiner < fair/2 {
+		t.Errorf("joiner received %d shards, want >= %d", toJoiner, fair/2)
+	}
+	if got := len(r.ShardsOwnedBy("aft-9")); got != toJoiner {
+		t.Errorf("ShardsOwnedBy = %d, plan says %d", got, toJoiner)
+	}
+}
+
+// TestMinimalMovementOnLeave: one node leaving relocates roughly only the
+// leaver's shards, and nothing remains owned by it.
+func TestMinimalMovementOnLeave(t *testing.T) {
+	r := ringWith(t, 8)
+	owned := len(r.ShardsOwnedBy("aft-3"))
+	plan := r.RemoveNode("aft-3")
+	moved := plan.MovedShards()
+	if moved > 2*owned {
+		t.Errorf("leave moved %d shards, want <= %d (2x leaver's %d)", moved, 2*owned, owned)
+	}
+	fromLeaver := 0
+	for _, m := range plan.Moves {
+		if m.From == "aft-3" {
+			fromLeaver++
+		}
+		if m.To == "aft-3" {
+			t.Errorf("shard %d moved TO the leaver", m.Shard)
+		}
+	}
+	if fromLeaver != owned {
+		t.Errorf("%d shards moved from leaver, it owned %d", fromLeaver, owned)
+	}
+	if got := r.ShardsOwnedBy("aft-3"); len(got) != 0 {
+		t.Errorf("leaver still owns %d shards", len(got))
+	}
+}
+
+// TestDeterministicAssignment: the same membership always yields the same
+// ownership, regardless of join order.
+func TestDeterministicAssignment(t *testing.T) {
+	a := New(256, 64)
+	b := New(256, 64)
+	for _, id := range []string{"n1", "n2", "n3", "n4"} {
+		a.AddNode(id)
+	}
+	for _, id := range []string{"n4", "n2", "n1", "n3"} {
+		b.AddNode(id)
+	}
+	for s := 0; s < 256; s++ {
+		oa, _ := a.OwnerOfShard(s)
+		ob, _ := b.OwnerOfShard(s)
+		if oa != ob {
+			t.Fatalf("shard %d: join-order dependent ownership %q vs %q", s, oa, ob)
+		}
+	}
+}
+
+// TestVersioningAndPlans: versions increment on real changes only, and
+// plans bracket them.
+func TestVersioningAndPlans(t *testing.T) {
+	r := New(0, 0)
+	if r.Version() != 0 {
+		t.Fatalf("empty ring version = %d", r.Version())
+	}
+	p1 := r.AddNode("a")
+	if p1.FromVersion != 0 || p1.ToVersion != 1 || r.Version() != 1 {
+		t.Fatalf("first join plan %+v, version %d", p1, r.Version())
+	}
+	if p1.MovedShards() != r.NumShards() {
+		t.Fatalf("first join moved %d shards, want all %d", p1.MovedShards(), r.NumShards())
+	}
+	if dup := r.AddNode("a"); dup.ToVersion != dup.FromVersion || dup.MovedShards() != 0 {
+		t.Fatalf("duplicate join changed the ring: %+v", dup)
+	}
+	if noop := r.RemoveNode("ghost"); noop.MovedShards() != 0 || r.Version() != 1 {
+		t.Fatalf("removing a non-member changed the ring: %+v", noop)
+	}
+	p2 := r.RemoveNode("a")
+	if r.Version() != 2 || p2.MovedShards() != r.NumShards() {
+		t.Fatalf("last leave plan %+v, version %d", p2, r.Version())
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if r.OwnsKey("a", "k") {
+		t.Fatal("empty ring claims ownership")
+	}
+}
+
+// TestOwnersForKeys: the owner set of a write set is deduplicated, sorted,
+// and consistent with per-key owners.
+func TestOwnersForKeys(t *testing.T) {
+	r := ringWith(t, 4)
+	keys := []string{"cart", "user", "order", "cart"}
+	owners := r.OwnersForKeys(keys)
+	want := make(map[string]bool)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		want[o] = true
+	}
+	if len(owners) != len(want) {
+		t.Fatalf("OwnersForKeys = %v, want owner set %v", owners, want)
+	}
+	for i, o := range owners {
+		if !want[o] {
+			t.Errorf("unexpected owner %q", o)
+		}
+		if i > 0 && owners[i-1] >= o {
+			t.Errorf("owners not sorted: %v", owners)
+		}
+	}
+	if got := r.OwnersForKeys(nil); len(got) != 0 {
+		t.Errorf("OwnersForKeys(nil) = %v", got)
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := New(0, 0)
+	for i := 0; i < 8; i++ {
+		r.AddNode(fmt.Sprintf("aft-%d", i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner("benchmark-key-42")
+	}
+}
+
+func BenchmarkRebalance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := New(0, 0)
+		for n := 0; n < 16; n++ {
+			r.AddNode(fmt.Sprintf("aft-%d", n))
+		}
+	}
+}

@@ -48,6 +48,9 @@ const (
 	ErrCodeNoValidVersion
 	ErrCodeUnavailable
 	ErrCodeOther
+	// ErrCodeVersionVanished is appended after ErrCodeOther so the
+	// pre-existing code values stay stable across versions.
+	ErrCodeVersionVanished
 )
 
 // Response is one server->client message.
@@ -74,6 +77,8 @@ func EncodeErr(err error) (ErrCode, string) {
 		return ErrCodeNoValidVersion, err.Error()
 	case errorIs(err, storage.ErrUnavailable):
 		return ErrCodeUnavailable, err.Error()
+	case errorIs(err, core.ErrVersionVanished):
+		return ErrCodeVersionVanished, err.Error()
 	default:
 		return ErrCodeOther, err.Error()
 	}
@@ -94,6 +99,8 @@ func DecodeErr(code ErrCode, msg string) error {
 		return core.ErrNoValidVersion
 	case ErrCodeUnavailable:
 		return storage.ErrUnavailable
+	case ErrCodeVersionVanished:
+		return core.ErrVersionVanished
 	default:
 		return &RemoteError{Message: msg}
 	}
