@@ -10,14 +10,14 @@
 //	aft-bench -experiment sharded -json out/  # broadcast vs sharded exchange
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablation, sharded. Output latencies and throughputs are
+// fig9, fig10, ablation, sharded, parallel. Output latencies and throughputs are
 // reported in paper-equivalent units (measured values divided by the time
 // scale).
 //
 // Every run also writes machine-readable results to BENCH_<name>.json in
 // the -json directory ("" disables): the rendered tables plus, for the
-// sharded experiment, the raw per-cell measurements (throughput, p50/p99
-// latency, mean per-node commit-index size, multicast deliveries).
+// sharded and parallel experiments, the raw per-cell measurements
+// (throughput, p50/p99 latency, and per-cell scaling/coalescing detail).
 package main
 
 import (
@@ -33,19 +33,20 @@ import (
 
 // benchResult is the BENCH_<name>.json schema.
 type benchResult struct {
-	Experiment   string                    `json:"experiment"`
-	Scale        float64                   `json:"scale"`
-	Quick        bool                      `json:"quick"`
-	Seed         int64                     `json:"seed"`
-	Payload      int                       `json:"payload"`
-	WallTimeMS   int64                     `json:"wall_time_ms"`
-	Tables       []experiments.Table       `json:"tables"`
-	ShardedCells []experiments.ShardedCell `json:"sharded_cells,omitempty"`
+	Experiment    string                     `json:"experiment"`
+	Scale         float64                    `json:"scale"`
+	Quick         bool                       `json:"quick"`
+	Seed          int64                      `json:"seed"`
+	Payload       int                        `json:"payload"`
+	WallTimeMS    int64                      `json:"wall_time_ms"`
+	Tables        []experiments.Table        `json:"tables"`
+	ShardedCells  []experiments.ShardedCell  `json:"sharded_cells,omitempty"`
+	ParallelCells []experiments.ParallelCell `json:"parallel_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -82,6 +83,7 @@ func main() {
 		{"fig10", one(experiments.Fig10)},
 		{"ablation", one(experiments.Ablation)},
 		{"sharded", one(experiments.Sharded)},
+		{"parallel", one(experiments.Parallel)},
 	}
 
 	selected := map[string]bool{}
@@ -109,16 +111,24 @@ func main() {
 			Seed: *seed, Payload: *payload,
 		}
 		var err error
-		if e.name == "sharded" {
-			// The sharded experiment exposes raw cells; render the table
-			// from them so the run happens once.
+		switch e.name {
+		case "sharded":
+			// The sharded and parallel experiments expose raw cells;
+			// render the table from them so the run happens once.
 			res.ShardedCells, err = experiments.ShardedCells(opts)
 			if err == nil {
 				var t experiments.Table
 				t, err = experiments.ShardedTable(res.ShardedCells)
 				res.Tables = []experiments.Table{t}
 			}
-		} else {
+		case "parallel":
+			res.ParallelCells, err = experiments.ParallelCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.ParallelTable(res.ParallelCells)
+				res.Tables = []experiments.Table{t}
+			}
+		default:
 			res.Tables, err = e.run(opts)
 		}
 		if err != nil {

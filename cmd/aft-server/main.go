@@ -14,14 +14,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
+	"time"
 
 	"aft/aft"
+	"aft/internal/storage"
 )
 
 func main() {
@@ -32,6 +38,7 @@ func main() {
 		lat     = flag.String("latency", "none", "latency mode: none|cloud|cloud-fast")
 		cache   = flag.Bool("cache", true, "enable the read data cache")
 		seed    = flag.Int64("seed", 1, "latency model seed")
+		debug   = flag.String("debug-addr", "", "HTTP address for /debug/pprof/* and /statz (empty disables)")
 	)
 	flag.Parse()
 
@@ -75,11 +82,73 @@ func main() {
 	fmt.Printf("aft-server: node %s serving on %s (store=%s latency=%s)\n",
 		*nodeID, bound, *backend, *lat)
 
+	if *debug != "" {
+		// The pprof import registered its handlers on DefaultServeMux;
+		// /statz joins them so lock-contention and allocation profiles can
+		// be tied to protocol counters in deployments:
+		//
+		//	go tool pprof http://<debug-addr>/debug/pprof/profile
+		//	go tool pprof http://<debug-addr>/debug/pprof/mutex
+		//	curl http://<debug-addr>/statz
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Microsecond))
+		http.HandleFunc("/statz", statzHandler(node))
+		go func() {
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				log.Printf("aft-server: debug endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("aft-server: debug endpoint (pprof, statz) on %s\n", *debug)
+	}
+
+	runServer(srv)
+}
+
+// runServer blocks until an interrupt, then shuts the server down.
+func runServer(srv *aft.Server) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("aft-server: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("aft-server: close: %v", err)
+	}
+}
+
+// statzHandler serves a point-in-time JSON snapshot of the node's protocol
+// counters, the storage engine's operation counters, and the Go runtime's
+// memory/scheduler stats — the numbers a profile needs for context.
+func statzHandler(node *aft.Node) http.HandlerFunc {
+	start := time.Now()
+	return func(w http.ResponseWriter, r *http.Request) {
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		stats := map[string]any{
+			"node_id":        node.ID(),
+			"uptime_seconds": time.Since(start).Seconds(),
+			"node":           node.Metrics().Snapshot(),
+			"active_txns":    node.ActiveTransactions(),
+			"metadata_size":  node.MetadataSize(),
+			"runtime": map[string]any{
+				"goroutines":     runtime.NumGoroutine(),
+				"gomaxprocs":     runtime.GOMAXPROCS(0),
+				"num_cpu":        runtime.NumCPU(),
+				"heap_alloc":     mem.HeapAlloc,
+				"heap_objects":   mem.HeapObjects,
+				"total_alloc":    mem.TotalAlloc,
+				"gc_cycles":      mem.NumGC,
+				"gc_pause_total": time.Duration(mem.PauseTotalNs).String(),
+			},
+		}
+		type storeMetrics interface{ Metrics() *storage.Metrics }
+		if sm, ok := node.Store().(storeMetrics); ok {
+			stats["storage"] = sm.Metrics().Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	}
 }

@@ -14,6 +14,8 @@ import (
 // each one into the Commit Set Cache and key-version index. A node runs
 // this when it starts — including when it replaces a failed node (§6.7) —
 // so that data committed by any node in the deployment is visible to it.
+// Each record locks only its own stripes, so a warm-up can run while the
+// node already serves traffic.
 //
 // Bootstrap also completes the failure-recovery contract of §3.3.1: any
 // transaction whose commit record is found is by construction fully
@@ -30,7 +32,7 @@ func (n *Node) Bootstrap(ctx context.Context) error {
 	if n.cfg.BootstrapLimit > 0 && len(keys) > n.cfg.BootstrapLimit {
 		keys = keys[len(keys)-n.cfg.BootstrapLimit:]
 	}
-	var installed int
+	owns := n.ownership()
 	for _, sk := range keys {
 		payload, err := n.store.Get(ctx, sk)
 		if err != nil {
@@ -43,20 +45,21 @@ func (n *Node) Bootstrap(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("aft: decoding commit record %s: %w", sk, err)
 		}
-		n.mu.Lock()
 		// Sharded mode: warm only the shards this node owns, so warm-up
 		// cost scales with the node's share of the keyspace. Non-owned
 		// metadata stays recoverable on demand (read.go fallback).
-		if !n.ownsAnyLocked(rec) {
-			n.mu.Unlock()
+		if !ownsAny(owns, rec) {
 			continue
 		}
-		if n.installLocked(rec) {
+		ss := n.stripesOf(rec.WriteSet)
+		lockStripes(ss)
+		installed := n.installLocked(rec)
+		unlockStripes(ss)
+		if installed {
+			n.tmu.Lock()
 			n.committedByUUID[rec.UUID] = rec.ID()
-			installed++
+			n.tmu.Unlock()
 		}
-		n.mu.Unlock()
 	}
-	_ = installed
 	return nil
 }

@@ -10,7 +10,26 @@ import (
 // by storage key, with LRU eviction. Because AFT never overwrites a key
 // version in place, cached entries can never be stale — eviction exists
 // purely to bound memory.
+//
+// The cache is sharded by storage-key hash so parallel readers do not
+// serialize on one LRU lock; each shard keeps its own recency list and an
+// equal slice of the capacity.
 type dataCache struct {
+	shards []*cacheShard
+	mask   uint32
+}
+
+// cacheShardCount is the shard count (power of two) for large caches;
+// sized like the metadata stripes to keep reader collisions rare at high
+// core counts. Small caches stay on one shard: per-shard LRU is only a
+// faithful approximation of global LRU when each shard holds many entries,
+// and exact eviction order matters more than lock spread at tiny sizes.
+const (
+	cacheShardCount    = 16
+	cacheShardMinTotal = 256
+)
+
+type cacheShard struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
@@ -22,16 +41,29 @@ type cacheEntry struct {
 	value []byte
 }
 
-// newDataCache returns a cache bounded to capacity entries.
+// newDataCache returns a cache bounded to capacity entries in total.
 func newDataCache(capacity int) *dataCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &dataCache{
-		cap:     capacity,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+	nshards := 1
+	if capacity >= cacheShardMinTotal {
+		nshards = cacheShardCount
 	}
+	perShard := capacity / nshards
+	c := &dataCache{shards: make([]*cacheShard, nshards), mask: uint32(nshards - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:     perShard,
+			entries: make(map[string]*list.Element),
+			order:   list.New(),
+		}
+	}
+	return c
+}
+
+func (c *dataCache) shardFor(storageKey string) *cacheShard {
+	return c.shards[stripeHash(storageKey)&c.mask]
 }
 
 // get returns a copy of the cached value, if present.
@@ -39,43 +71,45 @@ func (c *dataCache) get(storageKey string) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[storageKey]
+	s := c.shardFor(storageKey)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[storageKey]
 	if !ok {
 		return nil, false
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	v := el.Value.(*cacheEntry).value
 	out := make([]byte, len(v))
 	copy(out, v)
 	return out, true
 }
 
-// put inserts a copy of value, evicting the least recently used entry when
-// full.
+// put inserts a copy of value, evicting the shard's least recently used
+// entry when full.
 func (c *dataCache) put(storageKey string, value []byte) {
 	if c == nil {
 		return
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[storageKey]; ok {
+	s := c.shardFor(storageKey)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[storageKey]; ok {
 		el.Value.(*cacheEntry).value = v
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	for len(c.entries) >= c.cap {
-		back := c.order.Back()
+	for len(s.entries) >= s.cap {
+		back := s.order.Back()
 		if back == nil {
 			break
 		}
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*cacheEntry).key)
 	}
-	c.entries[storageKey] = c.order.PushFront(&cacheEntry{key: storageKey, value: v})
+	s.entries[storageKey] = s.order.PushFront(&cacheEntry{key: storageKey, value: v})
 }
 
 // evict removes storageKey if cached.
@@ -83,11 +117,12 @@ func (c *dataCache) evict(storageKey string) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[storageKey]; ok {
-		c.order.Remove(el)
-		delete(c.entries, storageKey)
+	s := c.shardFor(storageKey)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[storageKey]; ok {
+		s.order.Remove(el)
+		delete(s.entries, storageKey)
 	}
 }
 
@@ -96,7 +131,11 @@ func (c *dataCache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
 }

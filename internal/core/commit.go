@@ -23,23 +23,61 @@ import (
 //     visible to other requests, by installing the record into the local
 //     metadata cache.
 //
+// On engines with a batch-write primitive, concurrently committing
+// transactions hand steps 1 and 2 to the group-commit pipeline
+// (groupcommit.go), which coalesces their data and record writes into
+// shared BatchPut round trips while preserving the step ordering for every
+// transaction in the flush. Engines without batching (or nodes with
+// Config.DisableGroupCommit) take the direct path below.
+//
 // A failure before step 2 completes leaves no visible effects: the data
 // keys are unreferenced and the transaction will be retried. Commit is
 // idempotent per transaction ID: retrying a commit that already succeeded
 // returns the original commit ID (§3.1 exactly-once semantics).
 func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
-	n.mu.Lock()
-	t, ok := n.txns[txid]
-	if !ok {
-		if id, done := n.committedByUUID[txid]; done {
-			n.mu.Unlock()
-			return id, nil // idempotent retry
+	n.tmu.RLock()
+	t, live := n.txns[txid]
+	prevID, finished := n.committedByUUID[txid]
+	n.tmu.RUnlock()
+	if !live {
+		if finished {
+			return prevID, nil // idempotent retry
 		}
-		n.mu.Unlock()
 		return idgen.Null, ErrTxnNotFound
 	}
-	// Snapshot the write buffer; the transaction stays live (and its
-	// pins held) until the commit is durable.
+
+	t.mu.Lock()
+	for t.committing != nil {
+		// Another commit attempt for this transaction is mid-flight (a
+		// retried client racing its original, §3.3.1): wait for its
+		// outcome rather than double-committing under a second ID. On
+		// success the loop exits via t.done and the idempotent return
+		// below; on failure this attempt claims the transaction itself.
+		ch := t.committing
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return idgen.Null, ctx.Err()
+		}
+		t.mu.Lock()
+	}
+	if t.done {
+		t.mu.Unlock()
+		// Raced with a concurrent finish: classify against the
+		// idempotency table.
+		n.tmu.RLock()
+		id, committed := n.committedByUUID[txid]
+		n.tmu.RUnlock()
+		if committed {
+			return id, nil
+		}
+		return idgen.Null, ErrTxnNotFound
+	}
+	// Claim the transaction for this attempt, then snapshot the write
+	// buffer; the transaction stays live (and its pins held) until the
+	// commit is durable.
+	t.committing = make(chan struct{})
 	writes := make(map[string][]byte, len(t.writes))
 	for k, v := range t.writes {
 		writes[k] = v
@@ -52,44 +90,42 @@ func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, er
 	}
 	sort.Strings(spilled)
 	spillDir := t.spillDir()
-	n.mu.Unlock()
+	t.mu.Unlock()
 
 	// Read-only transactions have nothing to persist: assign an ID and
 	// finish. No commit record is needed because no data must be made
 	// visible.
 	if len(writes) == 0 && len(spilled) == 0 {
-		id := idgen.ID{Timestamp: n.gen.NewID().Timestamp, UUID: txid}
-		n.finishCommit(txid, id, nil)
+		id := idgen.ID{Timestamp: n.gen.NewTimestamp(), UUID: txid}
+		n.finishCommit(t, txid, id, nil, false)
 		return id, nil
 	}
 
 	// The commit timestamp is assigned now (§3.1: "at commit time").
-	id := idgen.ID{Timestamp: n.gen.NewID().Timestamp, UUID: txid}
+	id := idgen.ID{Timestamp: n.gen.NewTimestamp(), UUID: txid}
 
-	// Step 1: persist all buffered key versions. The packed layout (§8)
-	// writes one object for the whole write set; the default layout
-	// writes one unique key per version. Spilled transactions always use
-	// the default layout (their payloads are already in storage).
+	// Step 1 payload: the packed layout (§8) writes one object for the
+	// whole write set; the default layout writes one unique key per
+	// version. Spilled transactions always use the default layout (their
+	// payloads are already in storage).
 	packed := n.cfg.PackedLayout && len(spilled) == 0 && len(writes) > 0
+	var packedObj []byte
+	items := make(map[string][]byte, len(writes))
 	if packed {
 		obj, err := records.Pack(writes)
 		if err != nil {
+			n.abandonCommit(t)
 			return idgen.Null, fmt.Errorf("aft: packing write set: %w", err)
 		}
-		if err := n.store.Put(ctx, records.PackKey(id), obj); err != nil {
-			return idgen.Null, fmt.Errorf("aft: persisting packed write set: %w", err)
-		}
+		packedObj = obj
+		items[records.PackKey(id)] = obj
 	} else {
-		items := make(map[string][]byte, len(writes))
 		for k, v := range writes {
 			items[records.DataKey(k, id)] = v
 		}
-		if err := n.writeVersions(ctx, items); err != nil {
-			return idgen.Null, fmt.Errorf("aft: persisting write set: %w", err)
-		}
 	}
 
-	// Step 2: persist the commit record.
+	// Step 2 payload: the commit record.
 	writeSet := make([]string, 0, len(writes)+len(spilled))
 	for k := range writes {
 		writeSet = append(writeSet, k)
@@ -104,42 +140,87 @@ func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, er
 	}
 	payload, err := rec.Marshal()
 	if err != nil {
+		n.abandonCommit(t)
 		return idgen.Null, fmt.Errorf("aft: encoding commit record: %w", err)
 	}
-	if err := n.store.Put(ctx, records.CommitKey(id), payload); err != nil {
-		return idgen.Null, fmt.Errorf("aft: persisting commit record: %w", err)
-	}
 
-	// Step 3: acknowledge and make visible.
-	n.finishCommit(txid, id, rec)
+	if !n.cfg.DisableGroupCommit && n.store.Capabilities().BatchWrites {
+		// Group pipeline: steps 1 and 2 are flushed together with other
+		// in-flight commits; the flush also installs the record and
+		// queues the multicast announcement (step 3 visibility).
+		req := &commitReq{items: items, recKey: records.CommitKey(id), recVal: payload, rec: rec}
+		if err := n.groupCommit(ctx, req); err != nil {
+			n.abandonCommit(t)
+			return idgen.Null, err
+		}
+		n.finishCommit(t, txid, id, rec, true)
+	} else {
+		// Direct path: step 1.
+		if err := n.writeVersions(ctx, items); err != nil {
+			n.abandonCommit(t)
+			return idgen.Null, fmt.Errorf("aft: persisting write set: %w", err)
+		}
+		// Step 2.
+		if err := n.store.Put(ctx, records.CommitKey(id), payload); err != nil {
+			n.abandonCommit(t)
+			return idgen.Null, fmt.Errorf("aft: persisting commit record: %w", err)
+		}
+		// Step 3: acknowledge and make visible.
+		n.finishCommit(t, txid, id, rec, false)
+	}
 
 	// Warm the data cache with the values just written — they are the
-	// newest versions and likely to be read soon.
-	if n.data != nil && !packed {
-		for k, v := range writes {
-			n.data.put(records.DataKey(k, id), v)
+	// newest versions and likely to be read soon. The packed layout
+	// caches the whole packed object under its pack key, exactly what a
+	// subsequent read of any of its keys will fetch.
+	if n.data != nil {
+		if packed {
+			n.data.put(records.PackKey(id), packedObj)
+		} else {
+			for k, v := range writes {
+				n.data.put(records.DataKey(k, id), v)
+			}
 		}
 	}
-	n.metrics.add(func(m *NodeMetrics) { m.Committed++ })
+	n.metrics.Committed.Add(1)
 	return id, nil
 }
 
-// finishCommit retires the transaction state and, when rec is
-// non-nil, installs the commit into the local metadata cache and multicast
-// queue.
-func (n *Node) finishCommit(txid string, id idgen.ID, rec *records.CommitRecord) {
-	n.mu.Lock()
-	if t, ok := n.txns[txid]; ok {
-		n.unpinLocked(t)
-		delete(n.txns, txid)
-	}
-	n.committedByUUID[txid] = id
-	if rec != nil {
+// finishCommit retires the transaction state and, when rec is non-nil and
+// not already installed by the group-commit flush, installs the commit
+// into the local metadata cache and multicast queue.
+func (n *Node) finishCommit(t *txnState, txid string, id idgen.ID, rec *records.CommitRecord, installed bool) {
+	if rec != nil && !installed {
+		ss := n.stripesOf(rec.WriteSet)
+		lockStripes(ss)
 		n.installLocked(rec)
+		unlockStripes(ss)
+		n.recMu.Lock()
 		n.recent = append(n.recent, rec)
+		n.recMu.Unlock()
 	}
-	n.mu.Unlock()
+	n.tmu.Lock()
+	n.committedByUUID[txid] = id
+	delete(n.txns, txid)
+	n.tmu.Unlock()
+	t.mu.Lock()
+	t.done = true
+	if t.committing != nil {
+		close(t.committing)
+		t.committing = nil
+	}
+	n.unpin(t)
+	t.mu.Unlock()
 	n.release()
+}
+
+// abandonCommit releases a failed attempt's claim on the transaction; it
+// stays live (pins held, state intact) for a retry.
+func (n *Node) abandonCommit(t *txnState) {
+	t.mu.Lock()
+	close(t.committing)
+	t.committing = nil
+	t.mu.Unlock()
 }
 
 // writeVersions persists items using the engine's batch primitive when

@@ -50,10 +50,14 @@ func (vi versionIndex) latest(key string) (idgen.ID, bool) {
 }
 
 // atLeast returns key's versions with ID >= lower, in ascending order. The
-// returned slice aliases the index and must not be mutated; callers use it
-// under the node lock.
+// result is a copy: under striped locking a slice aliasing the index would
+// be a latent data race the moment a caller held it past the stripe lock
+// (insert shifts the shared backing array in place).
 func (vi versionIndex) atLeast(key string, lower idgen.ID) []idgen.ID {
 	versions := vi[key]
 	i := sort.Search(len(versions), func(i int) bool { return !versions[i].Less(lower) })
-	return versions[i:]
+	if i == len(versions) {
+		return nil
+	}
+	return append([]idgen.ID(nil), versions[i:]...)
 }

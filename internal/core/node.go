@@ -17,6 +17,12 @@
 //     write;
 //   - repeatable read: re-reading a key returns the same version absent an
 //     intervening self-write.
+//
+// Concurrency model: the metadata cache is partitioned across key-hash
+// lock stripes (stripe.go) so reads, commits, merges, and GC sweeps on
+// disjoint keys proceed in parallel; a small RWMutex-guarded node-level
+// table holds transaction lifecycle state; and concurrent commits coalesce
+// their storage writes through a group-commit pipeline (groupcommit.go).
 package core
 
 import (
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
@@ -90,7 +97,28 @@ type Config struct {
 	// packed object and extract their key. Best for engines with high
 	// per-request latency and no batch primitive (S3).
 	PackedLayout bool
+	// MetadataStripes is the lock-stripe count of the metadata core,
+	// rounded up to a power of two; 0 defaults to 64. Setting 1 collapses
+	// the core to a single lock — the pre-striping behavior, kept as the
+	// measurable baseline for the parallel benchmarks.
+	MetadataStripes int
+	// DisableGroupCommit makes every commit issue its own storage writes
+	// instead of coalescing concurrent commits into shared BatchPut round
+	// trips. Group commit only engages on engines whose Capabilities
+	// report BatchWrites, so engines without a batch primitive always
+	// behave as if this were set.
+	DisableGroupCommit bool
+	// GroupCommitFlushers bounds how many group-commit flushes run
+	// concurrently; 0 defaults to max(8, MaxConcurrent) so the pipeline
+	// never caps storage concurrency below the node's configured client
+	// concurrency. More flushers favor latency-bound throughput (smaller
+	// batches, more storage parallelism); fewer favor coalescing (fewer,
+	// larger batch round trips — the paper's §6.3/§6.4 API-call economy).
+	GroupCommitFlushers int
 }
+
+// ownsFunc is a shard-ownership filter; see SetOwnership.
+type ownsFunc func(key string) bool
 
 // Node is a single AFT replica.
 type Node struct {
@@ -100,82 +128,99 @@ type Node struct {
 	clock idgen.Clock
 	sem   chan struct{} // nil when MaxConcurrent == 0
 
-	mu sync.Mutex
-	// commits is the Commit Set Cache: all committed transactions this
-	// node knows of (its own plus those learned via multicast, the fault
-	// manager, or bootstrap).
-	commits map[idgen.ID]*records.CommitRecord
-	// index maps each user key to its known committed versions in
-	// ascending ID order.
-	index versionIndex
-	// readers counts active local transactions that have read from a
-	// committed transaction's write set; the local GC must not delete a
-	// transaction's metadata while pinned (§5.1).
-	readers map[idgen.ID]int
-	// txns holds in-flight transactions keyed by UUID.
-	txns map[string]*txnState
-	// committedByUUID maps a finished transaction's UUID to its commit
-	// ID, making Commit idempotent under client retries (§3.1).
-	committedByUUID map[string]idgen.ID
-	// recent accumulates commit records since the last Drain, feeding
-	// the multicast protocol (§4) and the fault manager stream (§4.2).
-	recent []*records.CommitRecord
-	// locallyDeleted records transactions whose metadata the local GC
-	// removed, to answer the global GC's queries (§5.2).
-	locallyDeleted map[idgen.ID]*records.CommitRecord
+	// stripes is the lock-striped metadata core: Commit Set Cache,
+	// key-version index, and locally-deleted markers, partitioned by key
+	// hash (stripe.go). metaCount tracks the number of distinct cached
+	// commit records (each record is registered in every stripe its
+	// write set touches).
+	stripes    []*stripe
+	stripeMask int
+	metaCount  atomic.Int64
+
 	// owns filters metadata ownership in sharded deployments: when
 	// non-nil, this node caches commit metadata only for transactions
 	// touching at least one key it owns. Nil (the default, and all
 	// non-sharded deployments) means the node owns the whole keyspace.
 	// Ownership never affects which transactions the node can *serve*:
 	// reads of non-owned keys fall back to the Transaction Commit Set in
-	// storage (read.go).
-	owns func(key string) bool
+	// storage (read.go). Stored atomically so the hot path loads it
+	// without locking.
+	owns atomic.Pointer[ownsFunc]
+
+	// tmu guards the transaction lifecycle table: in-flight transactions
+	// by UUID, plus the finished-transaction map that makes Commit
+	// idempotent under client retries (§3.1). Per-transaction session
+	// state is guarded by each txnState's own mutex.
+	tmu             sync.RWMutex
+	txns            map[string]*txnState
+	committedByUUID map[string]idgen.ID
+
+	// pinMu guards readers: the count of active local transactions that
+	// have read from a committed transaction's write set; the local GC
+	// must not delete a transaction's metadata while pinned (§5.1).
+	pinMu   sync.Mutex
+	readers map[idgen.ID]int
+
+	// recMu guards recent: commit records accumulated since the last
+	// Drain, feeding the multicast protocol (§4) and the fault manager
+	// stream (§4.2). The group-commit pipeline appends a whole flush in
+	// one acquisition.
+	recMu  sync.Mutex
+	recent []*records.CommitRecord
+
+	// committer coalesces concurrent commits' storage writes
+	// (groupcommit.go); flusherLimit caps its concurrent flushes.
+	committer    groupCommitter
+	flusherLimit int
 
 	data *dataCache // nil when disabled
 
 	metrics NodeMetrics
 }
 
-// NodeMetrics exposes node-level counters for the evaluation harness.
+// NodeMetrics exposes node-level counters for the evaluation harness. All
+// fields are updated atomically — the counters sit on every hot path and
+// must not introduce a shared lock.
 type NodeMetrics struct {
-	mu             sync.Mutex
-	Started        int64
-	Committed      int64
-	Aborted        int64
-	Reads          int64
-	CacheHits      int64
-	Spills         int64
-	MergedRemote   int64
-	PrunedMerges   int64
-	SweptMetadata  int64
-	PrunedNonOwned int64 // records dropped or swept for non-owned shards
-	RemoteFetches  int64 // reads that recovered metadata from storage
-}
-
-func (m *NodeMetrics) add(f func(*NodeMetrics)) {
-	m.mu.Lock()
-	f(m)
-	m.mu.Unlock()
+	Started        atomic.Int64
+	Committed      atomic.Int64
+	Aborted        atomic.Int64
+	Reads          atomic.Int64
+	CacheHits      atomic.Int64
+	Spills         atomic.Int64
+	MergedRemote   atomic.Int64
+	PrunedMerges   atomic.Int64
+	SweptMetadata  atomic.Int64
+	PrunedNonOwned atomic.Int64 // records dropped or swept for non-owned shards
+	RemoteFetches  atomic.Int64 // reads that recovered metadata from storage
+	GroupFlushes   atomic.Int64 // group-commit flush rounds
+	GroupedCommits atomic.Int64 // commits that went through the group pipeline
 }
 
 // NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
 type NodeMetricsSnapshot struct {
 	Started, Committed, Aborted, Reads, CacheHits, Spills,
 	MergedRemote, PrunedMerges, SweptMetadata,
-	PrunedNonOwned, RemoteFetches int64
+	PrunedNonOwned, RemoteFetches,
+	GroupFlushes, GroupedCommits int64
 }
 
 // Snapshot returns a copy of the counters.
 func (m *NodeMetrics) Snapshot() NodeMetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return NodeMetricsSnapshot{
-		Started: m.Started, Committed: m.Committed, Aborted: m.Aborted,
-		Reads: m.Reads, CacheHits: m.CacheHits, Spills: m.Spills,
-		MergedRemote: m.MergedRemote, PrunedMerges: m.PrunedMerges,
-		SweptMetadata: m.SweptMetadata, PrunedNonOwned: m.PrunedNonOwned,
-		RemoteFetches: m.RemoteFetches,
+		Started:        m.Started.Load(),
+		Committed:      m.Committed.Load(),
+		Aborted:        m.Aborted.Load(),
+		Reads:          m.Reads.Load(),
+		CacheHits:      m.CacheHits.Load(),
+		Spills:         m.Spills.Load(),
+		MergedRemote:   m.MergedRemote.Load(),
+		PrunedMerges:   m.PrunedMerges.Load(),
+		SweptMetadata:  m.SweptMetadata.Load(),
+		PrunedNonOwned: m.PrunedNonOwned.Load(),
+		RemoteFetches:  m.RemoteFetches.Load(),
+		GroupFlushes:   m.GroupFlushes.Load(),
+		GroupedCommits: m.GroupedCommits.Load(),
 	}
 }
 
@@ -189,18 +234,42 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.NodeID == "" {
 		return nil, fmt.Errorf("core: Config.NodeID is required")
 	}
+	nstripes := cfg.MetadataStripes
+	if nstripes <= 0 {
+		nstripes = defaultStripes
+	}
+	pow := 1
+	for pow < nstripes {
+		pow <<= 1
+	}
 	clock := cfg.Clock
 	n := &Node{
 		cfg:             cfg,
 		store:           cfg.Store,
 		gen:             idgen.NewGenerator(clock, cfg.NodeID),
 		clock:           clock,
-		commits:         make(map[idgen.ID]*records.CommitRecord),
-		index:           make(versionIndex),
-		readers:         make(map[idgen.ID]int),
+		stripes:         make([]*stripe, pow),
+		stripeMask:      pow - 1,
 		txns:            make(map[string]*txnState),
 		committedByUUID: make(map[string]idgen.ID),
-		locallyDeleted:  make(map[idgen.ID]*records.CommitRecord),
+		readers:         make(map[idgen.ID]int),
+	}
+	for i := range n.stripes {
+		n.stripes[i] = newStripe()
+	}
+	n.flusherLimit = cfg.GroupCommitFlushers
+	if n.flusherLimit <= 0 {
+		// Not tied to GOMAXPROCS: on latency-bound engines flushers are
+		// parked in storage waits, not burning cores, and too few of
+		// them would serialize commits behind storage round trips. A node
+		// sized for MaxConcurrent clients must never let group commit
+		// cap its storage concurrency below that (it would throttle the
+		// §6.5 throughput curves); under the default the pipeline only
+		// coalesces what queues up naturally behind busy flushers.
+		n.flusherLimit = defaultFlushers
+		if cfg.MaxConcurrent > n.flusherLimit {
+			n.flusherLimit = cfg.MaxConcurrent
+		}
 	}
 	if cfg.EnableDataCache {
 		entries := cfg.DataCacheEntries
@@ -220,24 +289,36 @@ func (n *Node) ID() string { return n.cfg.NodeID }
 
 // SetOwnership installs the node's shard-ownership filter (sharded
 // deployments). owns must report whether this node currently owns the
-// given user key's shard; it is consulted under the node lock and must be
-// fast and non-blocking (ring lookups qualify). Passing nil restores
+// given user key's shard; it is consulted on hot paths and must be fast
+// and non-blocking (ring lookups qualify). Passing nil restores
 // whole-keyspace ownership. The filter scopes what metadata the node
 // *caches* — merges, bootstrap, and GC sweeps — never what it can serve.
 func (n *Node) SetOwnership(owns func(key string) bool) {
-	n.mu.Lock()
-	n.owns = owns
-	n.mu.Unlock()
+	if owns == nil {
+		n.owns.Store(nil)
+		return
+	}
+	f := ownsFunc(owns)
+	n.owns.Store(&f)
 }
 
-// ownsAnyLocked reports whether the node owns at least one key of rec's
-// write set (true when no filter is installed). Callers hold n.mu.
-func (n *Node) ownsAnyLocked(rec *records.CommitRecord) bool {
-	if n.owns == nil {
+// ownership returns the current shard-ownership filter (nil when the node
+// owns the whole keyspace).
+func (n *Node) ownership() ownsFunc {
+	if p := n.owns.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ownsAny reports whether the node owns at least one key of rec's write
+// set under filter owns (true when owns is nil).
+func ownsAny(owns ownsFunc, rec *records.CommitRecord) bool {
+	if owns == nil {
 		return true
 	}
 	for _, k := range rec.WriteSet {
-		if n.owns(k) {
+		if owns(k) {
 			return true
 		}
 	}
@@ -269,29 +350,14 @@ func (n *Node) release() {
 	}
 }
 
-// install makes a committed transaction visible locally: it enters the
-// Commit Set Cache and its write set is indexed. Callers hold n.mu.
-func (n *Node) installLocked(rec *records.CommitRecord) bool {
-	id := rec.ID()
-	if _, ok := n.commits[id]; ok {
-		return false
-	}
-	if _, ok := n.locallyDeleted[id]; ok {
-		return false // already GC'd locally; do not resurrect
-	}
-	n.commits[id] = rec
-	for _, k := range rec.WriteSet {
-		n.index.insert(k, id)
-	}
-	return true
-}
-
 // MergeRemoteCommits installs commit records learned from peers (multicast,
 // §4) or from the fault manager (§4.2). Records superseded by local state
-// are dropped without installation (§4.1).
+// are dropped without installation (§4.1). Each record locks only its own
+// stripes, so merges proceed concurrently with reads and commits on other
+// keys.
 func (n *Node) MergeRemoteCommits(recs []*records.CommitRecord) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	owns := n.ownership()
+	var merged, prunedMerges, prunedNonOwned int64
 	for _, rec := range recs {
 		if rec == nil {
 			continue
@@ -300,37 +366,43 @@ func (n *Node) MergeRemoteCommits(recs []*records.CommitRecord) {
 		// not cached here — its owners cache it, and reads can always
 		// recover it from storage. Dropped records are NOT marked
 		// locally-deleted: the global GC consults only shard owners.
-		if !n.ownsAnyLocked(rec) {
-			n.metrics.add(func(m *NodeMetrics) { m.PrunedNonOwned++ })
+		if !ownsAny(owns, rec) {
+			prunedNonOwned++
 			continue
 		}
-		if n.supersededForNodeLocked(rec) {
+		ss := n.stripesOf(rec.WriteSet)
+		lockStripes(ss)
+		if n.supersededForNodeLocked(rec, owns) {
 			// A record pruned at merge time was never cached here, so
 			// from the global GC's perspective this node has already
 			// "locally deleted" it (§5.2 unanimity check). The entry is
 			// cleared by ForgetDeleted once the global GC acts.
-			if _, known := n.commits[rec.ID()]; !known {
-				n.locallyDeleted[rec.ID()] = rec
+			if _, known := ss[0].commits[rec.ID()]; !known {
+				for _, s := range ss {
+					s.locallyDeleted[rec.ID()] = rec
+				}
 			}
-			n.metrics.add(func(m *NodeMetrics) { m.PrunedMerges++ })
-			continue
+			prunedMerges++
+		} else if n.installLocked(rec) {
+			merged++
 		}
-		if n.installLocked(rec) {
-			n.metrics.add(func(m *NodeMetrics) { m.MergedRemote++ })
-		}
+		unlockStripes(ss)
 	}
+	n.metrics.MergedRemote.Add(merged)
+	n.metrics.PrunedMerges.Add(prunedMerges)
+	n.metrics.PrunedNonOwned.Add(prunedNonOwned)
 }
 
 // supersededLocked implements Algorithm 2: a transaction is superseded when
 // every key it wrote has a committed version newer than the transaction's.
-// Callers hold n.mu.
+// The caller must hold (at least read) locks covering all of rec's stripes.
 func (n *Node) supersededLocked(rec *records.CommitRecord) bool {
 	id := rec.ID()
 	if len(rec.WriteSet) == 0 {
 		return true
 	}
 	for _, k := range rec.WriteSet {
-		latest, ok := n.index.latest(k)
+		latest, ok := n.stripeFor(k).index.latest(k)
 		if !ok || !id.Less(latest) {
 			return false
 		}
@@ -341,8 +413,9 @@ func (n *Node) supersededLocked(rec *records.CommitRecord) bool {
 // IsSuperseded reports whether rec is superseded by this node's local state
 // (Algorithm 2).
 func (n *Node) IsSuperseded(rec *records.CommitRecord) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	ss := n.stripesOf(rec.WriteSet)
+	rlockStripes(ss)
+	defer runlockStripes(ss)
 	return n.supersededLocked(rec)
 }
 
@@ -352,19 +425,19 @@ func (n *Node) IsSuperseded(rec *records.CommitRecord) bool {
 // not responsible for a cross-shard record's other keys — their owners
 // are — and requiring full supersedence would let a record whose other
 // keys' updates were never routed here pin the cache (and its Caches GC
-// vote) forever. Callers hold n.mu.
-func (n *Node) supersededForNodeLocked(rec *records.CommitRecord) bool {
-	if n.owns == nil {
+// vote) forever. The caller must hold locks covering all of rec's stripes.
+func (n *Node) supersededForNodeLocked(rec *records.CommitRecord, owns ownsFunc) bool {
+	if owns == nil {
 		return n.supersededLocked(rec)
 	}
 	id := rec.ID()
 	owned := 0
 	for _, k := range rec.WriteSet {
-		if !n.owns(k) {
+		if !owns(k) {
 			continue
 		}
 		owned++
-		latest, ok := n.index.latest(k)
+		latest, ok := n.stripeFor(k).index.latest(k)
 		if !ok || !id.Less(latest) {
 			return false
 		}
@@ -377,20 +450,19 @@ func (n *Node) supersededForNodeLocked(rec *records.CommitRecord) bool {
 // broadcasting to peers (§4.1) but forwards the full set to the fault
 // manager (§4.2).
 func (n *Node) Drain() []*records.CommitRecord {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.recMu.Lock()
 	out := n.recent
 	n.recent = nil
+	n.recMu.Unlock()
 	return out
 }
 
 // KnownCommits returns a snapshot of the Commit Set Cache in ascending ID
 // order.
 func (n *Node) KnownCommits() []*records.CommitRecord {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]*records.CommitRecord, 0, len(n.commits))
-	for _, rec := range n.commits {
+	byID := n.snapshotRecords()
+	out := make([]*records.CommitRecord, 0, len(byID))
+	for _, rec := range byID {
 		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID().Less(out[j].ID()) })
@@ -400,16 +472,15 @@ func (n *Node) KnownCommits() []*records.CommitRecord {
 // MetadataSize returns the number of cached commit records (the quantity
 // the local GC bounds, §5.1).
 func (n *Node) MetadataSize() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.commits)
+	return int(n.metaCount.Load())
 }
 
 // VersionsOf returns the committed versions of key known locally, ascending.
 func (n *Node) VersionsOf(key string) []idgen.ID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return append([]idgen.ID(nil), n.index[key]...)
+	s := n.stripeFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]idgen.ID(nil), s.index[key]...)
 }
 
 // SweepLocalMetadata runs one pass of the local metadata GC (§5.1): for
@@ -420,6 +491,12 @@ func (n *Node) VersionsOf(key string) []idgen.ID {
 // for the global GC (§5.2). At most limit transactions are removed per
 // pass (0 means unlimited). It returns the removed transaction IDs.
 //
+// The sweep locks one record's stripes at a time: candidates come from a
+// lock-free-ish snapshot and every check (presence, reader pins,
+// supersedence) is re-run under the record's write locks before removal,
+// so concurrent reads and commits on other stripes never stall behind a
+// sweep.
+//
 // In sharded mode the sweep additionally evicts transactions touching no
 // owned key — typically this node's own commits to non-owned shards,
 // already handed to their owners by the multicast round. These need not
@@ -427,36 +504,44 @@ func (n *Node) VersionsOf(key string) []idgen.ID {
 // retains the record), and they are NOT marked locally-deleted, because
 // the global GC consults only shard owners for deletion votes.
 func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ids := make([]idgen.ID, 0, len(n.commits))
-	for id := range n.commits {
+	owns := n.ownership()
+	byID := n.snapshotRecords()
+	ids := make([]idgen.ID, 0, len(byID))
+	for id := range byID {
 		ids = append(ids, id)
 	}
 	// Oldest first: mitigates the §5.2.1 missing-version pitfall.
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	var removed []idgen.ID
 	var sweptOwned, sweptNonOwned int64
+	var forgetUUIDs []string
 	for _, id := range ids {
 		if limit > 0 && len(removed) >= limit {
 			break
 		}
-		rec := n.commits[id]
-		if n.readers[id] > 0 {
+		rec := byID[id]
+		ss := n.stripesOf(rec.WriteSet)
+		lockStripes(ss)
+		if _, still := ss[0].commits[id]; !still {
+			unlockStripes(ss)
+			continue // removed concurrently since the snapshot
+		}
+		n.pinMu.Lock()
+		pinned := n.readers[id] > 0
+		n.pinMu.Unlock()
+		if pinned {
+			unlockStripes(ss)
 			continue // pinned by an active reader (§5.1)
 		}
-		owned := n.ownsAnyLocked(rec)
-		if owned && !n.supersededForNodeLocked(rec) {
+		owned := ownsAny(owns, rec)
+		if owned && !n.supersededForNodeLocked(rec, owns) {
+			unlockStripes(ss)
 			continue
 		}
-		delete(n.commits, id)
-		for _, k := range rec.WriteSet {
-			n.index.remove(k, id)
-			n.data.evict(rec.StorageKeyFor(k))
-		}
+		n.removeLocked(rec, ss, owned)
+		unlockStripes(ss)
 		if owned {
-			delete(n.committedByUUID, rec.UUID)
-			n.locallyDeleted[id] = rec
+			forgetUUIDs = append(forgetUUIDs, rec.UUID)
 			sweptOwned++
 		} else {
 			// Keep the commit-idempotency marker: a non-owned sweep can
@@ -470,12 +555,15 @@ func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
 		}
 		removed = append(removed, id)
 	}
-	if len(removed) > 0 {
-		n.metrics.add(func(m *NodeMetrics) {
-			m.SweptMetadata += sweptOwned
-			m.PrunedNonOwned += sweptNonOwned
-		})
+	if len(forgetUUIDs) > 0 {
+		n.tmu.Lock()
+		for _, uuid := range forgetUUIDs {
+			delete(n.committedByUUID, uuid)
+		}
+		n.tmu.Unlock()
 	}
+	n.metrics.SweptMetadata.Add(sweptOwned)
+	n.metrics.PrunedNonOwned.Add(sweptNonOwned)
 	return removed
 }
 
@@ -486,12 +574,21 @@ func (n *Node) SweepLocalMetadata(limit int) []idgen.ID {
 // forever — "not cached" is exactly the §5.2 condition, since reads served
 // from the storage fallback are covered by the ErrVersionVanished retry.
 func (n *Node) Caches(ids []idgen.ID) map[idgen.ID]bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := make(map[idgen.ID]bool, len(ids))
 	for _, id := range ids {
-		_, ok := n.commits[id]
-		out[id] = ok
+		out[id] = false
+	}
+	// One pass over the stripes, probing every id under each single lock
+	// hold — the global GC queries whole candidate lists, and per-id
+	// stripe scans would multiply lock traffic by the stripe count.
+	for _, s := range n.stripes {
+		s.mu.RLock()
+		for _, id := range ids {
+			if !out[id] {
+				_, out[id] = s.commits[id]
+			}
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -500,12 +597,18 @@ func (n *Node) Caches(ids []idgen.ID) map[idgen.ID]bool {
 // the queried transactions (§5.2: the global GC deletes data only once all
 // nodes have).
 func (n *Node) LocallyDeleted(ids []idgen.ID) map[idgen.ID]bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := make(map[idgen.ID]bool, len(ids))
 	for _, id := range ids {
-		_, ok := n.locallyDeleted[id]
-		out[id] = ok
+		out[id] = false
+	}
+	for _, s := range n.stripes {
+		s.mu.RLock()
+		for _, id := range ids {
+			if !out[id] {
+				_, out[id] = s.locallyDeleted[id]
+			}
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -514,17 +617,23 @@ func (n *Node) LocallyDeleted(ids []idgen.ID) map[idgen.ID]bool {
 // commit-idempotency markers — after the global GC has removed the
 // transactions' data from storage.
 func (n *Node) ForgetDeleted(ids []idgen.ID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	for _, s := range n.stripes {
+		s.mu.Lock()
+		for _, id := range ids {
+			delete(s.locallyDeleted, id)
+		}
+		s.mu.Unlock()
+	}
+	n.tmu.Lock()
 	for _, id := range ids {
-		delete(n.locallyDeleted, id)
 		delete(n.committedByUUID, id.UUID)
 	}
+	n.tmu.Unlock()
 }
 
 // ActiveTransactions returns the number of in-flight transactions.
 func (n *Node) ActiveTransactions() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.tmu.RLock()
+	defer n.tmu.RUnlock()
 	return len(n.txns)
 }

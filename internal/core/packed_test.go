@@ -114,8 +114,8 @@ func TestPackedWithDataCache(t *testing.T) {
 	ctx := context.Background()
 	commitTxnOn(t, n, map[string]string{"a": "1", "b": "2"})
 	gets0 := store.Metrics().Gets.Load()
-	// First read fetches the packed object; the second key is served from
-	// the cached object.
+	// The commit warmed the cache with the packed object, so both reads
+	// are served without touching storage.
 	reader, _ := n.StartTransaction(ctx)
 	if _, err := n.Get(ctx, reader, "a"); err != nil {
 		t.Fatal(err)
@@ -123,8 +123,11 @@ func TestPackedWithDataCache(t *testing.T) {
 	if _, err := n.Get(ctx, reader, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if got := store.Metrics().Gets.Load() - gets0; got != 1 {
-		t.Fatalf("storage gets = %d, want 1 (packed object cached)", got)
+	if got := store.Metrics().Gets.Load() - gets0; got != 0 {
+		t.Fatalf("storage gets = %d, want 0 (packed object cached at commit)", got)
+	}
+	if hits := n.Metrics().Snapshot().CacheHits; hits != 2 {
+		t.Fatalf("cache hits = %d, want 2", hits)
 	}
 }
 

@@ -1,0 +1,614 @@
+package core
+
+// parallel_test.go stresses the striped metadata core and the group-commit
+// pipeline under -race: concurrent commits, reads, multicast merges, and
+// GC sweeps on shared keys, checking the §3.2 guarantees hold without the
+// old global node lock.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aft/internal/idgen"
+	"aft/internal/storage"
+	"aft/internal/storage/dynamosim"
+)
+
+// TestStripeCountRounding pins the power-of-two normalization.
+func TestStripeCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, defaultStripes}, {1, 1}, {2, 2}, {5, 8}, {64, 64}, {100, 128},
+	} {
+		n, err := NewNode(Config{NodeID: "s", Store: dynamosim.New(dynamosim.Options{}), MetadataStripes: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(n.stripes) != tc.want {
+			t.Fatalf("MetadataStripes %d: %d stripes, want %d", tc.in, len(n.stripes), tc.want)
+		}
+	}
+}
+
+// TestParallelCommitReadMergeSweep hammers one node with concurrent
+// committers, read-atomicity checkers, a multicast merger feeding records
+// from a second node, and a metadata sweeper — all on overlapping keys.
+// Committers write a two-key pair atomically with identical values; a
+// reader observing different pair values would be a fractured read.
+func TestParallelCommitReadMergeSweep(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	n, err := NewNode(Config{NodeID: "stress", Store: store, EnableDataCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := NewNode(Config{NodeID: "peer", Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	commitPair := func(node *Node, i int) error {
+		txid, err := node.StartTransaction(ctx)
+		if err != nil {
+			return err
+		}
+		v := []byte(fmt.Sprintf("v%d", i))
+		if err := node.Put(ctx, txid, "pair-a", v); err != nil {
+			return err
+		}
+		if err := node.Put(ctx, txid, "pair-b", v); err != nil {
+			return err
+		}
+		if err := node.Put(ctx, txid, fmt.Sprintf("w-%d", i%32), v); err != nil {
+			return err
+		}
+		_, err = node.CommitTransaction(ctx, txid)
+		return err
+	}
+	// Seed so readers never hit the NULL version.
+	if err := commitPair(n, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		committers = 4
+		readers    = 4
+		txnsEach   = 200
+	)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	errc := make(chan error, committers+readers+2)
+
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < txnsEach; i++ {
+				if err := commitPair(n, c*txnsEach+i+1); err != nil {
+					errc <- fmt.Errorf("committer %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < txnsEach; i++ {
+				txid, err := n.StartTransaction(ctx)
+				if err != nil {
+					errc <- err
+					return
+				}
+				a, err := n.Get(ctx, txid, "pair-a")
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: pair-a: %w", r, err)
+					return
+				}
+				b, err := n.Get(ctx, txid, "pair-b")
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: pair-b: %w", r, err)
+					return
+				}
+				if string(a) != string(b) {
+					errc <- fmt.Errorf("fractured read: pair-a=%q pair-b=%q", a, b)
+					return
+				}
+				// Repeatable read: re-reading must return the same bytes.
+				a2, err := n.Get(ctx, txid, "pair-a")
+				if err != nil {
+					errc <- err
+					return
+				}
+				if string(a2) != string(a) {
+					errc <- fmt.Errorf("non-repeatable read: %q then %q", a, a2)
+					return
+				}
+				if err := n.AbortTransaction(ctx, txid); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(r)
+	}
+	// Merger: the peer node commits to the same keys; its drained records
+	// are merged into n, racing installLocked against local commits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if err := commitPair(peer, 1000000+i); err != nil {
+				errc <- fmt.Errorf("peer: %w", err)
+				return
+			}
+			n.MergeRemoteCommits(peer.Drain())
+		}
+	}()
+	// Sweeper: continuous supersedence sweeps while everything else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			n.SweepLocalMetadata(64)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Committers/readers finish on their own; then stop the loops.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if n.Metrics().Snapshot().Committed >= committers*txnsEach {
+				stop.Store(true)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	stop.Store(true)
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// The index and record count must still be coherent: every version in
+	// every stripe's index resolves to a cached record, and the distinct
+	// record count matches the metaCount gauge.
+	distinct := n.snapshotRecords()
+	if got := n.MetadataSize(); got != len(distinct) {
+		t.Fatalf("MetadataSize = %d, distinct records = %d", got, len(distinct))
+	}
+	for _, s := range n.stripes {
+		s.mu.RLock()
+		for key, versions := range s.index {
+			for _, id := range versions {
+				if _, ok := s.commits[id]; !ok {
+					s.mu.RUnlock()
+					t.Fatalf("index entry %s@%v has no commit record", key, id)
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// TestParallelSameTransaction exercises concurrent operations on ONE
+// transaction (a retried function racing its original, §3.3.1): the ops
+// serialize on the transaction's own mutex and must not corrupt state.
+func TestParallelSameTransaction(t *testing.T) {
+	n, err := NewNode(Config{NodeID: "same", Store: dynamosim.New(dynamosim.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seed, _ := n.StartTransaction(ctx)
+	n.Put(ctx, seed, "k", []byte("base"))
+	if _, err := n.CommitTransaction(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	txid, _ := n.StartTransaction(ctx)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				n.Put(ctx, txid, fmt.Sprintf("w-%d", i), []byte("x"))
+				if _, err := n.Get(ctx, txid, "k"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent retry after completion.
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatalf("idempotent retry: %v", err)
+	}
+}
+
+// gateStore wraps a batch-capable store and blocks every write until
+// released, so a test can deterministically pile commits into one
+// group-commit flush.
+type gateStore struct {
+	storage.Store
+	once    sync.Once
+	release chan struct{}
+	blocked chan struct{}
+}
+
+func newGateStore(inner storage.Store) *gateStore {
+	return &gateStore{Store: inner, release: make(chan struct{}), blocked: make(chan struct{})}
+}
+
+func (g *gateStore) wait() {
+	g.once.Do(func() { close(g.blocked) })
+	<-g.release
+}
+
+func (g *gateStore) Put(ctx context.Context, key string, value []byte) error {
+	g.wait()
+	return g.Store.Put(ctx, key, value)
+}
+
+func (g *gateStore) BatchPut(ctx context.Context, items map[string][]byte) error {
+	g.wait()
+	return g.Store.BatchPut(ctx, items)
+}
+
+// TestGroupCommitCoalesces pins the pipeline's batching behaviour: while
+// the leader's flush is stalled in storage, commits that arrive queue up
+// and are flushed together — their data versions and commit records share
+// BatchPut round trips, and all of them succeed.
+func TestGroupCommitCoalesces(t *testing.T) {
+	inner := dynamosim.New(dynamosim.Options{})
+	gate := newGateStore(inner)
+	// One flusher makes the flush boundary deterministic for the metric
+	// assertions below.
+	n, err := NewNode(Config{NodeID: "gc", Store: gate, GroupCommitFlushers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	commit := func(key string) {
+		defer wg.Done()
+		txid, err := n.StartTransaction(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := n.Put(ctx, txid, key, []byte("v")); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := n.CommitTransaction(ctx, txid); err != nil {
+			t.Error(err)
+		}
+	}
+
+	wg.Add(1)
+	go commit("leader-key") // becomes leader, stalls on the gate
+	<-gate.blocked
+
+	const followers = 5
+	wg.Add(followers)
+	for i := 0; i < followers; i++ {
+		go commit(fmt.Sprintf("f-%d", i))
+	}
+	// Wait until every follower is queued behind the stalled flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n.committer.mu.Lock()
+		queued := len(n.committer.queue)
+		n.committer.mu.Unlock()
+		if queued == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("followers queued = %d, want %d", queued, followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+
+	m := n.Metrics().Snapshot()
+	if m.GroupedCommits != followers+1 {
+		t.Fatalf("grouped commits = %d, want %d", m.GroupedCommits, followers+1)
+	}
+	if m.GroupFlushes != 2 {
+		t.Fatalf("group flushes = %d, want 2 (leader alone, then %d followers)", m.GroupFlushes, followers)
+	}
+	// The followers' five data writes and five commit records coalesced
+	// into one BatchPut each.
+	sm := inner.Metrics().Snapshot()
+	if sm.Batches != 2 {
+		t.Fatalf("storage batches = %d, want 2", sm.Batches)
+	}
+	if got := sm.ItemsPerBatch(); got != followers {
+		t.Fatalf("items per batch = %.1f, want %d", got, followers)
+	}
+	// Every commit is visible: the node caches 6 records.
+	if got := n.MetadataSize(); got != followers+1 {
+		t.Fatalf("metadata size = %d, want %d", got, followers+1)
+	}
+}
+
+// TestGroupCommitFailurePropagates pins the error path: when the batched
+// record write fails, every member of the flush sees the failure, no
+// record is installed, and the transactions stay live for retry.
+func TestGroupCommitFailurePropagates(t *testing.T) {
+	inner := dynamosim.New(dynamosim.Options{})
+	gate := newGateStore(inner)
+	n, err := NewNode(Config{NodeID: "gcfail", Store: gate, GroupCommitFlushers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	txid, _ := n.StartTransaction(ctx)
+	if err := n.Put(ctx, txid, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.CommitTransaction(ctx, txid)
+		done <- err
+	}()
+	<-gate.blocked
+	inner.SetAvailable(false)
+	close(gate.release)
+	if err := <-done; err == nil {
+		t.Fatal("commit succeeded against unavailable storage")
+	}
+	if n.MetadataSize() != 0 {
+		t.Fatal("failed commit was installed")
+	}
+	if n.ActiveTransactions() != 1 {
+		t.Fatal("failed commit retired the transaction")
+	}
+	// Storage heals; the retry must succeed with the same UUID.
+	inner.SetAvailable(true)
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatalf("retry after storage recovery: %v", err)
+	}
+	if n.MetadataSize() != 1 {
+		t.Fatal("retried commit not installed")
+	}
+}
+
+// TestDuplicateCommitWaitsForOriginal pins the commit claim: a retried
+// CommitTransaction racing the in-flight original must return the SAME
+// commit ID (§3.1 idempotency), never mint a second record.
+func TestDuplicateCommitWaitsForOriginal(t *testing.T) {
+	inner := dynamosim.New(dynamosim.Options{})
+	gate := newGateStore(inner)
+	n, err := NewNode(Config{NodeID: "dup", Store: gate, GroupCommitFlushers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txid, _ := n.StartTransaction(ctx)
+	n.Put(ctx, txid, "k", []byte("v"))
+
+	type result struct {
+		id  idgen.ID
+		err error
+	}
+	results := make(chan result, 2)
+	go func() {
+		id, err := n.CommitTransaction(ctx, txid)
+		results <- result{id, err}
+	}()
+	<-gate.blocked
+	go func() {
+		id, err := n.CommitTransaction(ctx, txid)
+		results <- result{id, err}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the duplicate reach the claim wait
+	close(gate.release)
+	a, b := <-results, <-results
+	if a.err != nil || b.err != nil {
+		t.Fatalf("commit errors: %v, %v", a.err, b.err)
+	}
+	if !a.id.Equal(b.id) {
+		t.Fatalf("duplicate commit minted a second ID: %v vs %v", a.id, b.id)
+	}
+	if got := n.MetadataSize(); got != 1 {
+		t.Fatalf("metadata size = %d, want 1 (one commit record)", got)
+	}
+}
+
+// TestAbortWaitsForInflightCommit pins the other side of the claim: an
+// abort racing an in-flight commit observes its outcome (ErrTxnFinished
+// on success) instead of tearing down state the commit references.
+func TestAbortWaitsForInflightCommit(t *testing.T) {
+	inner := dynamosim.New(dynamosim.Options{})
+	gate := newGateStore(inner)
+	n, err := NewNode(Config{NodeID: "abortrace", Store: gate, GroupCommitFlushers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txid, _ := n.StartTransaction(ctx)
+	n.Put(ctx, txid, "k", []byte("v"))
+
+	commitDone := make(chan error, 1)
+	go func() {
+		_, err := n.CommitTransaction(ctx, txid)
+		commitDone <- err
+	}()
+	<-gate.blocked
+	abortDone := make(chan error, 1)
+	go func() { abortDone <- n.AbortTransaction(ctx, txid) }()
+	time.Sleep(10 * time.Millisecond)
+	close(gate.release)
+	if err := <-commitDone; err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := <-abortDone; err != ErrTxnFinished {
+		t.Fatalf("abort racing successful commit = %v, want ErrTxnFinished", err)
+	}
+	if n.MetadataSize() != 1 {
+		t.Fatal("committed record missing after racing abort")
+	}
+}
+
+// TestBaselineConfigMatchesStriped checks the benchmark baseline config
+// (one stripe, no group commit) behaves identically at the API level.
+func TestBaselineConfigMatchesStriped(t *testing.T) {
+	for _, cfg := range []Config{
+		{MetadataStripes: 1, DisableGroupCommit: true},
+		{},
+	} {
+		cfg.NodeID = "cmp"
+		cfg.Store = dynamosim.New(dynamosim.Options{})
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		txid, _ := n.StartTransaction(ctx)
+		n.Put(ctx, txid, "a", []byte("1"))
+		n.Put(ctx, txid, "b", []byte("2"))
+		id, err := n.CommitTransaction(ctx, txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader, _ := n.StartTransaction(ctx)
+		for key, want := range map[string]string{"a": "1", "b": "2"} {
+			v, err := n.Get(ctx, reader, key)
+			if err != nil || string(v) != want {
+				t.Fatalf("stripes=%d: Get(%s) = %q, %v", cfg.MetadataStripes, key, v, err)
+			}
+		}
+		if got := n.VersionsOf("a"); len(got) != 1 || !got[0].Equal(id) {
+			t.Fatalf("VersionsOf = %v", got)
+		}
+	}
+}
+
+// TestReadRecoversLocallyDeletedCrossShardRecord pins the resurrection
+// path (installRecoveredLocked): the sweep's supersedence check is
+// ownership-scoped, so a cross-shard record can be locally deleted while
+// it is still the newest version of a non-owned key; a read of that key
+// must recover it from storage, not report ErrKeyNotFound. (This was
+// reachable on a sharded cluster after Kill: a survivor gaining a shard
+// whose records it had swept served misses forever.)
+func TestReadRecoversLocallyDeletedCrossShardRecord(t *testing.T) {
+	n, err := NewNode(Config{NodeID: "resurrect", Store: dynamosim.New(dynamosim.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	commit := func(kvs map[string]string) idgen.ID {
+		txid, _ := n.StartTransaction(ctx)
+		for k, v := range kvs {
+			n.Put(ctx, txid, k, []byte(v))
+		}
+		id, err := n.CommitTransaction(ctx, txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	old := commit(map[string]string{"a": "1", "b": "cross-shard"})
+	commit(map[string]string{"a": "2"})
+	// The node owns only "a": the cross-shard record is superseded on its
+	// owned subset and gets swept + marked locally deleted.
+	n.SetOwnership(func(key string) bool { return key == "a" })
+	removed := n.SweepLocalMetadata(0)
+	if len(removed) != 1 || !removed[0].Equal(old) {
+		t.Fatalf("sweep removed %v, want [%v]", removed, old)
+	}
+	if !n.LocallyDeleted([]idgen.ID{old})[old] {
+		t.Fatal("swept record not marked locally deleted")
+	}
+	// Reading "b" must recover the record from storage and serve it.
+	reader, _ := n.StartTransaction(ctx)
+	v, err := n.Get(ctx, reader, "b")
+	if err != nil {
+		t.Fatalf("read of non-owned key after sweep: %v", err)
+	}
+	if string(v) != "cross-shard" {
+		t.Fatalf("recovered value = %q", v)
+	}
+	// The resurrection flips this node's GC vote back to "cached" and
+	// clears the locally-deleted marker.
+	if !n.Caches([]idgen.ID{old})[old] {
+		t.Fatal("recovered record not cached")
+	}
+	if n.LocallyDeleted([]idgen.ID{old})[old] {
+		t.Fatal("locally-deleted marker survived resurrection")
+	}
+}
+
+// TestSweepKeepsPinnedAcrossStripes pins the §5.1 guarantee under striping:
+// a record spanning several stripes stays cached while any reader pins it,
+// even when its versions are superseded on every stripe.
+func TestSweepKeepsPinnedAcrossStripes(t *testing.T) {
+	n, err := NewNode(Config{NodeID: "pin", Store: dynamosim.New(dynamosim.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	keys := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	commit := func(val string) idgen.ID {
+		txid, _ := n.StartTransaction(ctx)
+		for _, k := range keys {
+			n.Put(ctx, txid, k, []byte(val))
+		}
+		id, err := n.CommitTransaction(ctx, txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	old := commit("old")
+	reader, _ := n.StartTransaction(ctx)
+	if _, err := n.Get(ctx, reader, "p0"); err != nil {
+		t.Fatal(err)
+	}
+	commit("new") // supersedes old on every key
+	if removed := n.SweepLocalMetadata(0); len(removed) != 0 {
+		t.Fatalf("sweep removed pinned record: %v", removed)
+	}
+	// The pinned reader still resolves its exact version.
+	if v, err := n.Get(ctx, reader, "p0"); err != nil || string(v) != "old" {
+		t.Fatalf("pinned read = %q, %v", v, err)
+	}
+	if err := n.AbortTransaction(ctx, reader); err != nil {
+		t.Fatal(err)
+	}
+	removed := n.SweepLocalMetadata(0)
+	found := false
+	for _, id := range removed {
+		if id.Equal(old) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unpinned superseded record not swept: %v", removed)
+	}
+}

@@ -22,6 +22,14 @@ import (
 //  3. the payload is served from the data cache when enabled, else fetched
 //     from storage.
 //
+// Locking: the metadata phase holds only the transaction's own mutex plus
+// a read lock on the single stripe owning key during version selection —
+// reads of different keys (and commits, merges, sweeps on other stripes)
+// proceed fully in parallel, and t.mu is released before any payload
+// fetch so concurrent reads within ONE transaction overlap their storage
+// round trips. The lower-bound pass of Algorithm 1 walks the
+// transaction's pinned read records without touching any stripe.
+//
 // Get returns ErrKeyNotFound when no committed version of key exists
 // (the NULL version, §3.2) and ErrNoValidVersion when versions exist but
 // none is compatible with the read set (§3.6) — clients should abort and
@@ -31,7 +39,7 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.metrics.add(func(m *NodeMetrics) { m.Reads++ })
+	n.metrics.Reads.Add(1)
 
 	// Sharded mode needs up to two attempts: a version selected from
 	// local metadata can have had its payload deleted by the owner-voted
@@ -39,41 +47,98 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 	// the vanished version and re-selects. vanished is only ever set in
 	// sharded mode.
 	for attempt := 0; ; attempt++ {
-		v, vanished, err := n.getAttempt(ctx, t, key)
-		if vanished && attempt == 0 {
-			continue
+		owns := n.ownership()
+		t.mu.Lock()
+		if t.done {
+			t.mu.Unlock()
+			return nil, n.finishedErr(txid)
 		}
-		return v, err
+		plan, val, err := n.planRead(ctx, t, key, owns)
+		t.mu.Unlock()
+		if err != nil || plan == nil {
+			return val, err
+		}
+
+		// Payload fetch, outside every lock: the reader pin taken during
+		// selection keeps the version's metadata alive (§5.1).
+		if plan.spill {
+			return n.store.Get(ctx, records.SpillKey(plan.spillDir, key))
+		}
+		if v, ok := n.data.get(plan.storageKey); ok {
+			n.metrics.CacheHits.Add(1)
+			if plan.packed {
+				return records.ExtractPacked(v, key)
+			}
+			return v, nil
+		}
+		v, err := n.store.Get(ctx, plan.storageKey)
+		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) && owns != nil {
+				// Sharded GC race: the version was superseded and
+				// collected after the owners voted; our pin could not
+				// block it. For a first read of the key, unwind the
+				// selection, forget the vanished version, and retry — a
+				// newer version exists in storage. A re-read of an
+				// already-read key cannot re-select (repeatable read
+				// requires that exact version): the transaction must be
+				// redone, signalled by ErrVersionVanished.
+				if !plan.alreadyRead {
+					t.mu.Lock()
+					n.forgetVanished(t, key, plan.target, plan.rec, plan.pinnedNow)
+					t.mu.Unlock()
+					if attempt == 0 {
+						continue
+					}
+				}
+				return nil, fmt.Errorf("aft: fetching %s: %w", plan.storageKey, ErrVersionVanished)
+			}
+			// The write-ordering protocol guarantees committed data is
+			// durable before its commit record (§3.3), so this indicates
+			// either storage unavailability or a GC race on a deleted
+			// version; surface it to the client for retry.
+			return nil, fmt.Errorf("aft: fetching %s: %w", plan.storageKey, err)
+		}
+		n.data.put(plan.storageKey, v)
+		if plan.packed {
+			// The whole packed object is cached once; extract this key.
+			return records.ExtractPacked(v, key)
+		}
+		return v, nil
 	}
 }
 
-// getAttempt runs one pass of the read path. vanished reports that the
-// selected version's payload was missing from storage and the version has
-// been forgotten locally, so one retry is worthwhile (sharded mode only).
-func (n *Node) getAttempt(ctx context.Context, t *txnState, key string) (value []byte, vanished bool, err error) {
-	n.mu.Lock()
-	// Snapshot the ownership filter while the lock is held: SetOwnership
-	// writes it under n.mu, and this attempt consults it again after the
-	// lock is released.
-	owns := n.owns
+// readPlan is the outcome of a read's metadata phase: where the payload
+// lives and what was pinned, so the fetch can run outside t.mu and a
+// vanished payload can be unwound.
+type readPlan struct {
+	spill       bool   // read-your-writes from the spill area
+	spillDir    string //
+	storageKey  string
+	packed      bool
+	target      idgen.ID
+	rec         *records.CommitRecord
+	pinnedNow   bool
+	alreadyRead bool
+}
+
+// planRead runs the metadata phase of one read attempt; the caller holds
+// t.mu. A nil plan with nil error means the value was served from the
+// write buffer.
+func (n *Node) planRead(ctx context.Context, t *txnState, key string, owns ownsFunc) (*readPlan, []byte, error) {
 	// Read-your-writes: the write buffer takes precedence (§3.5).
 	if v, ok := t.writes[key]; ok {
 		out := make([]byte, len(v))
 		copy(out, v)
-		n.mu.Unlock()
-		return out, false, nil
+		return nil, out, nil
 	}
 	if t.spilled[key] {
 		// Spilled intermediary data is still this transaction's own
 		// write; serve it for read-your-writes.
-		dir := t.spillDir()
-		n.mu.Unlock()
-		v, err := n.store.Get(ctx, records.SpillKey(dir, key))
-		return v, false, err
+		return &readPlan{spill: true, spillDir: t.spillDir()}, nil, nil
 	}
 	_, alreadyRead := t.readSet[key]
 
-	target, rec, err := n.atomicReadLocked(t, key)
+	target, rec, pinnedNow, err := n.selectAndPin(t, key, nil)
 	if (errors.Is(err, ErrKeyNotFound) || errors.Is(err, ErrNoValidVersion)) &&
 		owns != nil && !t.metaFetched[key] {
 		// Sharded mode: a local miss is inconclusive — the key may be
@@ -82,145 +147,175 @@ func (n *Node) getAttempt(ctx context.Context, t *txnState, key string) (value [
 		// key's commit metadata from storage and retry Algorithm 1 once.
 		// Ownership partitions metadata caching, never serveability (§8
 		// future-work direction). metaFetched bounds the cost to one
-		// storage scan per key per transaction.
+		// storage scan per key per transaction (the scan runs under t.mu;
+		// only this transaction's own operations wait on it).
 		if t.metaFetched == nil {
 			t.metaFetched = make(map[string]bool)
 		}
 		t.metaFetched[key] = true
-		n.mu.Unlock()
 		fetched, ferr := n.fetchKeyRecords(ctx, key)
 		if ferr != nil {
-			return nil, false, fmt.Errorf("aft: recovering metadata for %q: %w", key, ferr)
+			return nil, nil, fmt.Errorf("aft: recovering metadata for %q: %w", key, ferr)
 		}
-		n.mu.Lock()
-		// Install and re-select under ONE lock hold: a concurrent
-		// non-owned sweep must not evict the fetched records between
-		// installation and version selection (the selected record is
-		// pinned before the lock is released below).
-		for _, fr := range fetched {
-			n.installLocked(fr)
-		}
-		target, rec, err = n.atomicReadLocked(t, key)
+		// Install and re-select inside ONE multi-stripe critical section
+		// (selectAndPin write-locks the union): a concurrent non-owned
+		// sweep must not evict the fetched records between installation
+		// and version selection.
+		target, rec, pinnedNow, err = n.selectAndPin(t, key, fetched)
 	}
 	if err != nil {
-		n.mu.Unlock()
-		return nil, false, err
+		return nil, nil, err
 	}
-	// Record the read and pin the source transaction against local GC
-	// before releasing the lock, so its data cannot be deleted between
-	// version selection and payload fetch (§5.1).
-	t.readSet[key] = target
-	pinnedNow := false
-	if !t.pinned[target] {
-		t.pinned[target] = true
-		n.readers[target]++
-		pinnedNow = true
-	}
-	storageKey := rec.StorageKeyFor(key)
-	packed := rec.Packed
-	n.mu.Unlock()
-
-	if v, ok := n.data.get(storageKey); ok {
-		n.metrics.add(func(m *NodeMetrics) { m.CacheHits++ })
-		if packed {
-			v, err := records.ExtractPacked(v, key)
-			return v, false, err
-		}
-		return v, false, nil
-	}
-	v, err := n.store.Get(ctx, storageKey)
-	if err != nil {
-		if errors.Is(err, storage.ErrNotFound) && owns != nil {
-			// Sharded GC race: the version was superseded and collected
-			// after the owners voted; our pin could not block it. For a
-			// first read of the key, unwind the selection, forget the
-			// vanished version, and let the caller retry — a newer
-			// version exists in storage. A re-read of an already-read
-			// key cannot re-select (repeatable read requires that exact
-			// version): the transaction must be redone, signalled by
-			// ErrVersionVanished.
-			if !alreadyRead {
-				n.forgetVanished(t, key, target, rec, pinnedNow)
-				return nil, true, fmt.Errorf("aft: fetching %s: %w", storageKey, ErrVersionVanished)
-			}
-			return nil, false, fmt.Errorf("aft: fetching %s: %w", storageKey, ErrVersionVanished)
-		}
-		// The write-ordering protocol guarantees committed data is
-		// durable before its commit record (§3.3), so this indicates
-		// either storage unavailability or a GC race on a deleted
-		// version; surface it to the client for retry.
-		return nil, false, fmt.Errorf("aft: fetching %s: %w", storageKey, err)
-	}
-	n.data.put(storageKey, v)
-	if packed {
-		// Cache the whole packed object once; extract this key's value.
-		v, err := records.ExtractPacked(v, key)
-		return v, false, err
-	}
-	return v, false, nil
+	return &readPlan{
+		storageKey:  rec.StorageKeyFor(key),
+		packed:      rec.Packed,
+		target:      target,
+		rec:         rec,
+		pinnedNow:   pinnedNow,
+		alreadyRead: alreadyRead,
+	}, nil, nil
 }
 
-// forgetVanished unwinds a version selection whose payload the global GC
-// deleted mid-read (sharded mode): the read-set entry and pin taken this
-// attempt are released, and the version is removed from the local
-// metadata cache so re-selection cannot pick it again.
-func (n *Node) forgetVanished(t *txnState, key string, target idgen.ID, rec *records.CommitRecord, pinnedNow bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if cur, ok := t.readSet[key]; ok && cur.Equal(target) {
-		delete(t.readSet, key)
-	}
-	// Let the retry recover fresh metadata even if this transaction
-	// already fetched for this key.
-	delete(t.metaFetched, key)
-	if pinnedNow && t.pinned[target] {
-		delete(t.pinned, target)
-		if n.readers[target]--; n.readers[target] <= 0 {
-			delete(n.readers, target)
-		}
-	}
-	if cached, ok := n.commits[target]; ok && cached == rec {
-		// Drop the index entries so re-selection skips the vanished
-		// version (installLocked will not re-index it while the commit
-		// entry survives).
-		for _, k := range rec.WriteSet {
-			n.index.remove(k, target)
-			n.data.evict(rec.StorageKeyFor(k))
-		}
-		// The record itself must outlive any other transaction still
-		// pinning it: their read sets resolve through n.commits in
-		// atomicReadLocked's lower-bound pass. Once unpinned, the local
-		// sweep retires it.
-		if n.readers[target] == 0 {
-			delete(n.commits, target)
-			delete(n.committedByUUID, rec.UUID)
-		}
-	}
-}
-
-// atomicReadLocked implements Algorithm 1: given the transaction's read set
-// R (t.readSet) and key k, it selects a version kj such that R ∪ {kj} is
-// still an Atomic Readset (Definition 1). Callers hold n.mu.
-func (n *Node) atomicReadLocked(t *txnState, key string) (idgen.ID, *records.CommitRecord, error) {
-	// Lines 3-5: the lower bound is the largest transaction in R that
-	// cowrote key — we must not return anything older (case 1 of the
-	// inductive proof of Theorem 1).
+// selectAndPin runs Algorithm 1 for key and, on success, records the read
+// and pins the source transaction against local GC — all before the stripe
+// lock is released, so the version's metadata cannot be deleted between
+// selection and payload fetch (§5.1). The caller holds t.mu.
+//
+// With install records supplied (the sharded metadata-recovery path), the
+// union of their stripes plus key's stripe is write-locked and the records
+// are installed in the same critical section as the selection.
+func (n *Node) selectAndPin(t *txnState, key string, install []*records.CommitRecord) (idgen.ID, *records.CommitRecord, bool, error) {
+	// Lines 3-5 of Algorithm 1: the lower bound is the largest
+	// transaction in R that cowrote key — we must not return anything
+	// older (case 1 of the inductive proof of Theorem 1). Read records
+	// are pinned, so this pass needs no locks.
 	lower := idgen.Null
-	for _, readID := range t.readSet {
-		rec := n.commits[readID]
+	for rk, readID := range t.readSet {
+		rec := t.readRecs[rk]
 		if rec == nil {
 			// The record is pinned while in R, so this cannot happen
 			// unless bookkeeping broke; fail the read defensively.
-			return idgen.Null, nil, fmt.Errorf("aft: read-set transaction %v missing from commit cache", readID)
+			return idgen.Null, nil, false, fmt.Errorf("aft: read-set transaction %v missing from commit cache", readID)
 		}
 		if rec.Cowritten(key) && lower.Less(readID) {
 			lower = readID
 		}
 	}
 
+	if len(install) == 0 {
+		s := n.stripeFor(key)
+		s.mu.RLock()
+		target, rec, err := n.selectVersionLocked(t, key, lower)
+		pinnedNow := false
+		if err == nil {
+			pinnedNow = n.pinRead(t, key, target, rec)
+		}
+		s.mu.RUnlock()
+		return target, rec, pinnedNow, err
+	}
+
+	union := make([]string, 0, 1+len(install))
+	union = append(union, key)
+	for _, fr := range install {
+		union = append(union, fr.WriteSet...)
+	}
+	ss := n.stripesOf(union)
+	lockStripes(ss)
+	for _, fr := range install {
+		n.installRecoveredLocked(fr)
+	}
+	target, rec, err := n.selectVersionLocked(t, key, lower)
+	pinnedNow := false
+	if err == nil {
+		pinnedNow = n.pinRead(t, key, target, rec)
+	}
+	unlockStripes(ss)
+	return target, rec, pinnedNow, err
+}
+
+// pinRead records a successful version selection in the transaction's read
+// set and takes a reader pin. The caller holds t.mu and (at least a read
+// lock on) key's stripe. It reports whether a new pin was taken.
+func (n *Node) pinRead(t *txnState, key string, target idgen.ID, rec *records.CommitRecord) bool {
+	t.readSet[key] = target
+	t.readRecs[key] = rec
+	if t.pinned[target] {
+		return false
+	}
+	t.pinned[target] = true
+	n.pinMu.Lock()
+	n.readers[target]++
+	n.pinMu.Unlock()
+	return true
+}
+
+// forgetVanished unwinds a version selection whose payload the global GC
+// deleted mid-read (sharded mode): the read-set entry and pin taken this
+// attempt are released, and the version is removed from the local
+// metadata cache so re-selection cannot pick it again. The caller holds
+// t.mu.
+func (n *Node) forgetVanished(t *txnState, key string, target idgen.ID, rec *records.CommitRecord, pinnedNow bool) {
+	if cur, ok := t.readSet[key]; ok && cur.Equal(target) {
+		delete(t.readSet, key)
+		delete(t.readRecs, key)
+	}
+	// Let the retry recover fresh metadata even if this transaction
+	// already fetched for this key.
+	delete(t.metaFetched, key)
+	if pinnedNow && t.pinned[target] {
+		delete(t.pinned, target)
+		n.pinMu.Lock()
+		if n.readers[target]--; n.readers[target] <= 0 {
+			delete(n.readers, target)
+		}
+		n.pinMu.Unlock()
+	}
+	ss := n.stripesOf(rec.WriteSet)
+	lockStripes(ss)
+	dropMarker := false
+	if cached, ok := ss[0].commits[target]; ok && cached == rec {
+		// Drop the index entries so re-selection skips the vanished
+		// version (installLocked will not re-index it while the commit
+		// entry survives).
+		for _, k := range rec.WriteSet {
+			n.stripeFor(k).index.remove(k, target)
+			n.data.evict(rec.StorageKeyFor(k))
+		}
+		// The record itself must outlive any other transaction still
+		// pinning it: their read sets resolve through readRecs and the
+		// stripes' commit caches. Once unpinned, the local sweep retires
+		// it. New pins cannot arrive while we hold the write locks (the
+		// index entries are gone), so the reader count is stable here.
+		n.pinMu.Lock()
+		still := n.readers[target]
+		n.pinMu.Unlock()
+		if still == 0 {
+			for _, s := range ss {
+				delete(s.commits, target)
+			}
+			n.metaCount.Add(-1)
+			dropMarker = true
+		}
+	}
+	unlockStripes(ss)
+	if dropMarker {
+		n.tmu.Lock()
+		delete(n.committedByUUID, rec.UUID)
+		n.tmu.Unlock()
+	}
+}
+
+// selectVersionLocked implements the candidate walk of Algorithm 1: given
+// the transaction's read set R (t.readSet), key k, and the precomputed
+// lower bound, it selects a version kj such that R ∪ {kj} is still an
+// Atomic Readset (Definition 1). The caller holds t.mu and key's stripe
+// lock.
+func (n *Node) selectVersionLocked(t *txnState, key string, lower idgen.ID) (idgen.ID, *records.CommitRecord, error) {
+	s := n.stripeFor(key)
+
 	// Lines 7-9: no known version and no constraint means the NULL
 	// version — the key simply does not exist yet.
-	candidates := n.index.atLeast(key, lower)
+	candidates := s.index.atLeast(key, lower)
 	if len(candidates) == 0 {
 		if lower.IsNull() {
 			return idgen.Null, nil, ErrKeyNotFound
@@ -236,7 +331,7 @@ func (n *Node) atomicReadLocked(t *txnState, key string) (idgen.ID, *records.Com
 	// older than t (case 2 of the proof).
 	for i := len(candidates) - 1; i >= 0; i-- {
 		tid := candidates[i]
-		rec := n.commits[tid]
+		rec := s.commits[tid]
 		if rec == nil {
 			continue // concurrently GC'd; skip
 		}
@@ -258,8 +353,8 @@ func (n *Node) atomicReadLocked(t *txnState, key string) (idgen.ID, *records.Com
 // fetchKeyRecords recovers commit metadata for a key from storage (sharded
 // mode): it lists the key's persisted versions and returns the commit
 // record of each version the node does not already know — the caller
-// installs them under the node lock, in the same critical section as the
-// retried version selection, so a concurrent sweep cannot evict them in
+// installs them in the same critical section as the retried version
+// selection (selectAndPin), so a concurrent sweep cannot evict them in
 // between. A data key without a commit record is an in-flight or crashed
 // transaction and is skipped — the write-ordering protocol (§3.3) makes
 // the commit record the visibility point, so this fallback can never
@@ -269,7 +364,7 @@ func (n *Node) atomicReadLocked(t *txnState, key string) (idgen.ID, *records.Com
 // so the fallback scans the Transaction Commit Set instead and returns
 // records that cowrote the key.
 func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.CommitRecord, error) {
-	n.metrics.add(func(m *NodeMetrics) { m.RemoteFetches++ })
+	n.metrics.RemoteFetches.Add(1)
 	if n.cfg.PackedLayout {
 		return n.fetchKeyRecordsPacked(ctx, key)
 	}
@@ -283,10 +378,7 @@ func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.Comm
 		if err != nil {
 			continue
 		}
-		n.mu.Lock()
-		_, known := n.commits[id]
-		n.mu.Unlock()
-		if known {
+		if n.recordForKey(key, id) != nil {
 			continue
 		}
 		payload, err := n.store.Get(ctx, records.CommitKey(id))
@@ -320,10 +412,7 @@ func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*record
 		if err != nil {
 			continue
 		}
-		n.mu.Lock()
-		_, known := n.commits[id]
-		n.mu.Unlock()
-		if known {
+		if _, known := n.findRecord(id); known {
 			continue
 		}
 		payload, err := n.store.Get(ctx, sk)
@@ -349,8 +438,8 @@ func (n *Node) ReadSet(txid string) (map[string]idgen.ID, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make(map[string]idgen.ID, len(t.readSet))
 	for k, v := range t.readSet {
 		out[k] = v

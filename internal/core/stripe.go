@@ -1,0 +1,238 @@
+package core
+
+// stripe.go partitions the node's metadata core across lock stripes so the
+// hot path runs in parallel on a multi-core node (the intra-node half of
+// the ROADMAP's scaling goal; the paper's node plateaus near 40 clients on
+// exactly this shared-data-structure contention, §6.5.1).
+//
+// Each user key hashes to one stripe. A stripe owns the key's slice of the
+// version index plus the commit records and locally-deleted markers of
+// every transaction that wrote at least one of its keys. A commit record
+// whose write set spans stripes is registered in each of them (the pointer
+// is shared, not the record), under the invariant that a record is present
+// either in ALL stripes of its write set or in NONE — multi-stripe
+// mutations take every affected stripe lock before touching any of them.
+//
+// Lock ordering, node-wide:
+//
+//	txnState.mu  →  stripe locks (ascending stripe index)  →  pinMu
+//
+// The transaction table lock (tmu) and the multicast queue lock (recMu)
+// are leaves: never held while acquiring any other lock. Multi-stripe
+// acquisitions — install, sweep, merge, supersedence checks — always lock
+// ascending, so the wait-for graph stays acyclic. The read path takes only
+// read locks on the stripes it touches; merges and sweeps write-lock one
+// record's stripes at a time instead of freezing the node.
+
+import (
+	"sort"
+	"sync"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+	"aft/internal/strhash"
+)
+
+// defaultStripes is the metadata stripe count when Config.MetadataStripes
+// is zero: enough to keep core-count×2 writers from colliding, small enough
+// that whole-node scans (sweep, KnownCommits) stay cheap.
+const defaultStripes = 64
+
+// stripe is one lock-striped slice of the metadata core.
+type stripe struct {
+	mu sync.RWMutex
+	// index maps each user key hashing to this stripe to its known
+	// committed versions in ascending ID order.
+	index versionIndex
+	// commits holds the Commit Set Cache entries of every transaction
+	// whose write set touches this stripe (shared pointers; see the
+	// all-or-none invariant above).
+	commits map[idgen.ID]*records.CommitRecord
+	// locallyDeleted mirrors commits for transactions the local GC has
+	// removed, answering the global GC's unanimity queries (§5.2).
+	locallyDeleted map[idgen.ID]*records.CommitRecord
+}
+
+func newStripe() *stripe {
+	return &stripe{
+		index:          make(versionIndex),
+		commits:        make(map[idgen.ID]*records.CommitRecord),
+		locallyDeleted: make(map[idgen.ID]*records.CommitRecord),
+	}
+}
+
+// stripeHash is FNV-1a over the user key; stripe counts are powers of two
+// so the low bits select the stripe.
+func stripeHash(key string) uint32 { return strhash.FNV32a(key) }
+
+// stripeFor returns the stripe owning key.
+func (n *Node) stripeFor(key string) *stripe {
+	return n.stripes[int(stripeHash(key))&n.stripeMask]
+}
+
+// stripesOf returns the distinct stripes touched by writeSet in ascending
+// stripe-index order — the canonical multi-stripe lock order. An empty
+// write set maps to stripe 0 so callers always get a non-empty set.
+func (n *Node) stripesOf(writeSet []string) []*stripe {
+	if len(writeSet) == 0 {
+		return n.stripes[:1]
+	}
+	if len(writeSet) == 1 {
+		return []*stripe{n.stripeFor(writeSet[0])}
+	}
+	idxs := make([]int, len(writeSet))
+	for i, k := range writeSet {
+		idxs[i] = int(stripeHash(k)) & n.stripeMask
+	}
+	sort.Ints(idxs)
+	out := make([]*stripe, 0, len(idxs))
+	prev := -1
+	for _, i := range idxs {
+		if i != prev {
+			out = append(out, n.stripes[i])
+			prev = i
+		}
+	}
+	return out
+}
+
+// lockStripes write-locks ss, which must already be in ascending order.
+func lockStripes(ss []*stripe) {
+	for _, s := range ss {
+		s.mu.Lock()
+	}
+}
+
+func unlockStripes(ss []*stripe) {
+	for i := len(ss) - 1; i >= 0; i-- {
+		ss[i].mu.Unlock()
+	}
+}
+
+// rlockStripes read-locks ss (ascending order, same discipline as
+// lockStripes so readers and writers cannot deadlock).
+func rlockStripes(ss []*stripe) {
+	for _, s := range ss {
+		s.mu.RLock()
+	}
+}
+
+func runlockStripes(ss []*stripe) {
+	for i := len(ss) - 1; i >= 0; i-- {
+		ss[i].mu.RUnlock()
+	}
+}
+
+// installLocked makes a committed transaction visible locally: it enters
+// the Commit Set Cache of every stripe its write set touches and its write
+// set is indexed. The caller must hold write locks covering all of rec's
+// stripes.
+func (n *Node) installLocked(rec *records.CommitRecord) bool {
+	ss := n.stripesOf(rec.WriteSet)
+	id := rec.ID()
+	if _, ok := ss[0].commits[id]; ok {
+		return false
+	}
+	if _, ok := ss[0].locallyDeleted[id]; ok {
+		return false // already GC'd locally; do not resurrect
+	}
+	for _, s := range ss {
+		s.commits[id] = rec
+	}
+	for _, k := range rec.WriteSet {
+		n.stripeFor(k).index.insert(k, id)
+	}
+	n.metaCount.Add(1)
+	return true
+}
+
+// installRecoveredLocked installs a record recovered from storage for a
+// read (the sharded fallback), resurrecting it even if the local GC had
+// deleted it. The local sweep's supersedence view is ownership-scoped, so
+// a cross-shard record can be locally deleted while it is still the
+// newest version of a NON-owned key this node must serve; without
+// resurrection such keys would read as missing forever after a sweep.
+// Clearing the locally-deleted markers flips this node's GC vote back to
+// "cached" (Caches), which is conservative for the owner-voted global GC;
+// if the data was already collected, the payload fetch fails and the
+// ErrVersionVanished retry re-selects. The caller must hold write locks
+// covering every stripe of rec's write set.
+func (n *Node) installRecoveredLocked(rec *records.CommitRecord) bool {
+	ss := n.stripesOf(rec.WriteSet)
+	id := rec.ID()
+	if _, ok := ss[0].commits[id]; ok {
+		return false
+	}
+	for _, s := range ss {
+		delete(s.locallyDeleted, id)
+		s.commits[id] = rec
+	}
+	for _, k := range rec.WriteSet {
+		n.stripeFor(k).index.insert(k, id)
+	}
+	n.metaCount.Add(1)
+	return true
+}
+
+// removeLocked undoes installLocked: the record leaves every stripe's
+// Commit Set Cache and index, and its cached payloads are evicted. When
+// markDeleted is set the removal is recorded for the global GC (§5.2).
+// The caller must hold write locks covering all of rec's stripes.
+func (n *Node) removeLocked(rec *records.CommitRecord, ss []*stripe, markDeleted bool) {
+	id := rec.ID()
+	for _, s := range ss {
+		delete(s.commits, id)
+	}
+	for _, k := range rec.WriteSet {
+		n.stripeFor(k).index.remove(k, id)
+		n.data.evict(rec.StorageKeyFor(k))
+	}
+	if markDeleted {
+		for _, s := range ss {
+			s.locallyDeleted[id] = rec
+		}
+	}
+	n.metaCount.Add(-1)
+}
+
+// recordForKey returns the commit record of id if this node caches it and
+// id's write set contains key (which locates its stripe). It takes only
+// the one stripe's read lock.
+func (n *Node) recordForKey(key string, id idgen.ID) *records.CommitRecord {
+	s := n.stripeFor(key)
+	s.mu.RLock()
+	rec := s.commits[id]
+	s.mu.RUnlock()
+	return rec
+}
+
+// findRecord scans the stripes for id's commit record — for callers that
+// have no key context (GC votes, idempotency checks). O(stripes) map
+// probes, each under a short read lock.
+func (n *Node) findRecord(id idgen.ID) (*records.CommitRecord, bool) {
+	for _, s := range n.stripes {
+		s.mu.RLock()
+		rec, ok := s.commits[id]
+		s.mu.RUnlock()
+		if ok {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// snapshotRecords returns a deduplicated id→record snapshot of the Commit
+// Set Cache, taking one stripe read lock at a time. The snapshot is not a
+// consistent cut — callers (sweep, KnownCommits) revalidate per record
+// under write locks before acting.
+func (n *Node) snapshotRecords() map[idgen.ID]*records.CommitRecord {
+	out := make(map[idgen.ID]*records.CommitRecord)
+	for _, s := range n.stripes {
+		s.mu.RLock()
+		for id, rec := range s.commits {
+			out[id] = rec
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"strconv"
+	"sync"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
@@ -12,9 +13,28 @@ import (
 // may span multiple FaaS functions; all of them address the same node with
 // the same transaction ID, so the state below is the "distributed client
 // session" of §2.2.
+//
+// Each transaction carries its own mutex: operations of one transaction
+// serialize on it (the paper's functions run sequentially within a logical
+// request anyway), while operations of different transactions only meet at
+// the metadata stripes. t.mu is the outermost lock in the node's lock
+// order (see stripe.go) — it may be held while taking stripe locks, never
+// the reverse.
 type txnState struct {
 	uuid    string
 	startTS int64
+
+	mu sync.Mutex
+	// done marks the transaction finished (committed or aborted); late
+	// operations observe it instead of mutating retired state.
+	done bool
+	// committing is non-nil while a commit attempt is writing to storage
+	// (closed when the attempt resolves). It claims the transaction: a
+	// concurrent Abort or duplicate Commit waits for the outcome instead
+	// of racing the in-flight storage writes — a §3.1 idempotent retry
+	// must observe the original attempt's result, and an abort racing a
+	// commit must not delete spill data the commit record will reference.
+	committing chan struct{}
 	// writes is the Atomic Write Buffer's slice for this transaction:
 	// key -> latest buffered value.
 	writes map[string][]byte
@@ -22,6 +42,10 @@ type txnState struct {
 	buffered int
 	// readSet is R in Algorithm 1: key -> the version ID read.
 	readSet map[string]idgen.ID
+	// readRecs caches the commit record of each read version. Pinned
+	// records are immutable and cannot be swept, so Algorithm 1's
+	// lower-bound pass walks them without touching any stripe lock.
+	readRecs map[string]*records.CommitRecord
 	// pinned is the set of committed transactions this transaction has
 	// read from; each holds a reader pin against local GC (§5.1).
 	pinned map[idgen.ID]bool
@@ -49,17 +73,18 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 	}
 	id := n.gen.NewID()
 	t := &txnState{
-		uuid:    id.UUID,
-		startTS: id.Timestamp,
-		writes:  make(map[string][]byte),
-		readSet: make(map[string]idgen.ID),
-		pinned:  make(map[idgen.ID]bool),
-		spilled: make(map[string]bool),
+		uuid:     id.UUID,
+		startTS:  id.Timestamp,
+		writes:   make(map[string][]byte),
+		readSet:  make(map[string]idgen.ID),
+		readRecs: make(map[string]*records.CommitRecord),
+		pinned:   make(map[idgen.ID]bool),
+		spilled:  make(map[string]bool),
 	}
-	n.mu.Lock()
+	n.tmu.Lock()
 	n.txns[id.UUID] = t
-	n.mu.Unlock()
-	n.metrics.add(func(m *NodeMetrics) { m.Started++ })
+	n.tmu.Unlock()
+	n.metrics.Started.Add(1)
 	return id.UUID, nil
 }
 
@@ -71,8 +96,8 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 // the transaction (e.g. it restarted), ErrTxnNotFound tells the client to
 // redo the transaction from scratch.
 func (n *Node) ResumeTransaction(ctx context.Context, txid string) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.tmu.RLock()
+	defer n.tmu.RUnlock()
 	if _, ok := n.txns[txid]; ok {
 		return nil
 	}
@@ -85,8 +110,8 @@ func (n *Node) ResumeTransaction(ctx context.Context, txid string) error {
 // lookup returns the live transaction state or an error classifying why it
 // is absent.
 func (n *Node) lookup(txid string) (*txnState, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.tmu.RLock()
+	defer n.tmu.RUnlock()
 	if t, ok := n.txns[txid]; ok {
 		return t, nil
 	}
@@ -94,6 +119,18 @@ func (n *Node) lookup(txid string) (*txnState, error) {
 		return nil, ErrTxnFinished
 	}
 	return nil, ErrTxnNotFound
+}
+
+// finishedErr classifies a transaction that raced to completion between a
+// successful lookup and the operation's t.mu acquisition.
+func (n *Node) finishedErr(txid string) error {
+	n.tmu.RLock()
+	_, committed := n.committedByUUID[txid]
+	n.tmu.RUnlock()
+	if committed {
+		return ErrTxnFinished
+	}
+	return ErrTxnNotFound
 }
 
 // Put buffers an update for transaction txid (Table 1). Data is not
@@ -108,7 +145,11 @@ func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
 	v := make([]byte, len(value))
 	copy(v, value)
 
-	n.mu.Lock()
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return n.finishedErr(txid)
+	}
 	if old, ok := t.writes[key]; ok {
 		t.buffered -= len(old)
 	}
@@ -128,21 +169,21 @@ func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
 			t.spilled[k] = true
 		}
 	}
-	n.mu.Unlock()
+	t.mu.Unlock()
 
 	if needSpill {
-		n.metrics.add(func(m *NodeMetrics) { m.Spills++ })
+		n.metrics.Spills.Add(1)
 		for k, val := range spillItems {
 			if err := n.store.Put(ctx, records.SpillKey(spillDir, k), val); err != nil {
 				// Spill failure is not fatal: restore the data to the
 				// buffer and carry on holding it in memory.
-				n.mu.Lock()
+				t.mu.Lock()
 				if _, ok := t.writes[k]; !ok {
 					t.writes[k] = val
 					t.buffered += len(val)
 					delete(t.spilled, k)
 				}
-				n.mu.Unlock()
+				t.mu.Unlock()
 			}
 		}
 	}
@@ -153,41 +194,59 @@ func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
 // updates (Table 1); nothing becomes visible. Aborting an unknown or
 // finished transaction returns the corresponding error.
 func (n *Node) AbortTransaction(ctx context.Context, txid string) error {
-	n.mu.Lock()
-	t, ok := n.txns[txid]
-	if !ok {
-		_, committed := n.committedByUUID[txid]
-		n.mu.Unlock()
-		if committed {
-			return ErrTxnFinished
-		}
-		return ErrTxnNotFound
+	t, err := n.lookup(txid)
+	if err != nil {
+		return err
 	}
-	delete(n.txns, txid)
-	n.unpinLocked(t)
+	t.mu.Lock()
+	for t.committing != nil {
+		// A commit attempt is in flight; wait for its outcome. If it
+		// succeeds the abort reports ErrTxnFinished below; if it fails
+		// the transaction is still live and the abort proceeds.
+		ch := t.committing
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		t.mu.Lock()
+	}
+	if t.done {
+		t.mu.Unlock()
+		return n.finishedErr(txid)
+	}
+	t.done = true
+	n.unpin(t)
 	spillDir := t.spillDir()
 	var spilled []string
 	for k := range t.spilled {
 		spilled = append(spilled, k)
 	}
-	n.mu.Unlock()
+	t.mu.Unlock()
+
+	n.tmu.Lock()
+	delete(n.txns, txid)
+	n.tmu.Unlock()
 
 	// Best-effort cleanup of spilled intermediary data; orphans left by a
 	// crash here are reclaimed by the global GC's spill sweep (§5).
 	for _, k := range spilled {
 		_ = n.store.Delete(ctx, records.SpillKey(spillDir, k))
 	}
-	n.metrics.add(func(m *NodeMetrics) { m.Aborted++ })
+	n.metrics.Aborted.Add(1)
 	n.release()
 	return nil
 }
 
-// unpinLocked releases the transaction's reader pins. Callers hold n.mu.
-func (n *Node) unpinLocked(t *txnState) {
+// unpin releases the transaction's reader pins. The caller holds t.mu.
+func (n *Node) unpin(t *txnState) {
+	n.pinMu.Lock()
 	for id := range t.pinned {
 		if n.readers[id]--; n.readers[id] <= 0 {
 			delete(n.readers, id)
 		}
 	}
+	n.pinMu.Unlock()
 	t.pinned = make(map[idgen.ID]bool)
 }

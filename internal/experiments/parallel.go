@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"aft/internal/core"
+	"aft/internal/stats"
+	"aft/internal/storage"
+	"aft/internal/workload"
+)
+
+// Parallel measures intra-node scaling: the same contended workloads run
+// against a node in its pre-striping configuration (one metadata lock, no
+// group commit — the "baseline" the parallel benchmarks compare against),
+// in the striped configuration with unthrottled flushers, and in the
+// batching-biased "economy" configuration (see parallelConfigs). It is
+// the single-node counterpart of the sharded experiment: sharding scales
+// metadata ACROSS nodes, striping scales it WITHIN one.
+//
+// Expected shape: on a multi-core host (GOMAXPROCS >= 8) the striped
+// configuration sustains >= 2.5x the baseline's commit throughput on the
+// contended commit workload, and the storage metrics show commits
+// coalescing (well above 1 item per BatchPut); on a single core the
+// throughput ratio collapses toward 1.0 — the stripes have no parallelism
+// to expose — while the coalescing evidence (items/batch, commits/flush,
+// fewer engine calls per commit) still holds. Every cell records NumCPU
+// and GOMAXPROCS so results are interpretable across hosts.
+func Parallel(opts Options) (Table, error) {
+	cells, err := ParallelCells(opts)
+	if err != nil {
+		return Table{}, err
+	}
+	return ParallelTable(cells)
+}
+
+// ParallelCell is one (workload, config) measurement, exposed for the
+// bench harness's machine-readable output.
+type ParallelCell struct {
+	Workload   string  // "commit" | "read" | "mixed"
+	Config     string  // "baseline" | "striped" | "economy" (see parallelConfigs)
+	Workers    int     // concurrent closed-loop clients
+	GOMAXPROCS int     // procs during the run
+	NumCPU     int     // host CPUs (scaling is bounded by this)
+	Throughput float64 // txn/s, paper-equivalent
+	Latency    stats.Summary
+	Committed  int64
+	// Storage-side coalescing evidence for the group-commit pipeline.
+	Batches       int64
+	BatchItems    int64
+	ItemsPerBatch float64
+	CallsPerTxn   float64 // engine round trips per committed transaction
+	// Node-side pipeline counters.
+	GroupFlushes    int64
+	GroupedCommits  int64
+	CommitsPerFlush float64
+}
+
+// Speedup returns cell throughput over base throughput (0 if base is 0).
+func (c ParallelCell) Speedup(base ParallelCell) float64 {
+	if base.Throughput == 0 {
+		return 0
+	}
+	return c.Throughput / base.Throughput
+}
+
+// ParallelTable renders measured cells, pairing each striped cell with its
+// baseline for the speedup column.
+func ParallelTable(cells []ParallelCell) (Table, error) {
+	table := Table{
+		Title: "Parallel node: striped metadata + group commit vs global-lock baseline",
+		Header: []string{"workload", "config", "workers", "throughput", "p50 ms",
+			"p99 ms", "speedup", "items/batch", "commits/flush", "calls/txn"},
+		Notes: []string{
+			"baseline: MetadataStripes=1 + DisableGroupCommit (the pre-striping node)",
+			"striped: 64 stripes, group-commit flushers = workers (storage parallelism matches baseline)",
+			"economy: 64 stripes, default flusher bound — coalesced batches cut engine calls per txn",
+			"speedup: config throughput / baseline throughput, same workload and workers",
+			"speedup is hardware-bound: expect >= 2.5x for striped commit at GOMAXPROCS >= 8, ~1.0x on one core",
+			"items/batch > 1 and commits/flush > 1 show concurrent commits coalescing into shared BatchPuts",
+		},
+	}
+	base := make(map[string]ParallelCell)
+	for _, c := range cells {
+		if c.Config == "baseline" {
+			base[c.Workload] = c
+		}
+	}
+	for _, c := range cells {
+		speedup := "-"
+		if c.Config != "baseline" {
+			speedup = fmt.Sprintf("%.2fx", c.Speedup(base[c.Workload]))
+		}
+		table.Rows = append(table.Rows, []string{
+			c.Workload, c.Config, fmt.Sprint(c.Workers),
+			fmt.Sprintf("%.0f", c.Throughput),
+			fmt.Sprintf("%.2f", stats.Millis(c.Latency.Median)),
+			fmt.Sprintf("%.2f", stats.Millis(c.Latency.P99)),
+			speedup,
+			fmt.Sprintf("%.1f", c.ItemsPerBatch),
+			fmt.Sprintf("%.1f", c.CommitsPerFlush),
+			fmt.Sprintf("%.1f", c.CallsPerTxn),
+		})
+	}
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("run at GOMAXPROCS=%d on %d CPUs", runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	return table, nil
+}
+
+// parallelConfigs are the node configurations the experiment compares:
+// the pre-striping baseline; the striped core with group commit allowed
+// as many concurrent flushes as there are clients (so storage parallelism
+// matches the baseline and the speedup isolates the metadata core); and
+// the economy profile, where the default flusher bound trades some
+// latency-bound throughput for coalesced batch round trips (the
+// §6.3/§6.4 API-call metric).
+func parallelConfigs(workers int) []struct {
+	name string
+	cfg  core.Config
+} {
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline", core.Config{MetadataStripes: 1, DisableGroupCommit: true}},
+		{"striped", core.Config{GroupCommitFlushers: workers}},
+		{"economy", core.Config{}},
+	}
+}
+
+// ParallelCells runs the parallel experiment and returns the raw cells
+// (the bench harness serializes them to BENCH_parallel.json).
+func ParallelCells(opts Options) ([]ParallelCell, error) {
+	opts = opts.withDefaults()
+	ctx := context.Background()
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	// Enough closed-loop clients that commits genuinely contend: well
+	// above the group committer's flusher count, so queues form and
+	// batches fill even on engines with real latency.
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 64 {
+		workers = 64
+	}
+	window := 900 * time.Millisecond
+	if opts.Quick {
+		window = 250 * time.Millisecond
+	}
+	const hotKeys = 8
+	const poolKeys = 1024
+	const readKeys = 256
+
+	var cells []ParallelCell
+	for _, workloadName := range []string{"commit", "read", "mixed"} {
+		for _, cfg := range parallelConfigs(workers) {
+			cell, err := runParallelCell(ctx, opts, workloadName, cfg.name, cfg.cfg,
+				workers, window, payload, hotKeys, poolKeys, readKeys)
+			if err != nil {
+				return cells, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// runParallelCell measures one (workload, config) cell on a fresh node.
+func runParallelCell(ctx context.Context, opts Options, workloadName, cfgName string,
+	cfg core.Config, workers int, window time.Duration, payload []byte,
+	hotKeys, poolKeys, readKeys int) (ParallelCell, error) {
+	cell := ParallelCell{
+		Workload:   workloadName,
+		Config:     cfgName,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	store := opts.newStore(kindDynamo)
+	cfg.NodeID = "parallel-" + cfgName
+	cfg.Store = store
+	cfg.EnableDataCache = true
+	cfg.DataCacheEntries = 16384
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		return cell, err
+	}
+	// Seed the read keyspace outside the measurement window.
+	for i := 0; i < readKeys; i++ {
+		txid, err := node.StartTransaction(ctx)
+		if err != nil {
+			return cell, err
+		}
+		if err := node.Put(ctx, txid, workload.KeyName(i), payload); err != nil {
+			return cell, err
+		}
+		if _, err := node.CommitTransaction(ctx, txid); err != nil {
+			return cell, err
+		}
+	}
+	type metered interface{ Metrics() *storage.Metrics }
+	sm, ok := store.(metered)
+	if !ok {
+		return cell, fmt.Errorf("store %s exposes no metrics", store.Name())
+	}
+	storeBefore := sm.Metrics().Snapshot()
+	nodeBefore := node.Metrics().Snapshot()
+
+	rec := stats.NewRecorder()
+	rngs := make([]*rand.Rand, workers)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(opts.Seed + int64(i)))
+	}
+	txn := func(cl int) error {
+		rng := rngs[cl]
+		start := time.Now()
+		txid, err := node.StartTransaction(ctx)
+		if err != nil {
+			return err
+		}
+		switch workloadName {
+		case "commit":
+			if err := node.Put(ctx, txid, workload.KeyName(rng.Intn(hotKeys)), payload); err != nil {
+				return err
+			}
+			if err := node.Put(ctx, txid, fmt.Sprintf("w-%d", rng.Intn(poolKeys)), payload); err != nil {
+				return err
+			}
+		case "read":
+			for j := 0; j < 3; j++ {
+				if _, err := node.Get(ctx, txid, workload.KeyName(rng.Intn(readKeys))); err != nil {
+					return err
+				}
+			}
+		case "mixed":
+			for j := 0; j < 2; j++ {
+				if _, err := node.Get(ctx, txid, workload.KeyName(rng.Intn(readKeys))); err != nil {
+					return err
+				}
+			}
+			if err := node.Put(ctx, txid, workload.KeyName(rng.Intn(hotKeys)), payload); err != nil {
+				return err
+			}
+		}
+		if _, err := node.CommitTransaction(ctx, txid); err != nil {
+			return err
+		}
+		rec.Record(time.Since(start))
+		return nil
+	}
+	count, elapsed, err := runForDuration(workers, window, txn)
+	if err != nil {
+		return cell, err
+	}
+
+	cell.Throughput = opts.rescaleRate(float64(count) / elapsed.Seconds())
+	sum := rec.Summarize()
+	sum.Median = opts.rescale(sum.Median)
+	sum.P95 = opts.rescale(sum.P95)
+	sum.P99 = opts.rescale(sum.P99)
+	sum.Mean = opts.rescale(sum.Mean)
+	sum.Min = opts.rescale(sum.Min)
+	sum.Max = opts.rescale(sum.Max)
+	cell.Latency = sum
+
+	sdiff := sm.Metrics().Snapshot().Sub(storeBefore)
+	nodeAfter := node.Metrics().Snapshot()
+	cell.Committed = nodeAfter.Committed - nodeBefore.Committed
+	cell.Batches = sdiff.Batches
+	cell.BatchItems = sdiff.BatchItems
+	cell.ItemsPerBatch = sdiff.ItemsPerBatch()
+	if cell.Committed > 0 {
+		cell.CallsPerTxn = float64(sdiff.Calls()) / float64(cell.Committed)
+	}
+	cell.GroupFlushes = nodeAfter.GroupFlushes - nodeBefore.GroupFlushes
+	cell.GroupedCommits = nodeAfter.GroupedCommits - nodeBefore.GroupedCommits
+	if cell.GroupFlushes > 0 {
+		cell.CommitsPerFlush = float64(cell.GroupedCommits) / float64(cell.GroupFlushes)
+	}
+	return cell, nil
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
@@ -53,13 +54,14 @@ type StaticMembership []Node
 // Nodes implements Membership.
 func (s StaticMembership) Nodes() []Node { return s }
 
-// Metrics counts fault-manager activity.
+// Metrics counts fault-manager activity. Counters are atomic: the ingest
+// tap runs on every node's multicast round and must not share a lock with
+// the slower GC paths.
 type Metrics struct {
-	mu              sync.Mutex
-	Ingested        int64 // records received via (unpruned) broadcast taps
-	Recovered       int64 // records found only by scanning storage
-	TxnsDeleted     int64 // transactions whose data the global GC removed
-	VersionsDeleted int64 // key versions removed from storage
+	Ingested        atomic.Int64 // records received via (unpruned) broadcast taps
+	Recovered       atomic.Int64 // records found only by scanning storage
+	TxnsDeleted     atomic.Int64 // transactions whose data the global GC removed
+	VersionsDeleted atomic.Int64 // key versions removed from storage
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
@@ -69,10 +71,8 @@ type MetricsSnapshot struct {
 
 // Snapshot returns a copy of the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return MetricsSnapshot{Ingested: m.Ingested, Recovered: m.Recovered,
-		TxnsDeleted: m.TxnsDeleted, VersionsDeleted: m.VersionsDeleted}
+	return MetricsSnapshot{Ingested: m.Ingested.Load(), Recovered: m.Recovered.Load(),
+		TxnsDeleted: m.TxnsDeleted.Load(), VersionsDeleted: m.VersionsDeleted.Load()}
 }
 
 // Scope maps a commit record to the node IDs responsible for its
@@ -130,9 +130,7 @@ func (m *Manager) Ingest(from string, recs []*records.CommitRecord) {
 	defer m.mu.Unlock()
 	for _, rec := range recs {
 		if m.installLocked(rec) {
-			m.metrics.mu.Lock()
-			m.metrics.Ingested++
-			m.metrics.mu.Unlock()
+			m.metrics.Ingested.Add(1)
 		}
 	}
 }
@@ -200,9 +198,7 @@ func (m *Manager) ScanStorage(ctx context.Context) error {
 	if len(missed) == 0 {
 		return nil
 	}
-	m.metrics.mu.Lock()
-	m.metrics.Recovered += int64(len(missed))
-	m.metrics.mu.Unlock()
+	m.metrics.Recovered.Add(int64(len(missed)))
 	m.mu.Lock()
 	scope := m.scope
 	m.mu.Unlock()
@@ -380,9 +376,7 @@ func (m *Manager) CollectOnce(ctx context.Context, maxDelete int) ([]idgen.ID, e
 		for _, n := range nodes {
 			n.ForgetDeleted(removed)
 		}
-		m.metrics.mu.Lock()
-		m.metrics.TxnsDeleted += int64(len(removed))
-		m.metrics.mu.Unlock()
+		m.metrics.TxnsDeleted.Add(int64(len(removed)))
 	}
 	return removed, nil
 }
@@ -459,9 +453,7 @@ func (m *Manager) deleteTxnData(ctx context.Context, rec *records.CommitRecord) 
 		if err := m.store.Delete(ctx, rec.StorageKeyFor(k)); err != nil {
 			return err
 		}
-		m.metrics.mu.Lock()
-		m.metrics.VersionsDeleted++
-		m.metrics.mu.Unlock()
+		m.metrics.VersionsDeleted.Add(1)
 	}
 	return m.store.Delete(ctx, records.CommitKey(rec.ID()))
 }

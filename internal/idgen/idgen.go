@@ -184,6 +184,12 @@ func (g *Generator) NewID() ID {
 	return ID{Timestamp: g.clock.Now(), UUID: uuid}
 }
 
+// NewTimestamp returns a fresh commit timestamp without minting a UUID.
+// The commit path stamps an existing transaction UUID (§3.1: the ID is
+// assigned "at commit time") and should not pay for entropy it would
+// discard — NewID's random read is a measurable cost at high commit rates.
+func (g *Generator) NewTimestamp() int64 { return g.clock.Now() }
+
 // MaxID returns the later of a and b.
 func MaxID(a, b ID) ID {
 	if a.Less(b) {

@@ -14,6 +14,7 @@ package multicast
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aft/internal/records"
@@ -41,13 +42,13 @@ type Tap func(from string, recs []*records.CommitRecord)
 type Router func(rec *records.CommitRecord) []string
 
 // BusMetrics counts multicast traffic, used by the pruning ablation bench
-// and the sharded-exchange comparison.
+// and the sharded-exchange comparison. Counters are atomic so concurrent
+// per-peer flushes do not serialize on a metrics lock.
 type BusMetrics struct {
-	mu         sync.Mutex
-	Broadcast  int64 // records sent to at least one peer
-	Deliveries int64 // record×peer deliveries (the fan-out cost)
-	Pruned     int64 // records suppressed by supersedence pruning
-	Rounds     int64
+	Broadcast  atomic.Int64 // records sent to at least one peer
+	Deliveries atomic.Int64 // record×peer deliveries (the fan-out cost)
+	Pruned     atomic.Int64 // records suppressed by supersedence pruning
+	Rounds     atomic.Int64
 }
 
 // BusSnapshot is a point-in-time copy of BusMetrics.
@@ -57,10 +58,8 @@ type BusSnapshot struct {
 
 // Snapshot returns a copy of the counters.
 func (m *BusMetrics) Snapshot() BusSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return BusSnapshot{Broadcast: m.Broadcast, Deliveries: m.Deliveries,
-		Pruned: m.Pruned, Rounds: m.Rounds}
+	return BusSnapshot{Broadcast: m.Broadcast.Load(), Deliveries: m.Deliveries.Load(),
+		Pruned: m.Pruned.Load(), Rounds: m.Rounds.Load()}
 }
 
 // Bus is an in-process multicast fabric connecting the nodes of one
@@ -189,12 +188,10 @@ func (b *Bus) FlushPeer(p Peer, prune bool) int {
 			others[id].MergeRemoteCommits(batch)
 		}
 	}
-	b.metrics.mu.Lock()
-	b.metrics.Broadcast += int64(sent)
-	b.metrics.Deliveries += int64(deliveries)
-	b.metrics.Pruned += int64(pruned)
-	b.metrics.Rounds++
-	b.metrics.mu.Unlock()
+	b.metrics.Broadcast.Add(int64(sent))
+	b.metrics.Deliveries.Add(int64(deliveries))
+	b.metrics.Pruned.Add(int64(pruned))
+	b.metrics.Rounds.Add(1)
 	return sent
 }
 

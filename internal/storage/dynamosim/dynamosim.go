@@ -12,6 +12,7 @@ package dynamosim
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"aft/internal/latency"
 	"aft/internal/storage"
@@ -28,7 +29,9 @@ type Options struct {
 	// Sleeper injects latencies; nil means never sleep.
 	Sleeper *latency.Sleeper
 	// Shards is the internal shard count for concurrency (not visible in
-	// semantics); 0 defaults to 16.
+	// semantics); 0 defaults to 128 — DynamoDB is a massively parallel
+	// service, and the simulator must not serialize callers the real
+	// engine would not.
 	Shards int
 }
 
@@ -44,8 +47,7 @@ type Store struct {
 	readers map[string]int
 	writers map[string]bool
 
-	down sync.RWMutex // held for writes while the store is "unavailable"
-	off  bool
+	off atomic.Bool // fault injection: true while "unavailable"
 }
 
 var (
@@ -57,7 +59,7 @@ var (
 func New(opts Options) *Store {
 	shards := opts.Shards
 	if shards == 0 {
-		shards = 16
+		shards = 128
 	}
 	return &Store{
 		engine:  kvengine.New(shards),
@@ -82,19 +84,14 @@ func (s *Store) Metrics() *storage.Metrics { return &s.metrics }
 // SetAvailable toggles fault injection: when false, every operation returns
 // storage.ErrUnavailable.
 func (s *Store) SetAvailable(up bool) {
-	s.down.Lock()
-	s.off = !up
-	s.down.Unlock()
+	s.off.Store(!up)
 }
 
 func (s *Store) check(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.down.RLock()
-	off := s.off
-	s.down.RUnlock()
-	if off {
+	if s.off.Load() {
 		return storage.ErrUnavailable
 	}
 	return nil

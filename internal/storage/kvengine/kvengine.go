@@ -6,10 +6,11 @@
 package kvengine
 
 import (
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
+
+	"aft/internal/strhash"
 )
 
 // Engine is a sharded concurrent map from string keys to byte values.
@@ -40,9 +41,7 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // ShardFor returns the shard index that owns key; exposed so the Redis
 // simulator can enforce single-shard MSET semantics.
 func (e *Engine) ShardFor(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(e.shards)))
+	return int(strhash.FNV32a(key) % uint32(len(e.shards)))
 }
 
 func (e *Engine) shardOf(key string) *shard { return e.shards[e.ShardFor(key)] }
@@ -75,17 +74,24 @@ func (e *Engine) Put(key string, value []byte) {
 // shards; callers that need atomic visibility layer it above (as AFT does
 // with its commit record).
 func (e *Engine) PutAll(items map[string][]byte) {
-	// Group by shard to take each shard lock once.
-	byShard := make(map[int][][2]string, len(e.shards))
+	// Group by shard to take each shard lock once; values are copied
+	// before any lock is taken so the memcpy never extends a hold.
+	type kv struct {
+		k string
+		v []byte
+	}
+	byShard := make(map[int][]kv, len(e.shards))
 	for k, v := range items {
+		c := make([]byte, len(v))
+		copy(c, v)
 		i := e.ShardFor(k)
-		byShard[i] = append(byShard[i], [2]string{k, string(v)})
+		byShard[i] = append(byShard[i], kv{k, c})
 	}
 	for i, kvs := range byShard {
 		s := e.shards[i]
 		s.mu.Lock()
-		for _, kv := range kvs {
-			s.data[kv[0]] = []byte(kv[1])
+		for _, it := range kvs {
+			s.data[it.k] = it.v
 		}
 		s.mu.Unlock()
 	}

@@ -39,3 +39,27 @@ func (m *Metrics) Snapshot() Snapshot {
 func (s Snapshot) Calls() int64 {
 	return s.Gets + s.Puts + s.Batches + s.Deletes + s.Lists + s.Transacts
 }
+
+// ItemsPerBatch returns the mean number of items per BatchPut round trip
+// (0 when no batches ran) — the coalescing evidence for the group-commit
+// pipeline: a contended commit workload should sustain well above 1.
+func (s Snapshot) ItemsPerBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchItems) / float64(s.Batches)
+}
+
+// Sub returns the per-counter difference s - prev, for windowed readings.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Gets:       s.Gets - prev.Gets,
+		Puts:       s.Puts - prev.Puts,
+		Batches:    s.Batches - prev.Batches,
+		BatchItems: s.BatchItems - prev.BatchItems,
+		Deletes:    s.Deletes - prev.Deletes,
+		Lists:      s.Lists - prev.Lists,
+		Transacts:  s.Transacts - prev.Transacts,
+		Conflicts:  s.Conflicts - prev.Conflicts,
+	}
+}

@@ -11,7 +11,7 @@ package redissim
 
 import (
 	"context"
-	"sync"
+	"sync/atomic"
 
 	"aft/internal/latency"
 	"aft/internal/storage"
@@ -36,8 +36,7 @@ type Store struct {
 	sleeper *latency.Sleeper
 	metrics storage.Metrics
 
-	mu  sync.RWMutex
-	off bool
+	off atomic.Bool // fault injection: true while "unavailable"
 }
 
 var _ storage.Store = (*Store)(nil)
@@ -73,19 +72,14 @@ func (s *Store) ShardFor(key string) int { return s.engine.ShardFor(key) }
 
 // SetAvailable toggles fault injection.
 func (s *Store) SetAvailable(up bool) {
-	s.mu.Lock()
-	s.off = !up
-	s.mu.Unlock()
+	s.off.Store(!up)
 }
 
 func (s *Store) check(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.RLock()
-	off := s.off
-	s.mu.RUnlock()
-	if off {
+	if s.off.Load() {
 		return storage.ErrUnavailable
 	}
 	return nil

@@ -10,7 +10,7 @@ package s3sim
 
 import (
 	"context"
-	"sync"
+	"sync/atomic"
 
 	"aft/internal/latency"
 	"aft/internal/storage"
@@ -32,8 +32,7 @@ type Store struct {
 	sleeper *latency.Sleeper
 	metrics storage.Metrics
 
-	mu  sync.RWMutex
-	off bool
+	off atomic.Bool // fault injection: true while "unavailable"
 }
 
 var _ storage.Store = (*Store)(nil)
@@ -41,7 +40,7 @@ var _ storage.Store = (*Store)(nil)
 // New returns an empty simulated bucket.
 func New(opts Options) *Store {
 	return &Store{
-		engine:  kvengine.New(16),
+		engine:  kvengine.New(128),
 		model:   opts.Latency,
 		sleeper: opts.Sleeper,
 	}
@@ -58,19 +57,14 @@ func (s *Store) Metrics() *storage.Metrics { return &s.metrics }
 
 // SetAvailable toggles fault injection.
 func (s *Store) SetAvailable(up bool) {
-	s.mu.Lock()
-	s.off = !up
-	s.mu.Unlock()
+	s.off.Store(!up)
 }
 
 func (s *Store) check(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.RLock()
-	off := s.off
-	s.mu.RUnlock()
-	if off {
+	if s.off.Load() {
 		return storage.ErrUnavailable
 	}
 	return nil
