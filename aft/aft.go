@@ -84,6 +84,11 @@ var (
 type Client interface {
 	StartTransaction(ctx context.Context) (string, error)
 	Get(ctx context.Context, txid, key string) ([]byte, error)
+	// MultiGet reads a batch of keys with the same read-atomic guarantees
+	// as issuing the Gets one by one, but plans them under one metadata
+	// pass and fetches all cache-missing payloads in batched storage
+	// round trips (and, over the wire, one RPC).
+	MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error)
 	Put(ctx context.Context, txid, key string, value []byte) error
 	CommitTransaction(ctx context.Context, txid string) (ID, error)
 	AbortTransaction(ctx context.Context, txid string) error

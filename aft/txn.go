@@ -32,6 +32,13 @@ func (t *Txn) Get(key string) ([]byte, error) {
 	return t.client.Get(t.ctx, t.id, key)
 }
 
+// MultiGet reads a batch of keys with read atomic isolation, returning
+// values aligned with keys. Equivalent to calling Get per key, but the
+// metadata pass, storage fetches, and (remote) round trips are batched.
+func (t *Txn) MultiGet(keys ...string) ([][]byte, error) {
+	return t.client.MultiGet(t.ctx, t.id, keys)
+}
+
 // Put buffers a write of key; nothing is visible until Commit.
 func (t *Txn) Put(key string, value []byte) error {
 	return t.client.Put(t.ctx, t.id, key, value)

@@ -537,6 +537,103 @@ func BenchmarkParallelMixed(b *testing.B) {
 	}
 }
 
+// readPathModes are the two node configurations BenchmarkReadPath
+// compares: Baseline reconstructs the pre-batching read path (per-record
+// point Gets, no cold-read singleflight) via Config.DisableReadBatching,
+// so the round-trip reduction is measured in the same run. Like the
+// parallel benches, acceptance is in storage calls (reported as
+// calls/coldread and calls/txn metrics), not wall-clock — the simulators
+// have no injected latency here and a 1-CPU host shows no overlap.
+var readPathModes = []struct {
+	name string
+	cfg  core.Config
+}{
+	{"Baseline", core.Config{DisableReadBatching: true}},
+	{"Batched", core.Config{}},
+}
+
+// BenchmarkReadPath measures the batched read pipeline's storage profile:
+// ColdFetch reads keys whose metadata must be recovered from storage (1
+// List + ceil(N/batch) record BatchGets vs 1 List + N Gets per key), and
+// MultiGet reads 10-key batches with the data cache off (1 BatchGet vs 10
+// Gets per transaction).
+func BenchmarkReadPath(b *testing.B) {
+	payload := workload.Payload(1, 1024)
+	const versions = 30
+
+	for _, mode := range readPathModes {
+		b.Run("ColdFetch/"+mode.name, func(b *testing.B) {
+			store := dynamosim.New(dynamosim.Options{})
+			seeder, err := core.NewNode(core.Config{NodeID: "seed", Store: store})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for v := 0; v < versions; v++ {
+				commitKVs(b, seeder, map[string][]byte{"cold": payload})
+			}
+			ctx := context.Background()
+			before := store.Metrics().Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh sharded reader per iteration: every read is cold.
+				cfg := mode.cfg
+				cfg.NodeID = "cold-reader"
+				cfg.Store = store
+				reader, err := core.NewNode(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reader.SetOwnership(func(string) bool { return true })
+				txid, _ := reader.StartTransaction(ctx)
+				if _, err := reader.Get(ctx, txid, "cold"); err != nil {
+					b.Fatal(err)
+				}
+				reader.AbortTransaction(ctx, txid)
+			}
+			b.StopTimer()
+			d := store.Metrics().Snapshot().Sub(before)
+			b.ReportMetric(float64(d.Calls())/float64(b.N), "calls/coldread")
+		})
+	}
+
+	for _, mode := range readPathModes {
+		b.Run("MultiGet/"+mode.name, func(b *testing.B) {
+			cfg := mode.cfg
+			cfg.NodeID = "mg-bench"
+			cfg.Store = dynamosim.New(dynamosim.Options{})
+			n, err := core.NewNode(cfg) // no data cache: every payload hits storage
+			if err != nil {
+				b.Fatal(err)
+			}
+			const nKeys = 64
+			keys := make([]string, nKeys)
+			for i := range keys {
+				keys[i] = workload.KeyName(i)
+				commitKVs(b, n, map[string][]byte{keys[i]: payload})
+			}
+			ctx := context.Background()
+			before := storeMetrics(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txid, _ := n.StartTransaction(ctx)
+				batch := make([]string, 10)
+				for j := range batch {
+					batch[j] = keys[(i*10+j)%nKeys]
+				}
+				if _, err := n.MultiGet(ctx, txid, batch); err != nil {
+					b.Fatal(err)
+				}
+				n.AbortTransaction(ctx, txid)
+			}
+			b.StopTimer()
+			d := storeMetrics(b, n).Sub(before)
+			b.ReportMetric(float64(d.Calls())/float64(b.N), "calls/txn")
+		})
+	}
+}
+
 func storeMetrics(b *testing.B, n *core.Node) storage.Snapshot {
 	b.Helper()
 	type metered interface{ Metrics() *storage.Metrics }

@@ -10,7 +10,8 @@
 //	aft-bench -experiment sharded -json out/  # broadcast vs sharded exchange
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablation, sharded, parallel. Output latencies and throughputs are
+// fig9, fig10, ablation, sharded, parallel, readpath. Output latencies and
+// throughputs are
 // reported in paper-equivalent units (measured values divided by the time
 // scale).
 //
@@ -42,11 +43,12 @@ type benchResult struct {
 	Tables        []experiments.Table        `json:"tables"`
 	ShardedCells  []experiments.ShardedCell  `json:"sharded_cells,omitempty"`
 	ParallelCells []experiments.ParallelCell `json:"parallel_cells,omitempty"`
+	ReadPathCells []experiments.ReadPathCell `json:"readpath_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -84,6 +86,7 @@ func main() {
 		{"ablation", one(experiments.Ablation)},
 		{"sharded", one(experiments.Sharded)},
 		{"parallel", one(experiments.Parallel)},
+		{"readpath", one(experiments.ReadPath)},
 	}
 
 	selected := map[string]bool{}
@@ -126,6 +129,13 @@ func main() {
 			if err == nil {
 				var t experiments.Table
 				t, err = experiments.ParallelTable(res.ParallelCells)
+				res.Tables = []experiments.Table{t}
+			}
+		case "readpath":
+			res.ReadPathCells, err = experiments.ReadPathCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.ReadPathTable(res.ReadPathCells)
 				res.Tables = []experiments.Table{t}
 			}
 		default:

@@ -16,6 +16,7 @@ import (
 	"aft/internal/baselines"
 	"aft/internal/cluster"
 	"aft/internal/faas"
+	"aft/internal/records"
 	"aft/internal/storage/dynamosim"
 	"aft/internal/workload"
 )
@@ -261,6 +262,90 @@ func TestIntegrationPublicAPIOverWireCluster(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestIntegrationMultiGetWireVanishedRetry exercises MultiGet through the
+// full public stack — aft.Dial client → TCP server → core — on a sharded
+// node (non-nil ownership), including the ErrVersionVanished path: a
+// version collected mid-transaction surfaces the redo signal across the
+// wire, RunTransaction retries with a fresh transaction, and the retry
+// reads the surviving newer version.
+func TestIntegrationMultiGetWireVanishedRetry(t *testing.T) {
+	store := aft.NewDynamoDBStore(aft.LatencyNone, 0)
+	node, err := aft.NewNode(aft.NodeConfig{NodeID: "wire-mg", Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharded mode: the owner-voted global GC can delete a payload a
+	// non-owner's pin could not protect, so the vanished-version retry is
+	// live on this node.
+	node.SetOwnership(func(string) bool { return true })
+	srv, addr, err := aft.Serve(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := aft.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	commit := func(val string) aft.ID {
+		var id aft.ID
+		txn, err := aft.Begin(ctx, client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Put("acct", []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		if id, err = txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	id1 := commit("v1")
+
+	attempts := 0
+	var got []byte
+	err = aft.RunTransaction(ctx, client, func(txn *aft.Txn) error {
+		attempts++
+		vals, err := txn.MultiGet("acct")
+		if err != nil {
+			return err
+		}
+		if attempts == 1 {
+			if string(vals[0]) != "v1" {
+				return fmt.Errorf("first read = %q, want v1", vals[0])
+			}
+			// Mid-transaction, a newer version lands and the version this
+			// transaction pinned is collected (the sharded GC race a
+			// non-owner's pin cannot block). The repeat MultiGet needs
+			// exactly v1 back — repeatable read — so it must surface the
+			// redo signal over the wire, not silently read v2.
+			commit("v2")
+			if err := store.Delete(ctx, records.DataKey("acct", id1)); err != nil {
+				return err
+			}
+		}
+		vals, err = txn.MultiGet("acct")
+		if err != nil {
+			return err
+		}
+		got = vals[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunTransaction: %v (attempts=%d)", err, attempts)
+	}
+	if attempts != 2 {
+		t.Fatalf("vanished version did not force exactly one retry (attempts=%d)", attempts)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("retried read = %q, want v2 (the surviving newest version)", got)
+	}
 }
 
 // TestIntegrationShardedZeroAnomaliesWithCrashesAndGC repeats the

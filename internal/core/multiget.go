@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"aft/internal/records"
+	"aft/internal/storage"
+)
+
+// MultiGet reads every key in the context of transaction txid, returning
+// values aligned with keys. It provides exactly the semantics of issuing
+// the Gets one by one — each key runs Algorithm 1 against the same read
+// set, so the combined result is an Atomic Readset and read-your-writes /
+// repeatable reads hold per key — but the storage cost collapses: all keys
+// are planned under ONE hold of the transaction's mutex, and every payload
+// the data cache misses is fetched in one BatchGet round-trip group instead
+// of one point Get per key.
+//
+// Any key that fails (ErrKeyNotFound, ErrNoValidVersion, a storage error)
+// fails the whole call; reads recorded before the failure stay in the read
+// set, exactly as a sequence of Gets would leave them, so the caller can
+// abort or retry the transaction as usual. In sharded mode a payload
+// deleted mid-read by the owner-voted global GC is retried per key (the
+// vanished version is forgotten and re-selected once); a re-read of an
+// already-read key cannot re-select and surfaces ErrVersionVanished, the
+// redo-the-transaction signal.
+func (n *Node) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
+	t, err := n.lookup(txid)
+	if err != nil {
+		return nil, err
+	}
+	n.metrics.MultiGets.Add(1)
+	n.metrics.Reads.Add(int64(len(keys)))
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	owns := n.ownership()
+	out := make([][]byte, len(keys))
+	plans := make([]*readPlan, len(keys))
+
+	// Metadata phase: plan every key under one t.mu hold. Version
+	// selection takes only stripe read locks per key; the cold-key
+	// metadata recovery (sharded mode) runs here too, coalesced with
+	// concurrent readers via the singleflight.
+	plan := func(idxs []int) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.done {
+			return n.finishedErr(txid)
+		}
+		first := make(map[string]int, len(idxs))
+		for _, i := range idxs {
+			if j, ok := first[keys[i]]; ok {
+				// A duplicated key shares its first occurrence's plan —
+				// one selection and ONE vanished-version retry identity,
+				// so a payload GC'd mid-call is re-selected for every
+				// occurrence instead of the later ones (alreadyRead via
+				// the first) spuriously failing the whole transaction.
+				plans[i] = plans[j]
+				continue
+			}
+			p, val, err := n.planRead(ctx, t, keys[i], owns)
+			if err != nil {
+				return err
+			}
+			plans[i] = p
+			if p == nil {
+				out[i] = val // served from the write buffer
+			} else {
+				first[keys[i]] = i
+			}
+		}
+		return nil
+	}
+	all := make([]int, len(keys))
+	for i := range all {
+		all[i] = i
+	}
+	if err := plan(all); err != nil {
+		return nil, err
+	}
+
+	// Payload phase, outside every lock (the reader pins keep the selected
+	// versions' metadata alive, §5.1). Cache hits are served immediately;
+	// the misses of all keys share batched round trips. A second pass
+	// handles versions that vanished under the sharded GC race.
+	pending := make([]int, 0, len(keys))
+	for i := range keys {
+		if plans[i] != nil {
+			pending = append(pending, i)
+		}
+	}
+	const maxAttempts = 2 // mirrors Get's single vanished-version retry
+	for attempt := 0; ; attempt++ {
+		missing, err := n.fetchPlanned(ctx, t, keys, plans, out, pending)
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) == 0 {
+			return out, nil
+		}
+		// Version(s) vanished: only reachable in sharded mode on keys not
+		// yet read before this call (fetchPlanned classifies the rest).
+		if attempt+1 >= maxAttempts {
+			return nil, fmt.Errorf("aft: fetching %s: %w",
+				n.storageKeyOf(plans[missing[0]], keys[missing[0]]), ErrVersionVanished)
+		}
+		t.mu.Lock()
+		if t.done {
+			t.mu.Unlock()
+			return nil, n.finishedErr(txid)
+		}
+		for _, i := range missing {
+			p := plans[i]
+			n.forgetVanished(t, keys[i], p.target, p.rec, p.pinnedNow)
+		}
+		t.mu.Unlock()
+		if err := plan(missing); err != nil {
+			return nil, err
+		}
+		pending = pending[:0]
+		for _, i := range missing {
+			if plans[i] != nil {
+				pending = append(pending, i)
+			}
+		}
+	}
+}
+
+// storageKeyOf resolves a plan's storage key, accounting for the spill
+// layout (whose plans carry only the spill directory).
+func (n *Node) storageKeyOf(p *readPlan, key string) string {
+	if p.spill {
+		return records.SpillKey(p.spillDir, key)
+	}
+	return p.storageKey
+}
+
+// fetchPlanned serves the planned indices from the data cache and one
+// batched storage fetch, filling out. It returns the indices whose payload
+// is missing from storage AND eligible for the sharded vanished-version
+// retry; any other miss is an error (for spill data and un-sharded
+// deployments a missing payload breaks the §3.3 durability ordering and is
+// surfaced for client retry, like Get does).
+func (n *Node) fetchPlanned(ctx context.Context, t *txnState, keys []string, plans []*readPlan, out [][]byte, idxs []int) ([]int, error) {
+	owns := n.ownership()
+	toFetch := make(map[string][]int)
+	for _, i := range idxs {
+		p := plans[i]
+		sk := n.storageKeyOf(p, keys[i])
+		if p.packed {
+			if v, ok := n.data.get(packEntryKey(sk, keys[i])); ok {
+				n.metrics.CacheHits.Add(1)
+				out[i] = v
+				continue
+			}
+		}
+		if v, ok := n.data.get(sk); ok {
+			n.metrics.CacheHits.Add(1)
+			if p.packed {
+				ev, err := n.extractPacked(v, sk, keys[i])
+				if err != nil {
+					return nil, err
+				}
+				out[i] = ev
+				continue
+			}
+			out[i] = v
+			continue
+		}
+		toFetch[sk] = append(toFetch[sk], i)
+	}
+	if len(toFetch) == 0 {
+		return nil, nil
+	}
+	skeys := make([]string, 0, len(toFetch))
+	for sk := range toFetch {
+		skeys = append(skeys, sk)
+	}
+	got, err := n.batchFetchPayloads(ctx, skeys)
+	if err != nil {
+		return nil, err
+	}
+	var vanished []int
+	for _, sk := range skeys {
+		waiting := toFetch[sk]
+		v, ok := got[sk]
+		if !ok {
+			for _, i := range waiting {
+				p := plans[i]
+				if p.spill || owns == nil {
+					// Own spill data, or no sharded GC that could have
+					// raced us: this is storage trouble, not a vanished
+					// version.
+					return nil, fmt.Errorf("aft: fetching %s: %w", sk, storage.ErrNotFound)
+				}
+				if p.alreadyRead {
+					// Repeatable read requires this exact version; the
+					// transaction must be redone.
+					return nil, fmt.Errorf("aft: fetching %s: %w", sk, ErrVersionVanished)
+				}
+				vanished = append(vanished, i)
+			}
+			continue
+		}
+		n.data.put(sk, v)
+		if plans[waiting[0]].packed {
+			// One decode serves every key of the pack (and caches the
+			// per-key entries); only pack storage keys carry packed plans,
+			// so packed-ness is uniform per sk.
+			m, err := n.unpackAndCache(v, sk)
+			if err != nil {
+				return nil, err
+			}
+			used := make(map[string]bool, len(waiting))
+			for _, i := range waiting {
+				pv, ok := m[keys[i]]
+				if !ok {
+					return nil, fmt.Errorf("records: key %q missing from packed object", keys[i])
+				}
+				if used[keys[i]] {
+					pv = append([]byte(nil), pv...)
+				}
+				used[keys[i]] = true
+				out[i] = pv
+			}
+			continue
+		}
+		for j, i := range waiting {
+			if j == 0 {
+				out[i] = v
+				continue
+			}
+			// A storage key serving several result slots must not alias
+			// one slice across them (callers may mutate their copy).
+			c := make([]byte, len(v))
+			copy(c, v)
+			out[i] = c
+		}
+	}
+	return vanished, nil
+}
+
+// batchFetchPayloads reads storage keys through BatchGet, or one point Get
+// per key when read batching is disabled (the benchmark baseline). Missing
+// keys are absent from the result either way.
+func (n *Node) batchFetchPayloads(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if !n.cfg.DisableReadBatching {
+		return n.store.BatchGet(ctx, keys)
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		v, err := n.store.Get(ctx, k)
+		if errors.Is(err, storage.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}

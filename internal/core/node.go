@@ -115,6 +115,12 @@ type Config struct {
 	// batches, more storage parallelism); fewer favor coalescing (fewer,
 	// larger batch round trips — the paper's §6.3/§6.4 API-call economy).
 	GroupCommitFlushers int
+	// DisableReadBatching makes the read pipeline fetch commit records and
+	// MultiGet payloads with one point Get per key and disables the
+	// cold-read singleflight — the pre-batching behaviour, kept as the
+	// measurable baseline for the read-path benchmarks (the read-side
+	// mirror of DisableGroupCommit).
+	DisableReadBatching bool
 }
 
 // ownsFunc is a shard-ownership filter; see SetOwnership.
@@ -173,6 +179,13 @@ type Node struct {
 	committer    groupCommitter
 	flusherLimit int
 
+	// fetchMu guards fetching: the singleflight table of in-progress
+	// cold-key metadata recoveries (read.go). One entry per key; waiters
+	// block on the entry's done channel instead of issuing their own
+	// List+BatchGet storm.
+	fetchMu  sync.Mutex
+	fetching map[string]*fetchCall
+
 	data *dataCache // nil when disabled
 
 	metrics NodeMetrics
@@ -182,45 +195,52 @@ type Node struct {
 // fields are updated atomically — the counters sit on every hot path and
 // must not introduce a shared lock.
 type NodeMetrics struct {
-	Started        atomic.Int64
-	Committed      atomic.Int64
-	Aborted        atomic.Int64
-	Reads          atomic.Int64
-	CacheHits      atomic.Int64
-	Spills         atomic.Int64
-	MergedRemote   atomic.Int64
-	PrunedMerges   atomic.Int64
-	SweptMetadata  atomic.Int64
-	PrunedNonOwned atomic.Int64 // records dropped or swept for non-owned shards
-	RemoteFetches  atomic.Int64 // reads that recovered metadata from storage
-	GroupFlushes   atomic.Int64 // group-commit flush rounds
-	GroupedCommits atomic.Int64 // commits that went through the group pipeline
+	Started           atomic.Int64
+	Committed         atomic.Int64
+	Aborted           atomic.Int64
+	Reads             atomic.Int64
+	CacheHits         atomic.Int64
+	Spills            atomic.Int64
+	MergedRemote      atomic.Int64
+	PrunedMerges      atomic.Int64
+	SweptMetadata     atomic.Int64
+	PrunedNonOwned    atomic.Int64 // records dropped or swept for non-owned shards
+	RemoteFetches     atomic.Int64 // reads that recovered metadata from storage
+	CoalescedFetches  atomic.Int64 // cold reads that joined another read's in-flight recovery
+	BatchedRecordGets atomic.Int64 // commit records fetched through batched reads
+	MultiGets         atomic.Int64 // MultiGet calls (Reads counts their keys individually)
+	GroupFlushes      atomic.Int64 // group-commit flush rounds
+	GroupedCommits    atomic.Int64 // commits that went through the group pipeline
 }
 
 // NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
 type NodeMetricsSnapshot struct {
 	Started, Committed, Aborted, Reads, CacheHits, Spills,
 	MergedRemote, PrunedMerges, SweptMetadata,
-	PrunedNonOwned, RemoteFetches,
+	PrunedNonOwned, RemoteFetches, CoalescedFetches,
+	BatchedRecordGets, MultiGets,
 	GroupFlushes, GroupedCommits int64
 }
 
 // Snapshot returns a copy of the counters.
 func (m *NodeMetrics) Snapshot() NodeMetricsSnapshot {
 	return NodeMetricsSnapshot{
-		Started:        m.Started.Load(),
-		Committed:      m.Committed.Load(),
-		Aborted:        m.Aborted.Load(),
-		Reads:          m.Reads.Load(),
-		CacheHits:      m.CacheHits.Load(),
-		Spills:         m.Spills.Load(),
-		MergedRemote:   m.MergedRemote.Load(),
-		PrunedMerges:   m.PrunedMerges.Load(),
-		SweptMetadata:  m.SweptMetadata.Load(),
-		PrunedNonOwned: m.PrunedNonOwned.Load(),
-		RemoteFetches:  m.RemoteFetches.Load(),
-		GroupFlushes:   m.GroupFlushes.Load(),
-		GroupedCommits: m.GroupedCommits.Load(),
+		Started:           m.Started.Load(),
+		Committed:         m.Committed.Load(),
+		Aborted:           m.Aborted.Load(),
+		Reads:             m.Reads.Load(),
+		CacheHits:         m.CacheHits.Load(),
+		Spills:            m.Spills.Load(),
+		MergedRemote:      m.MergedRemote.Load(),
+		PrunedMerges:      m.PrunedMerges.Load(),
+		SweptMetadata:     m.SweptMetadata.Load(),
+		PrunedNonOwned:    m.PrunedNonOwned.Load(),
+		RemoteFetches:     m.RemoteFetches.Load(),
+		CoalescedFetches:  m.CoalescedFetches.Load(),
+		BatchedRecordGets: m.BatchedRecordGets.Load(),
+		MultiGets:         m.MultiGets.Load(),
+		GroupFlushes:      m.GroupFlushes.Load(),
+		GroupedCommits:    m.GroupedCommits.Load(),
 	}
 }
 
@@ -253,6 +273,7 @@ func NewNode(cfg Config) (*Node, error) {
 		txns:            make(map[string]*txnState),
 		committedByUUID: make(map[string]idgen.ID),
 		readers:         make(map[idgen.ID]int),
+		fetching:        make(map[string]*fetchCall),
 	}
 	for i := range n.stripes {
 		n.stripes[i] = newStripe()

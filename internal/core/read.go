@@ -62,12 +62,32 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 		// Payload fetch, outside every lock: the reader pin taken during
 		// selection keeps the version's metadata alive (§5.1).
 		if plan.spill {
-			return n.store.Get(ctx, records.SpillKey(plan.spillDir, key))
+			// Spilled read-your-writes data is cached like any other
+			// payload (a spill is invisible to other transactions until
+			// commit, but THIS transaction re-reads it after every resumed
+			// function); Put refreshes the entry when a key re-spills.
+			sk := records.SpillKey(plan.spillDir, key)
+			if v, ok := n.data.get(sk); ok {
+				n.metrics.CacheHits.Add(1)
+				return v, nil
+			}
+			v, err := n.store.Get(ctx, sk)
+			if err != nil {
+				return nil, err
+			}
+			n.data.put(sk, v)
+			return v, nil
+		}
+		if plan.packed {
+			if v, ok := n.data.get(packEntryKey(plan.storageKey, key)); ok {
+				n.metrics.CacheHits.Add(1)
+				return v, nil
+			}
 		}
 		if v, ok := n.data.get(plan.storageKey); ok {
 			n.metrics.CacheHits.Add(1)
 			if plan.packed {
-				return records.ExtractPacked(v, key)
+				return n.extractPacked(v, plan.storageKey, key)
 			}
 			return v, nil
 		}
@@ -100,11 +120,50 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 		}
 		n.data.put(plan.storageKey, v)
 		if plan.packed {
-			// The whole packed object is cached once; extract this key.
-			return records.ExtractPacked(v, key)
+			return n.extractPacked(v, plan.storageKey, key)
 		}
 		return v, nil
 	}
+}
+
+// packEntryKey is the data-cache key of one user key's value inside a
+// packed object. Pack storage keys contain no NUL byte, so splitting at the
+// first NUL is unambiguous and distinct (packKey, key) pairs can never
+// collide.
+func packEntryKey(packKey, key string) string {
+	return packKey + "\x00" + key
+}
+
+// unpackAndCache decodes a packed object once and caches every co-written
+// key's value under its packEntryKey, so repeated reads of keys in the same
+// pack (the common co-access pattern that motivated packing) skip the
+// re-unmarshal. The pack's versions are immutable, so the entries can never
+// go stale; LRU eviction bounds them like any other cached payload.
+func (n *Node) unpackAndCache(packed []byte, packKey string) (map[string][]byte, error) {
+	m, err := records.Unpack(packed)
+	if err != nil {
+		return nil, err
+	}
+	if n.data != nil {
+		for k, v := range m {
+			n.data.put(packEntryKey(packKey, k), v)
+		}
+	}
+	return m, nil
+}
+
+// extractPacked returns key's value from a packed object via
+// unpackAndCache.
+func (n *Node) extractPacked(packed []byte, packKey, key string) ([]byte, error) {
+	m, err := n.unpackAndCache(packed, packKey)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := m[key]
+	if !ok {
+		return nil, fmt.Errorf("records: key %q missing from packed object", key)
+	}
+	return v, nil
 }
 
 // readPlan is the outcome of a read's metadata phase: where the payload
@@ -153,15 +212,32 @@ func (n *Node) planRead(ctx context.Context, t *txnState, key string, owns ownsF
 			t.metaFetched = make(map[string]bool)
 		}
 		t.metaFetched[key] = true
-		fetched, ferr := n.fetchKeyRecords(ctx, key)
+		fetched, finish, retryOnMiss, ferr := n.coalesceFetch(ctx, key)
 		if ferr != nil {
 			return nil, nil, fmt.Errorf("aft: recovering metadata for %q: %w", key, ferr)
 		}
 		// Install and re-select inside ONE multi-stripe critical section
 		// (selectAndPin write-locks the union): a concurrent non-owned
 		// sweep must not evict the fetched records between installation
-		// and version selection.
+		// and version selection. A coalesced waiter gets nil records —
+		// the flight's leader already installed them — and re-selects
+		// through the stripe index.
 		target, rec, pinnedNow, err = n.selectAndPin(t, key, fetched)
+		if finish != nil {
+			finish()
+		}
+		if retryOnMiss && (errors.Is(err, ErrKeyNotFound) || errors.Is(err, ErrNoValidVersion)) {
+			// The waiter's re-selection is NOT covered by the leader's
+			// install critical section: a sweep can evict the installed
+			// records in the window between the leader's finish and this
+			// selection. Rare, and recoverable — fetch for ourselves, with
+			// the atomic install+select the solo path gets.
+			fetched, ferr = n.fetchKeyRecords(ctx, key)
+			if ferr != nil {
+				return nil, nil, fmt.Errorf("aft: recovering metadata for %q: %w", key, ferr)
+			}
+			target, rec, pinnedNow, err = n.selectAndPin(t, key, fetched)
+		}
 	}
 	if err != nil {
 		return nil, nil, err
@@ -279,7 +355,11 @@ func (n *Node) forgetVanished(t *txnState, key string, target idgen.ID, rec *rec
 		// entry survives).
 		for _, k := range rec.WriteSet {
 			n.stripeFor(k).index.remove(k, target)
-			n.data.evict(rec.StorageKeyFor(k))
+			sk := rec.StorageKeyFor(k)
+			n.data.evict(sk)
+			if rec.Packed {
+				n.data.evict(packEntryKey(sk, k))
+			}
 		}
 		// The record itself must outlive any other transaction still
 		// pinning it: their read sets resolve through readRecs and the
@@ -350,14 +430,79 @@ func (n *Node) selectVersionLocked(t *txnState, key string, lower idgen.ID) (idg
 	return idgen.Null, nil, ErrNoValidVersion
 }
 
+// fetchCall is one in-flight cold-key metadata recovery; waiters block on
+// done and, once the leader has installed the fetched records, re-select
+// through the stripe index.
+type fetchCall struct {
+	done  chan struct{}
+	err   error // set before done closes; read only after
+	found int   // records the leader fetched; set before done closes
+}
+
+// coalesceFetch is the node-level singleflight in front of fetchKeyRecords:
+// N concurrent cold reads of the same key share ONE List + BatchGet round
+// trip instead of issuing N storms. The leader (first caller) fetches and
+// returns the records together with a finish func the caller MUST invoke
+// after installing them (planRead does so inside selectAndPin's critical
+// section); waiters block until then and return nil records — the records
+// are already in the stripe index. retryOnMiss is set only for a waiter
+// whose leader DID find records: its re-selection is outside the leader's
+// install critical section, so a sweep can empty the index again and the
+// caller should fetch solo. When the leader found nothing, a waiter's miss
+// is the true outcome and re-fetching would just repeat the empty List. A
+// waiter whose leader failed falls back to its own fetch so one canceled
+// context or transient storage error cannot poison every coalesced read.
+func (n *Node) coalesceFetch(ctx context.Context, key string) (recs []*records.CommitRecord, finish func(), retryOnMiss bool, err error) {
+	if n.cfg.DisableReadBatching {
+		// Baseline for the read-path benchmarks: every reader pays its
+		// own round-trip storm.
+		recs, err = n.fetchKeyRecords(ctx, key)
+		return recs, nil, false, err
+	}
+	n.fetchMu.Lock()
+	if call, ok := n.fetching[key]; ok {
+		n.fetchMu.Unlock()
+		n.metrics.CoalescedFetches.Add(1)
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, nil, false, ctx.Err()
+		}
+		if call.err != nil {
+			recs, err = n.fetchKeyRecords(ctx, key)
+			return recs, nil, false, err
+		}
+		return nil, nil, call.found > 0, nil
+	}
+	call := &fetchCall{done: make(chan struct{})}
+	n.fetching[key] = call
+	n.fetchMu.Unlock()
+	finish = func() {
+		n.fetchMu.Lock()
+		delete(n.fetching, key)
+		n.fetchMu.Unlock()
+		close(call.done)
+	}
+	recs, err = n.fetchKeyRecords(ctx, key)
+	if err != nil {
+		call.err = err
+		finish()
+		return nil, nil, false, err
+	}
+	call.found = len(recs)
+	return recs, finish, false, nil
+}
+
 // fetchKeyRecords recovers commit metadata for a key from storage (sharded
-// mode): it lists the key's persisted versions and returns the commit
-// record of each version the node does not already know — the caller
-// installs them in the same critical section as the retried version
-// selection (selectAndPin), so a concurrent sweep cannot evict them in
-// between. A data key without a commit record is an in-flight or crashed
-// transaction and is skipped — the write-ordering protocol (§3.3) makes
-// the commit record the visibility point, so this fallback can never
+// mode): it lists the key's persisted versions and fetches the commit
+// record of every version the node does not already know in ONE BatchGet
+// (the engine chunks by its read-batch limit), so a key with N unknown
+// versions costs 1 + ceil(N/limit) round trips instead of 1 + N. The
+// caller installs the records in the same critical section as the retried
+// version selection (selectAndPin), so a concurrent sweep cannot evict
+// them in between. A data key without a commit record is an in-flight or
+// crashed transaction and is skipped — the write-ordering protocol (§3.3)
+// makes the commit record the visibility point, so this fallback can never
 // surface a dirty read.
 //
 // Under the packed layout (§8) transactions leave no per-key data objects,
@@ -372,7 +517,7 @@ func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.Comm
 	if err != nil {
 		return nil, err
 	}
-	var out []*records.CommitRecord
+	want := make([]string, 0, len(storageKeys))
 	for _, sk := range storageKeys {
 		_, id, err := records.ParseDataKey(sk)
 		if err != nil {
@@ -381,12 +526,17 @@ func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.Comm
 		if n.recordForKey(key, id) != nil {
 			continue
 		}
-		payload, err := n.store.Get(ctx, records.CommitKey(id))
-		if errors.Is(err, storage.ErrNotFound) {
+		want = append(want, records.CommitKey(id))
+	}
+	payloads, err := n.fetchRecordPayloads(ctx, want)
+	if err != nil {
+		return nil, err
+	}
+	var out []*records.CommitRecord
+	for _, ck := range want {
+		payload, ok := payloads[ck]
+		if !ok {
 			continue // uncommitted version, or GC'd concurrently
-		}
-		if err != nil {
-			return out, err
 		}
 		rec, err := records.UnmarshalCommitRecord(payload)
 		if err != nil {
@@ -398,15 +548,16 @@ func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.Comm
 }
 
 // fetchKeyRecordsPacked is the packed-layout variant of fetchKeyRecords:
-// it scans the Transaction Commit Set for unknown records that cowrote
-// key. Costlier than the per-key listing, but packed deployments choose
-// that trade (one object per transaction, fewer storage keys).
+// it scans the Transaction Commit Set for unknown records, batch-fetches
+// them, and keeps those that cowrote key. Costlier than the per-key
+// listing, but packed deployments choose that trade (one object per
+// transaction, fewer storage keys).
 func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*records.CommitRecord, error) {
 	storageKeys, err := n.store.List(ctx, records.CommitPrefix)
 	if err != nil {
 		return nil, err
 	}
-	var out []*records.CommitRecord
+	want := make([]string, 0, len(storageKeys))
 	for _, sk := range storageKeys {
 		id, err := records.ParseCommitKey(sk)
 		if err != nil {
@@ -415,12 +566,17 @@ func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*record
 		if _, known := n.findRecord(id); known {
 			continue
 		}
-		payload, err := n.store.Get(ctx, sk)
-		if errors.Is(err, storage.ErrNotFound) {
-			continue
-		}
-		if err != nil {
-			return out, err
+		want = append(want, sk)
+	}
+	payloads, err := n.fetchRecordPayloads(ctx, want)
+	if err != nil {
+		return nil, err
+	}
+	var out []*records.CommitRecord
+	for _, sk := range want {
+		payload, ok := payloads[sk]
+		if !ok {
+			continue // GC'd concurrently
 		}
 		rec, err := records.UnmarshalCommitRecord(payload)
 		if err != nil || !rec.Cowritten(key) {
@@ -429,6 +585,15 @@ func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*record
 		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// fetchRecordPayloads reads commit-record storage keys through
+// batchFetchPayloads, counting the records that took the batched path.
+func (n *Node) fetchRecordPayloads(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if len(keys) > 0 && !n.cfg.DisableReadBatching {
+		n.metrics.BatchedRecordGets.Add(int64(len(keys)))
+	}
+	return n.batchFetchPayloads(ctx, keys)
 }
 
 // ReadSet returns a copy of the transaction's current read set, for tests

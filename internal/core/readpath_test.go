@@ -1,0 +1,584 @@
+package core
+
+// readpath_test.go pins the batched + coalesced read pipeline: one
+// List+BatchGet per cold key regardless of reader count (the singleflight),
+// batched commit-record and MultiGet payload fetches, the spill-path and
+// packed-extract cache fixes, and the sharded vanished-version retry
+// through MultiGet.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+	"aft/internal/storage"
+	"aft/internal/storage/dynamosim"
+)
+
+// listGateStore blocks every List until released, so a test can
+// deterministically pile cold readers onto one in-flight metadata fetch.
+type listGateStore struct {
+	storage.Store
+	mu      sync.Mutex
+	armed   bool
+	release chan struct{}
+}
+
+func newListGateStore(inner storage.Store) *listGateStore {
+	return &listGateStore{Store: inner, release: make(chan struct{})}
+}
+
+func (g *listGateStore) arm() {
+	g.mu.Lock()
+	g.armed = true
+	g.mu.Unlock()
+}
+
+func (g *listGateStore) List(ctx context.Context, prefix string) ([]string, error) {
+	g.mu.Lock()
+	armed := g.armed
+	g.mu.Unlock()
+	if armed {
+		<-g.release
+	}
+	return g.Store.List(ctx, prefix)
+}
+
+// seedVersions commits `versions` versions of each key through writer.
+func seedVersions(t testing.TB, writer *Node, keys []string, versions int) {
+	t.Helper()
+	ctx := context.Background()
+	for v := 0; v < versions; v++ {
+		for _, k := range keys {
+			txid, err := writer.StartTransaction(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := writer.Put(ctx, txid, k, []byte(fmt.Sprintf("%s-v%d", k, v))); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := writer.CommitTransaction(ctx, txid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestColdReadCoalescingRace is the -race stress for the read-side
+// singleflight: G readers per cold key, all concurrent, must share exactly
+// ONE List (and one batched record fetch) per key, observe the same newest
+// version, and hold repeatable reads within their transactions.
+func TestColdReadCoalescingRace(t *testing.T) {
+	const (
+		coldKeys      = 4
+		readersPerKey = 8
+		versions      = 6
+	)
+	inner := dynamosim.New(dynamosim.Options{})
+	gate := newListGateStore(inner)
+
+	writer, err := NewNode(Config{NodeID: "writer", Store: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, coldKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cold-%d", i)
+	}
+	seedVersions(t, writer, keys, versions)
+
+	// The reader node is fresh (its metadata cache is empty) and sharded
+	// (non-nil ownership), so every first read takes the storage fallback.
+	reader, err := NewNode(Config{NodeID: "reader", Store: gate, EnableDataCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.SetOwnership(func(string) bool { return true })
+
+	before := inner.Metrics().Snapshot()
+	gate.arm()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, coldKeys*readersPerKey)
+	for _, key := range keys {
+		for r := 0; r < readersPerKey; r++ {
+			wg.Add(1)
+			go func(key string) {
+				defer wg.Done()
+				txid, err := reader.StartTransaction(ctx)
+				if err != nil {
+					errc <- err
+					return
+				}
+				v1, err := reader.Get(ctx, txid, key)
+				if err != nil {
+					errc <- fmt.Errorf("cold read %s: %w", key, err)
+					return
+				}
+				want := fmt.Sprintf("%s-v%d", key, versions-1)
+				if string(v1) != want {
+					errc <- fmt.Errorf("cold read %s = %q, want %q", key, v1, want)
+					return
+				}
+				// Repeatable read: the same version, byte for byte.
+				v2, err := reader.Get(ctx, txid, key)
+				if err != nil || string(v2) != string(v1) {
+					errc <- fmt.Errorf("non-repeatable read of %s: %q then %q (%v)", key, v1, v2, err)
+					return
+				}
+				errc <- nil
+			}(key)
+		}
+	}
+
+	// Each key's leader is parked inside the gated List; every other
+	// reader of that key must have joined its flight before we release.
+	deadline := time.Now().Add(10 * time.Second)
+	wantWaiters := int64(coldKeys * (readersPerKey - 1))
+	for reader.Metrics().Snapshot().CoalescedFetches < wantWaiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced fetches = %d, want %d",
+				reader.Metrics().Snapshot().CoalescedFetches, wantWaiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+	for i := 0; i < coldKeys*readersPerKey; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := inner.Metrics().Snapshot().Sub(before)
+	if d.Lists != coldKeys {
+		t.Fatalf("Lists = %d, want exactly %d (one per cold key)", d.Lists, coldKeys)
+	}
+	if d.BatchGets != coldKeys {
+		t.Fatalf("BatchGets = %d, want %d (one record batch per cold key)", d.BatchGets, coldKeys)
+	}
+	if d.BatchGetItems != int64(coldKeys*versions) {
+		t.Fatalf("BatchGetItems = %d, want %d", d.BatchGetItems, coldKeys*versions)
+	}
+	m := reader.Metrics().Snapshot()
+	if m.RemoteFetches != coldKeys {
+		t.Fatalf("RemoteFetches = %d, want %d", m.RemoteFetches, coldKeys)
+	}
+}
+
+// TestColdFetchBatchesRecordGets pins the round-trip arithmetic of the
+// acceptance criterion: a cold key with N unknown versions costs one List
+// plus ceil(N/MaxReadBatch) BatchGet calls — never N point Gets — while
+// the disabled-batching baseline pays the full per-record storm.
+func TestColdFetchBatchesRecordGets(t *testing.T) {
+	const versions = 130 // > dynamosim.MaxReadBatch, so chunking shows
+	for _, baseline := range []bool{false, true} {
+		name := "Batched"
+		if baseline {
+			name = "Baseline"
+		}
+		t.Run(name, func(t *testing.T) {
+			store := dynamosim.New(dynamosim.Options{})
+			writer, err := NewNode(Config{NodeID: "w", Store: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedVersions(t, writer, []string{"k"}, versions)
+
+			reader, err := NewNode(Config{NodeID: "r", Store: store, DisableReadBatching: baseline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reader.SetOwnership(func(string) bool { return true })
+			before := store.Metrics().Snapshot()
+			ctx := context.Background()
+			txid, _ := reader.StartTransaction(ctx)
+			if v, err := reader.Get(ctx, txid, "k"); err != nil || string(v) != fmt.Sprintf("k-v%d", versions-1) {
+				t.Fatalf("cold read = %q, %v", v, err)
+			}
+			d := store.Metrics().Snapshot().Sub(before)
+			if d.Lists != 1 {
+				t.Fatalf("Lists = %d", d.Lists)
+			}
+			if baseline {
+				// versions record Gets + 1 payload Get.
+				if d.Gets != versions+1 || d.BatchGets != 0 {
+					t.Fatalf("baseline Gets = %d BatchGets = %d, want %d / 0", d.Gets, d.BatchGets, versions+1)
+				}
+				return
+			}
+			wantChunks := int64((versions + dynamosim.MaxReadBatch - 1) / dynamosim.MaxReadBatch)
+			if d.BatchGets != wantChunks {
+				t.Fatalf("BatchGets = %d, want ceil(%d/%d) = %d", d.BatchGets, versions, dynamosim.MaxReadBatch, wantChunks)
+			}
+			if d.Gets != 1 { // the payload fetch stays a point Get
+				t.Fatalf("Gets = %d, want 1", d.Gets)
+			}
+		})
+	}
+}
+
+// TestMultiGetSemantics pins MultiGet's per-key equivalence with Get:
+// read-your-writes from the buffer, committed values, alignment with the
+// key order, duplicate keys, and missing-key failure.
+func TestMultiGetSemantics(t *testing.T) {
+	n, err := NewNode(Config{NodeID: "mg", Store: dynamosim.New(dynamosim.Options{}), EnableDataCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txid, _ := n.StartTransaction(ctx)
+	n.Put(ctx, txid, "a", []byte("1"))
+	n.Put(ctx, txid, "b", []byte("2"))
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, _ := n.StartTransaction(ctx)
+	if err := n.Put(ctx, reader, "c", []byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := n.MultiGet(ctx, reader, []string{"b", "c", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2", "buffered", "1", "2"}
+	for i, w := range want {
+		if string(vals[i]) != w {
+			t.Fatalf("vals[%d] = %q, want %q", i, vals[i], w)
+		}
+	}
+	// Duplicate results must not alias each other.
+	vals[0][0] = 'X'
+	if string(vals[3]) != "2" {
+		t.Fatalf("duplicate-key results alias one slice: %q", vals[3])
+	}
+	// Reads entered the read set exactly like per-key Gets.
+	rs, err := n.ReadSet(reader)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("read set = %v, %v", rs, err)
+	}
+	// A missing key fails the whole call.
+	if _, err := n.MultiGet(ctx, reader, []string{"a", "nope"}); err != ErrKeyNotFound {
+		t.Fatalf("MultiGet with missing key = %v, want ErrKeyNotFound", err)
+	}
+	// Empty key set is a no-op.
+	if vals, err := n.MultiGet(ctx, reader, nil); err != nil || vals != nil {
+		t.Fatalf("MultiGet(nil) = %v, %v", vals, err)
+	}
+}
+
+// TestMultiGetBatchesPayloadFetches pins the storage profile: M cache-miss
+// payloads are fetched in batched round trips, not M point Gets, and the
+// baseline configuration still pays per key.
+func TestMultiGetBatchesPayloadFetches(t *testing.T) {
+	const nKeys = 10
+	for _, baseline := range []bool{false, true} {
+		name := "Batched"
+		if baseline {
+			name = "Baseline"
+		}
+		t.Run(name, func(t *testing.T) {
+			store := dynamosim.New(dynamosim.Options{})
+			n, err := NewNode(Config{NodeID: "mgb", Store: store, DisableReadBatching: baseline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			keys := make([]string, nKeys)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("mk-%d", i)
+				txid, _ := n.StartTransaction(ctx)
+				n.Put(ctx, txid, keys[i], []byte{byte(i)})
+				if _, err := n.CommitTransaction(ctx, txid); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := store.Metrics().Snapshot()
+			txid, _ := n.StartTransaction(ctx)
+			vals, err := n.MultiGet(ctx, txid, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				if len(vals[i]) != 1 || vals[i][0] != byte(i) {
+					t.Fatalf("vals[%d] = %v", i, vals[i])
+				}
+			}
+			d := store.Metrics().Snapshot().Sub(before)
+			if baseline {
+				if d.Gets != nKeys || d.BatchGets != 0 {
+					t.Fatalf("baseline Gets = %d BatchGets = %d", d.Gets, d.BatchGets)
+				}
+			} else {
+				if d.Gets != 0 || d.BatchGets != 1 || d.BatchGetItems != nKeys {
+					t.Fatalf("Gets = %d BatchGets = %d items = %d, want 0/1/%d",
+						d.Gets, d.BatchGets, d.BatchGetItems, nKeys)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiGetVanishedRetry pins the sharded GC race through MultiGet: a
+// payload deleted between version selection and fetch is forgotten and
+// re-selected for a first read, while a repeat read of the vanished
+// version surfaces ErrVersionVanished (the redo signal).
+func TestMultiGetVanishedRetry(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	n, err := NewNode(Config{NodeID: "vanish", Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetOwnership(func(string) bool { return true })
+	ctx := context.Background()
+	commit := func(val string) records.KeyVersion {
+		txid, _ := n.StartTransaction(ctx)
+		n.Put(ctx, txid, "k", []byte(val))
+		id, err := n.CommitTransaction(ctx, txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return records.KeyVersion{Key: "k", ID: id}
+	}
+	commit("v1")
+	kv2 := commit("v2")
+
+	// First read: v2's payload is gone (owner-voted GC won the race); the
+	// retry must forget it and serve v1.
+	if err := store.Delete(ctx, records.DataKey("k", kv2.ID)); err != nil {
+		t.Fatal(err)
+	}
+	txid, _ := n.StartTransaction(ctx)
+	vals, err := n.MultiGet(ctx, txid, []string{"k"})
+	if err != nil {
+		t.Fatalf("MultiGet after vanish = %v", err)
+	}
+	if string(vals[0]) != "v1" {
+		t.Fatalf("MultiGet after vanish = %q, want v1", vals[0])
+	}
+
+	// Re-read of an already-read key whose version then vanishes cannot
+	// re-select (repeatable read pins the exact version): redo signal.
+	txid2, _ := n.StartTransaction(ctx)
+	kv3 := commit("v3")
+	if _, err := n.MultiGet(ctx, txid2, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete(ctx, records.DataKey("k", kv3.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.MultiGet(ctx, txid2, []string{"k"}); !errorsIs(err, ErrVersionVanished) {
+		t.Fatalf("repeat MultiGet of vanished version = %v, want ErrVersionVanished", err)
+	}
+}
+
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestMultiGetDuplicateKeyVanishedRetry pins duplicate-key plan sharing: a
+// key listed twice in one MultiGet whose payload vanishes mid-call is
+// retried ONCE for both occurrences — equivalent to two sequential Gets —
+// instead of the second occurrence (alreadyRead via the first) failing the
+// transaction.
+func TestMultiGetDuplicateKeyVanishedRetry(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	n, err := NewNode(Config{NodeID: "dupvanish", Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetOwnership(func(string) bool { return true })
+	ctx := context.Background()
+	commit := func(val string) idgen.ID {
+		txid, _ := n.StartTransaction(ctx)
+		n.Put(ctx, txid, "k", []byte(val))
+		id, err := n.CommitTransaction(ctx, txid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	commit("v1")
+	id2 := commit("v2")
+	if err := store.Delete(ctx, records.DataKey("k", id2)); err != nil {
+		t.Fatal(err)
+	}
+	txid, _ := n.StartTransaction(ctx)
+	vals, err := n.MultiGet(ctx, txid, []string{"k", "k"})
+	if err != nil {
+		t.Fatalf("duplicate-key MultiGet after vanish = %v", err)
+	}
+	if string(vals[0]) != "v1" || string(vals[1]) != "v1" {
+		t.Fatalf("vals = %q, %q; want v1, v1", vals[0], vals[1])
+	}
+}
+
+// TestMissingKeyColdReadsCoalesce pins the empty-flight path: K concurrent
+// readers of a key with NO versions still share one List — the leader's
+// empty result is the true outcome for every waiter, which must not fall
+// back to its own scan.
+func TestMissingKeyColdReadsCoalesce(t *testing.T) {
+	const readers = 8
+	inner := dynamosim.New(dynamosim.Options{})
+	gate := newListGateStore(inner)
+	n, err := NewNode(Config{NodeID: "ghost", Store: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetOwnership(func(string) bool { return true })
+	gate.arm()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			txid, err := n.StartTransaction(ctx)
+			if err != nil {
+				errc <- err
+				return
+			}
+			_, err = n.Get(ctx, txid, "ghost")
+			errc <- err
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Metrics().Snapshot().CoalescedFetches < readers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced fetches = %d, want %d",
+				n.Metrics().Snapshot().CoalescedFetches, readers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if err := <-errc; err != ErrKeyNotFound {
+			t.Fatalf("missing-key cold read = %v, want ErrKeyNotFound", err)
+		}
+	}
+	if lists := inner.Metrics().Snapshot().Lists; lists != 1 {
+		t.Fatalf("Lists = %d, want exactly 1 for %d racing readers of a missing key", lists, readers)
+	}
+}
+
+// TestSpillReadsCached pins the spill-path cache fix: repeated
+// read-your-writes of spilled intermediary data hit the data cache instead
+// of re-fetching from storage, and a re-spill of the same key refreshes
+// the cached copy.
+func TestSpillReadsCached(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	n, err := NewNode(Config{
+		NodeID:          "spillcache",
+		Store:           store,
+		EnableDataCache: true,
+		SpillThreshold:  8, // tiny: every write spills
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txid, _ := n.StartTransaction(ctx)
+	if err := n.Put(ctx, txid, "big", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Metrics().Snapshot().Spills == 0 {
+		t.Fatal("write did not spill; test is vacuous")
+	}
+	before := store.Metrics().Snapshot()
+	for i := 0; i < 3; i++ {
+		v, err := n.Get(ctx, txid, "big")
+		if err != nil || string(v) != "0123456789" {
+			t.Fatalf("spilled RYW read = %q, %v", v, err)
+		}
+	}
+	if d := store.Metrics().Snapshot().Sub(before); d.Gets != 0 {
+		t.Fatalf("spill reads hit storage %d times; want 0 (write-through cache)", d.Gets)
+	}
+	// Re-spill of the same key must refresh the cached copy.
+	if err := n.Put(ctx, txid, "big", []byte("ABCDEFGHIJ")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.Get(ctx, txid, "big")
+	if err != nil || string(v) != "ABCDEFGHIJ" {
+		t.Fatalf("re-spilled read = %q, %v (stale cache?)", v, err)
+	}
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction reads the spilled version through the commit
+	// record's spill pointer — same cache entry, still zero fetches.
+	before = store.Metrics().Snapshot()
+	reader, _ := n.StartTransaction(ctx)
+	v, err = n.Get(ctx, reader, "big")
+	if err != nil || string(v) != "ABCDEFGHIJ" {
+		t.Fatalf("post-commit spilled read = %q, %v", v, err)
+	}
+	if d := store.Metrics().Snapshot().Sub(before); d.Gets != 0 {
+		t.Fatalf("post-commit spill read missed the cache (%d Gets)", d.Gets)
+	}
+}
+
+// TestPackedExtractCached pins the packed-layout decode cache: reading
+// several keys of one packed object unmarshals it once and serves repeats
+// from per-key entries, not by re-decoding the whole pack.
+func TestPackedExtractCached(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	n, err := NewNode(Config{NodeID: "packed", Store: store, EnableDataCache: true, PackedLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	txid, _ := n.StartTransaction(ctx)
+	n.Put(ctx, txid, "pa", []byte("A"))
+	n.Put(ctx, txid, "pb", []byte("B"))
+	if _, err := n.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Metrics().Snapshot()
+	reader, _ := n.StartTransaction(ctx)
+	for i := 0; i < 3; i++ {
+		for key, want := range map[string]string{"pa": "A", "pb": "B"} {
+			v, err := n.Get(ctx, reader, key)
+			if err != nil || string(v) != want {
+				t.Fatalf("packed read %s = %q, %v", key, v, err)
+			}
+		}
+	}
+	if d := store.Metrics().Snapshot().Sub(before); d.Gets != 0 {
+		t.Fatalf("packed reads fetched storage %d times; want 0", d.Gets)
+	}
+	// The first extraction caches every co-written key's entry, so later
+	// reads bypass even the cached pack blob (and its re-unmarshal): evict
+	// the blob and the entries must still serve without a storage fetch.
+	versions := n.VersionsOf("pa")
+	if len(versions) != 1 {
+		t.Fatalf("versions of pa = %v", versions)
+	}
+	n.data.evict(records.PackKey(versions[0]))
+	before = store.Metrics().Snapshot()
+	v, err := n.Get(ctx, reader, "pb")
+	if err != nil || string(v) != "B" {
+		t.Fatalf("entry-cached packed read = %q, %v", v, err)
+	}
+	if d := store.Metrics().Snapshot().Sub(before); d.Gets != 0 {
+		t.Fatalf("entry-cached packed read refetched the pack (%d Gets)", d.Gets)
+	}
+}

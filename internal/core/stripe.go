@@ -185,7 +185,14 @@ func (n *Node) removeLocked(rec *records.CommitRecord, ss []*stripe, markDeleted
 	}
 	for _, k := range rec.WriteSet {
 		n.stripeFor(k).index.remove(k, id)
-		n.data.evict(rec.StorageKeyFor(k))
+		sk := rec.StorageKeyFor(k)
+		n.data.evict(sk)
+		if rec.Packed {
+			// The per-key entries cached by extractPacked leave with the
+			// pack object; nothing can reference them once the version is
+			// unindexed, and keeping them would squat LRU slots.
+			n.data.evict(packEntryKey(sk, k))
+		}
 	}
 	if markDeleted {
 		for _, s := range ss {

@@ -174,7 +174,8 @@ func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
 	if needSpill {
 		n.metrics.Spills.Add(1)
 		for k, val := range spillItems {
-			if err := n.store.Put(ctx, records.SpillKey(spillDir, k), val); err != nil {
+			sk := records.SpillKey(spillDir, k)
+			if err := n.store.Put(ctx, sk, val); err != nil {
 				// Spill failure is not fatal: restore the data to the
 				// buffer and carry on holding it in memory.
 				t.mu.Lock()
@@ -184,7 +185,12 @@ func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
 					delete(t.spilled, k)
 				}
 				t.mu.Unlock()
+				continue
 			}
+			// Write through to the data cache: a key spilled twice in one
+			// transaction overwrites its spill object, so the cached copy
+			// must be refreshed for the read path to stay coherent.
+			n.data.put(sk, val)
 		}
 	}
 	return nil
@@ -230,9 +236,15 @@ func (n *Node) AbortTransaction(ctx context.Context, txid string) error {
 	n.tmu.Unlock()
 
 	// Best-effort cleanup of spilled intermediary data; orphans left by a
-	// crash here are reclaimed by the global GC's spill sweep (§5).
-	for _, k := range spilled {
-		_ = n.store.Delete(ctx, records.SpillKey(spillDir, k))
+	// crash here are reclaimed by the global GC's spill sweep (§5). Cached
+	// spill payloads are evicted with their storage objects.
+	if len(spilled) > 0 {
+		spillKeys := make([]string, len(spilled))
+		for i, k := range spilled {
+			spillKeys[i] = records.SpillKey(spillDir, k)
+			n.data.evict(spillKeys[i])
+		}
+		_ = n.store.BatchDelete(ctx, spillKeys)
 	}
 	n.metrics.Aborted.Add(1)
 	n.release()

@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"aft/internal/core"
+	"aft/internal/faultmgr"
+	"aft/internal/storage"
+	"aft/internal/workload"
+)
+
+// ReadPath measures the batched + coalesced read pipeline against the
+// per-record-Get baseline (Config.DisableReadBatching — the pre-batching
+// read path), in storage round trips rather than wall-clock: the paper's
+// read-side overhead (§6.2, §6.3) is dominated by storage API calls, and
+// round-trip counts are hardware-independent where a 1-CPU host cannot
+// show overlap. Four scenarios:
+//
+//   - coldfetch: a fresh sharded node reads keys whose metadata lives only
+//     in storage. Baseline pays 1 List + N point Gets per key (N = unknown
+//     versions); batched pays 1 List + ceil(N/limit) BatchGets.
+//   - coalesce: many concurrent readers hit few cold keys. The
+//     singleflight shares one List+BatchGet per key across all of them.
+//   - multiget: transactions read G keys each. Batched MultiGet fetches
+//     every cache-missing payload in shared BatchGet round trips; the
+//     baseline pays G point Gets.
+//   - gc: one global-GC round over M superseded versions. BatchDelete
+//     retires them in ceil(M/limit) round trips where the old GC issued
+//     one Delete per version plus one per commit record.
+func ReadPath(opts Options) (Table, error) {
+	cells, err := ReadPathCells(opts)
+	if err != nil {
+		return Table{}, err
+	}
+	return ReadPathTable(cells)
+}
+
+// ReadPathCell is one (scenario, config) measurement, exposed for the
+// bench harness's machine-readable output.
+type ReadPathCell struct {
+	Scenario string // "coldfetch" | "coalesce" | "multiget" | "gc"
+	Config   string // "baseline" | "batched"
+	Keys     int    // distinct user keys in the scenario
+	Versions int    // versions per key (coldfetch/gc)
+	Readers  int    // concurrent readers (coalesce) / transactions (multiget)
+	Ops      int64  // logical operations measured (reads, or versions collected)
+	// Storage round-trip evidence.
+	Lists            int64
+	Gets             int64
+	BatchGets        int64
+	BatchGetItems    int64
+	Deletes          int64
+	BatchDeletes     int64
+	BatchDeleteItems int64
+	Calls            int64
+	CallsPerOp       float64
+	// Node-side pipeline counters.
+	CoalescedFetches int64
+	RemoteFetches    int64
+}
+
+// readPathConfigs are the two node configurations every scenario compares.
+func readPathConfigs() []struct {
+	name string
+	cfg  core.Config
+} {
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline", core.Config{DisableReadBatching: true}},
+		{"batched", core.Config{}},
+	}
+}
+
+// ReadPathTable renders measured cells, pairing each batched cell with its
+// baseline for the call-reduction column.
+func ReadPathTable(cells []ReadPathCell) (Table, error) {
+	table := Table{
+		Title: "Read pipeline: batched + coalesced fetches vs per-record-Get baseline",
+		Header: []string{"scenario", "config", "keys", "versions", "readers",
+			"lists", "gets", "batchgets", "batchdeletes", "calls/op", "coalesced", "reduction"},
+		Notes: []string{
+			"baseline: DisableReadBatching — per-record point Gets, no cold-read singleflight",
+			"batched: BatchGet record/payload fetches + one in-flight List+BatchGet per cold key",
+			"coldfetch: calls/op = storage round trips per cold key read (1 List + records + payload)",
+			"coalesce: K concurrent readers of each cold key; lists ≈ cold keys shows the singleflight",
+			"multiget: calls/op = storage round trips per G-key MultiGet transaction",
+			"gc: one CollectOnce round; the pre-batching GC issued one Delete per version + record",
+			"reduction: baseline calls/op over batched calls/op, same scenario",
+		},
+	}
+	base := make(map[string]ReadPathCell)
+	for _, c := range cells {
+		if c.Config == "baseline" {
+			base[c.Scenario] = c
+		}
+	}
+	for _, c := range cells {
+		reduction := "-"
+		if c.Config != "baseline" {
+			if b, ok := base[c.Scenario]; ok && c.CallsPerOp > 0 {
+				reduction = fmt.Sprintf("%.1fx", b.CallsPerOp/c.CallsPerOp)
+			}
+		}
+		table.Rows = append(table.Rows, []string{
+			c.Scenario, c.Config, fmt.Sprint(c.Keys), fmt.Sprint(c.Versions),
+			fmt.Sprint(c.Readers),
+			fmt.Sprint(c.Lists), fmt.Sprint(c.Gets), fmt.Sprint(c.BatchGets),
+			fmt.Sprint(c.BatchDeletes),
+			fmt.Sprintf("%.1f", c.CallsPerOp),
+			fmt.Sprint(c.CoalescedFetches),
+			reduction,
+		})
+	}
+	return table, nil
+}
+
+// ReadPathCells runs the read-path experiment and returns the raw cells
+// (the bench harness serializes them to BENCH_readpath.json).
+func ReadPathCells(opts Options) ([]ReadPathCell, error) {
+	opts = opts.withDefaults()
+	var cells []ReadPathCell
+	for _, cfg := range readPathConfigs() {
+		cell, err := runColdFetch(opts, cfg.name, cfg.cfg)
+		if err != nil {
+			return cells, err
+		}
+		cells = append(cells, cell)
+	}
+	for _, cfg := range readPathConfigs() {
+		cell, err := runCoalesce(opts, cfg.name, cfg.cfg)
+		if err != nil {
+			return cells, err
+		}
+		cells = append(cells, cell)
+	}
+	for _, cfg := range readPathConfigs() {
+		cell, err := runMultiGet(opts, cfg.name, cfg.cfg)
+		if err != nil {
+			return cells, err
+		}
+		cells = append(cells, cell)
+	}
+	cell, err := runGCRound(opts)
+	if err != nil {
+		return cells, err
+	}
+	cells = append(cells, cell)
+	return cells, nil
+}
+
+// seedReadPath commits versions of each key through a loader node over the
+// shared store and returns the keys.
+func seedReadPath(ctx context.Context, store storage.Store, keys, versions int, payload []byte) ([]string, error) {
+	loader, err := core.NewNode(core.Config{NodeID: "rp-loader", Store: store})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = workload.KeyName(i)
+	}
+	for v := 0; v < versions; v++ {
+		for _, k := range names {
+			txid, err := loader.StartTransaction(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := loader.Put(ctx, txid, k, payload); err != nil {
+				return nil, err
+			}
+			if _, err := loader.CommitTransaction(ctx, txid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return names, nil
+}
+
+// freshShardedReader builds a node with an empty metadata cache and a
+// non-nil ownership filter, so every first read takes the storage
+// fallback — the cold-read path under measurement.
+func freshShardedReader(name string, store storage.Store, cfg core.Config) (*core.Node, error) {
+	cfg.NodeID = name
+	cfg.Store = store
+	cfg.EnableDataCache = true
+	cfg.DataCacheEntries = 16384
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	node.SetOwnership(func(string) bool { return true })
+	return node, nil
+}
+
+func storeMetricsOf(store storage.Store) (*storage.Metrics, error) {
+	type metered interface{ Metrics() *storage.Metrics }
+	sm, ok := store.(metered)
+	if !ok {
+		return nil, fmt.Errorf("store %s exposes no metrics", store.Name())
+	}
+	return sm.Metrics(), nil
+}
+
+func (c *ReadPathCell) fill(d storage.Snapshot, ops int64) {
+	c.Ops = ops
+	c.Lists = d.Lists
+	c.Gets = d.Gets
+	c.BatchGets = d.BatchGets
+	c.BatchGetItems = d.BatchGetItems
+	c.Deletes = d.Deletes
+	c.BatchDeletes = d.BatchDeletes
+	c.BatchDeleteItems = d.BatchDeleteItems
+	c.Calls = d.Calls()
+	if ops > 0 {
+		c.CallsPerOp = float64(d.Calls()) / float64(ops)
+	}
+}
+
+// runColdFetch reads every seeded key once on a fresh sharded node: the
+// per-key cost is the List, the record fetch (N versions), and one payload
+// fetch.
+func runColdFetch(opts Options, cfgName string, cfg core.Config) (ReadPathCell, error) {
+	ctx := context.Background()
+	cell := ReadPathCell{Scenario: "coldfetch", Config: cfgName,
+		Keys: opts.scaled(16), Versions: opts.scaled(30)}
+	store := opts.newStore(kindDynamo)
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	keys, err := seedReadPath(ctx, store, cell.Keys, cell.Versions, payload)
+	if err != nil {
+		return cell, err
+	}
+	node, err := freshShardedReader("rp-cold-"+cfgName, store, cfg)
+	if err != nil {
+		return cell, err
+	}
+	sm, err := storeMetricsOf(store)
+	if err != nil {
+		return cell, err
+	}
+	before := sm.Snapshot()
+	for _, k := range keys {
+		txid, err := node.StartTransaction(ctx)
+		if err != nil {
+			return cell, err
+		}
+		if _, err := node.Get(ctx, txid, k); err != nil {
+			return cell, err
+		}
+		if err := node.AbortTransaction(ctx, txid); err != nil {
+			return cell, err
+		}
+	}
+	cell.fill(sm.Snapshot().Sub(before), int64(len(keys)))
+	m := node.Metrics().Snapshot()
+	cell.CoalescedFetches, cell.RemoteFetches = m.CoalescedFetches, m.RemoteFetches
+	return cell, nil
+}
+
+// runCoalesce points many concurrent readers at few cold keys: with the
+// singleflight each cold key costs ONE List + one record batch no matter
+// how many readers arrive; the baseline lets every racer pay its own.
+func runCoalesce(opts Options, cfgName string, cfg core.Config) (ReadPathCell, error) {
+	ctx := context.Background()
+	cell := ReadPathCell{Scenario: "coalesce", Config: cfgName,
+		Keys: 4, Versions: opts.scaled(10), Readers: opts.scaled(64)}
+	store := opts.newStore(kindDynamo)
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	keys, err := seedReadPath(ctx, store, cell.Keys, cell.Versions, payload)
+	if err != nil {
+		return cell, err
+	}
+	node, err := freshShardedReader("rp-coal-"+cfgName, store, cfg)
+	if err != nil {
+		return cell, err
+	}
+	sm, err := storeMetricsOf(store)
+	if err != nil {
+		return cell, err
+	}
+	before := sm.Snapshot()
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	errs := make(chan error, cell.Readers)
+	for r := 0; r < cell.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			start.Wait() // all readers release together
+			txid, err := node.StartTransaction(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := node.Get(ctx, txid, keys[r%len(keys)]); err != nil {
+				errs <- err
+				return
+			}
+			errs <- node.AbortTransaction(ctx, txid)
+		}(r)
+	}
+	start.Done()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return cell, err
+		}
+	}
+	cell.fill(sm.Snapshot().Sub(before), int64(cell.Readers))
+	m := node.Metrics().Snapshot()
+	cell.CoalescedFetches, cell.RemoteFetches = m.CoalescedFetches, m.RemoteFetches
+	return cell, nil
+}
+
+// runMultiGet drives G-key MultiGet transactions with the data cache off,
+// so every payload is a storage fetch: the batched pipeline shares round
+// trips, the baseline pays one Get per key.
+func runMultiGet(opts Options, cfgName string, cfg core.Config) (ReadPathCell, error) {
+	ctx := context.Background()
+	const keysPerTxn = 10
+	cell := ReadPathCell{Scenario: "multiget", Config: cfgName,
+		Keys: opts.scaled(256), Versions: 1, Readers: opts.scaled(200)}
+	store := opts.newStore(kindDynamo)
+	payload := workload.Payload(opts.Seed, opts.Payload)
+	keys, err := seedReadPath(ctx, store, cell.Keys, 1, payload)
+	if err != nil {
+		return cell, err
+	}
+	cfg.NodeID = "rp-mg-" + cfgName
+	cfg.Store = store
+	cfg.EnableDataCache = false
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		return cell, err
+	}
+	// Warm the metadata (not the data — the cache is off) so the cells
+	// measure payload fetches, not cold-start recovery.
+	if err := node.Bootstrap(ctx); err != nil {
+		return cell, err
+	}
+	sm, err := storeMetricsOf(store)
+	if err != nil {
+		return cell, err
+	}
+	before := sm.Snapshot()
+	for i := 0; i < cell.Readers; i++ {
+		txid, err := node.StartTransaction(ctx)
+		if err != nil {
+			return cell, err
+		}
+		batch := make([]string, keysPerTxn)
+		for j := range batch {
+			batch[j] = keys[(i*keysPerTxn+j)%len(keys)]
+		}
+		if _, err := node.MultiGet(ctx, txid, batch); err != nil {
+			return cell, err
+		}
+		if err := node.AbortTransaction(ctx, txid); err != nil {
+			return cell, err
+		}
+	}
+	cell.fill(sm.Snapshot().Sub(before), int64(cell.Readers))
+	return cell, nil
+}
+
+// runGCRound seeds a superseded history and runs one CollectOnce: M
+// versions (plus their commit records) must retire in batched delete round
+// trips. There is no config toggle on the manager — the baseline is the
+// arithmetic one-point-Delete-per-key the old GC issued, reported in the
+// table notes.
+func runGCRound(opts Options) (ReadPathCell, error) {
+	ctx := context.Background()
+	cell := ReadPathCell{Scenario: "gc", Config: "batched",
+		Keys: 8, Versions: opts.scaled(30)}
+	store := opts.newStore(kindDynamo)
+	node, err := core.NewNode(core.Config{NodeID: "rp-gc", Store: store})
+	if err != nil {
+		return cell, err
+	}
+	fm := faultmgr.New(store, faultmgr.StaticMembership{node})
+	payload := workload.Payload(opts.Seed, 256)
+	for v := 0; v < cell.Versions; v++ {
+		for i := 0; i < cell.Keys; i++ {
+			txid, err := node.StartTransaction(ctx)
+			if err != nil {
+				return cell, err
+			}
+			if err := node.Put(ctx, txid, workload.KeyName(i), payload); err != nil {
+				return cell, err
+			}
+			if _, err := node.CommitTransaction(ctx, txid); err != nil {
+				return cell, err
+			}
+		}
+	}
+	fm.Ingest(node.ID(), node.Drain())
+	node.SweepLocalMetadata(0)
+	sm, err := storeMetricsOf(store)
+	if err != nil {
+		return cell, err
+	}
+	before := sm.Snapshot()
+	removed, err := fm.CollectOnce(ctx, 0)
+	if err != nil {
+		return cell, err
+	}
+	cell.fill(sm.Snapshot().Sub(before), int64(len(removed)))
+	return cell, nil
+}

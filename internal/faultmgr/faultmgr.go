@@ -358,26 +358,51 @@ func (m *Manager) CollectOnce(ctx context.Context, maxDelete int) ([]idgen.ID, e
 	}
 
 	// Phase 3: delete data and metadata for fully confirmed transactions.
+	// All confirmed transactions' key versions (and spill payloads) are
+	// removed first, in shared BatchDelete round trips chunked by the
+	// engine's limit — M versions cost ceil(M/limit) calls instead of M —
+	// and the commit records only after every payload is gone, preserving
+	// the per-transaction record-last ordering: a crash in between leaves
+	// records a rescan re-processes (deletes are idempotent), never data
+	// without an attributable record.
 	var removed []idgen.ID
+	var versions, recordKeys []string
+	var versionCount int64
+	seen := make(map[string]bool)
 	for _, rec := range candidates {
-		id := rec.ID()
-		if !confirmed[id] {
+		if !confirmed[rec.ID()] {
 			continue
 		}
-		if err := m.deleteTxnData(ctx, rec); err != nil {
-			return removed, err
+		for _, k := range rec.WriteSet {
+			versionCount++
+			sk := rec.StorageKeyFor(k)
+			if !seen[sk] { // a packed record maps its whole write set to one object
+				seen[sk] = true
+				versions = append(versions, sk)
+			}
 		}
-		m.mu.Lock()
+		recordKeys = append(recordKeys, records.CommitKey(rec.ID()))
+		removed = append(removed, rec.ID())
+	}
+	if len(removed) == 0 {
+		return nil, nil
+	}
+	if err := m.store.BatchDelete(ctx, versions); err != nil {
+		return nil, err
+	}
+	m.metrics.VersionsDeleted.Add(versionCount)
+	if err := m.store.BatchDelete(ctx, recordKeys); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	for _, id := range removed {
 		delete(m.commits, id)
-		m.mu.Unlock()
-		removed = append(removed, id)
 	}
-	if len(removed) > 0 {
-		for _, n := range nodes {
-			n.ForgetDeleted(removed)
-		}
-		m.metrics.TxnsDeleted.Add(int64(len(removed)))
+	m.mu.Unlock()
+	for _, n := range nodes {
+		n.ForgetDeleted(removed)
 	}
+	m.metrics.TxnsDeleted.Add(int64(len(removed)))
 	return removed, nil
 }
 
@@ -443,17 +468,4 @@ func (m *Manager) uuidCommitted(ctx context.Context, uuid string) (bool, error) 
 		}
 	}
 	return false, nil
-}
-
-// deleteTxnData removes a transaction's key versions, spill data, and
-// commit record. The commit record goes last so that a crash mid-delete
-// leaves a record that a rescan can re-process.
-func (m *Manager) deleteTxnData(ctx context.Context, rec *records.CommitRecord) error {
-	for _, k := range rec.WriteSet {
-		if err := m.store.Delete(ctx, rec.StorageKeyFor(k)); err != nil {
-			return err
-		}
-		m.metrics.VersionsDeleted.Add(1)
-	}
-	return m.store.Delete(ctx, records.CommitKey(rec.ID()))
 }

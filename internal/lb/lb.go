@@ -44,6 +44,7 @@ type Backend interface {
 	ID() string
 	StartTransaction(ctx context.Context) (string, error)
 	Get(ctx context.Context, txid, key string) ([]byte, error)
+	MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error)
 	Put(ctx context.Context, txid, key string, value []byte) error
 	CommitTransaction(ctx context.Context, txid string) (idgen.ID, error)
 	AbortTransaction(ctx context.Context, txid string) error
@@ -206,6 +207,20 @@ func (b *Balancer) Get(ctx context.Context, txid, key string) ([]byte, error) {
 		return nil, err
 	}
 	return be.Get(ctx, txid, key)
+}
+
+// MultiGet routes the whole key batch to the transaction's pinned backend
+// in one call. Every operation of a transaction must reach the node that
+// started it (§3.1), and the first-key shard-affinity hint at
+// StartTransactionHint already placed that node where the batch's metadata
+// lives — so the batch inherits commit-style affinity rather than being
+// split per key.
+func (b *Balancer) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
+	be, err := b.lookup(txid)
+	if err != nil {
+		return nil, err
+	}
+	return be.MultiGet(ctx, txid, keys)
 }
 
 // Put routes to the transaction's pinned backend.

@@ -22,6 +22,9 @@ import (
 // MaxBatch is DynamoDB's BatchWriteItem item limit.
 const MaxBatch = 25
 
+// MaxReadBatch is DynamoDB's BatchGetItem item limit.
+const MaxReadBatch = 100
+
 // Options configures the simulator.
 type Options struct {
 	// Latency is the per-operation latency model; nil means no latency.
@@ -142,6 +145,51 @@ func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
 	s.metrics.BatchItems.Add(int64(len(items)))
 	s.sleep(latency.OpBatchWrite, len(items))
 	s.engine.PutAll(items)
+	return nil
+}
+
+// BatchGet implements storage.Store in the BatchGetItem style: up to
+// MaxReadBatch keys per round trip, chunked internally so callers can pass
+// any number of keys. Missing keys are absent from the result.
+func (s *Store) BatchGet(ctx context.Context, keys []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	for start := 0; start < len(keys); start += MaxReadBatch {
+		end := start + MaxReadBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		if err := s.check(ctx); err != nil {
+			return nil, err
+		}
+		s.metrics.BatchGets.Add(1)
+		s.metrics.BatchGetItems.Add(int64(len(chunk)))
+		s.sleep(latency.OpGet, len(chunk))
+		for k, v := range s.engine.GetAll(chunk) {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// BatchDelete implements storage.Store via BatchWriteItem delete requests:
+// up to MaxBatch keys per round trip, chunked internally. Missing keys are
+// not an error.
+func (s *Store) BatchDelete(ctx context.Context, keys []string) error {
+	for start := 0; start < len(keys); start += MaxBatch {
+		end := start + MaxBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		if err := s.check(ctx); err != nil {
+			return err
+		}
+		s.metrics.BatchDeletes.Add(1)
+		s.metrics.BatchDeleteItems.Add(int64(len(chunk)))
+		s.sleep(latency.OpBatchWrite, len(chunk))
+		s.engine.DeleteAll(chunk)
+	}
 	return nil
 }
 

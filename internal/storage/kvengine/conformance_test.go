@@ -49,6 +49,21 @@ func (s *storeAdapter) BatchPut(ctx context.Context, items map[string][]byte) er
 	return nil
 }
 
+func (s *storeAdapter) BatchGet(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.e.GetAll(keys), nil
+}
+
+func (s *storeAdapter) BatchDelete(ctx context.Context, keys []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.e.DeleteAll(keys)
+	return nil
+}
+
 func (s *storeAdapter) Delete(ctx context.Context, key string) error {
 	if err := ctx.Err(); err != nil {
 		return err

@@ -97,6 +97,48 @@ func (e *Engine) PutAll(items map[string][]byte) {
 	}
 }
 
+// GetAll returns copies of the values of every present key, grouping the
+// probes by shard so each shard lock is taken at most once. Missing keys
+// are absent from the result.
+func (e *Engine) GetAll(keys []string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	byShard := make(map[int][]string, len(e.shards))
+	for _, k := range keys {
+		i := e.ShardFor(k)
+		byShard[i] = append(byShard[i], k)
+	}
+	for i, ks := range byShard {
+		s := e.shards[i]
+		s.mu.RLock()
+		for _, k := range ks {
+			if v, ok := s.data[k]; ok {
+				c := make([]byte, len(v))
+				copy(c, v)
+				out[k] = c
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// DeleteAll removes every listed key, taking each shard lock at most once.
+func (e *Engine) DeleteAll(keys []string) {
+	byShard := make(map[int][]string, len(e.shards))
+	for _, k := range keys {
+		i := e.ShardFor(k)
+		byShard[i] = append(byShard[i], k)
+	}
+	for i, ks := range byShard {
+		s := e.shards[i]
+		s.mu.Lock()
+		for _, k := range ks {
+			delete(s.data, k)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Delete removes key if present.
 func (e *Engine) Delete(key string) {
 	s := e.shardOf(key)

@@ -142,6 +142,52 @@ func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
 	return nil
 }
 
+// byShard groups keys by the cluster shard that owns them, preserving
+// caller order within a shard.
+func (s *Store) byShard(keys []string) map[int][]string {
+	out := make(map[int][]string, s.engine.NumShards())
+	for _, k := range keys {
+		i := s.engine.ShardFor(k)
+		out[i] = append(out[i], k)
+	}
+	return out
+}
+
+// BatchGet implements storage.Store in the cluster-client MGET style: keys
+// are grouped by owning shard and each shard answers one MGET round trip,
+// so the call costs one round trip per shard touched regardless of key
+// count. Missing keys are absent from the result.
+func (s *Store) BatchGet(ctx context.Context, keys []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	for _, chunk := range s.byShard(keys) {
+		if err := s.check(ctx); err != nil {
+			return nil, err
+		}
+		s.metrics.BatchGets.Add(1)
+		s.metrics.BatchGetItems.Add(int64(len(chunk)))
+		s.sleeper.Sleep(s.model.Sample(latency.OpGet, len(chunk)))
+		for k, v := range s.engine.GetAll(chunk) {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// BatchDelete implements storage.Store as per-shard multi-key DEL round
+// trips. Missing keys are not an error.
+func (s *Store) BatchDelete(ctx context.Context, keys []string) error {
+	for _, chunk := range s.byShard(keys) {
+		if err := s.check(ctx); err != nil {
+			return err
+		}
+		s.metrics.BatchDeletes.Add(1)
+		s.metrics.BatchDeleteItems.Add(int64(len(chunk)))
+		s.sleeper.Sleep(s.model.Sample(latency.OpDelete, len(chunk)))
+		s.engine.DeleteAll(chunk)
+	}
+	return nil
+}
+
 // Delete implements storage.Store.
 func (s *Store) Delete(ctx context.Context, key string) error {
 	if err := s.check(ctx); err != nil {

@@ -60,6 +60,20 @@ type Store interface {
 	// permitted to apply batches non-atomically (AFT never depends on
 	// batch atomicity — the commit record provides atomic visibility).
 	BatchPut(ctx context.Context, items map[string][]byte) error
+	// BatchGet returns the values of the given keys. Missing keys are
+	// simply absent from the result map — never an error. Unlike BatchPut,
+	// BatchGet accepts any number of keys: engines with a multi-key read
+	// primitive chunk internally by their batch limit (DynamoDB's
+	// BatchGetItem), engines without one overlap point reads, so the call
+	// always costs the caller at most ceil(len(keys)/limit) round trips of
+	// wall-clock latency. AFT's read pipeline leans on this for commit-
+	// record recovery and MultiGet payload fetches.
+	BatchGet(ctx context.Context, keys []string) (map[string][]byte, error)
+	// BatchDelete removes all keys, chunking by the engine's delete-batch
+	// limit (S3's DeleteObjects, DynamoDB's BatchWriteItem delete
+	// requests); missing keys are not an error. The global GC uses it to
+	// retire many superseded versions per round trip.
+	BatchDelete(ctx context.Context, keys []string) error
 	// Delete removes key; deleting a missing key is not an error.
 	Delete(ctx context.Context, key string) error
 	// List returns, in lexicographic order, every key with the prefix.

@@ -150,6 +150,113 @@ func Run(t *testing.T, factory Factory) {
 			t.Fatalf("BatchPut = %v, want nil or ErrBatchUnsupported", err)
 		}
 	})
+	t.Run("BatchGetContract", func(t *testing.T) {
+		// Every engine must answer BatchGet for ANY key count — chunking
+		// (or fanning out point reads) is the engine's job — with missing
+		// keys absent rather than erroring, and copy semantics intact.
+		s := factory()
+		ctx := context.Background()
+		if got, err := s.BatchGet(ctx, nil); err != nil || len(got) != 0 {
+			t.Fatalf("BatchGet(nil) = %v, %v", got, err)
+		}
+		const n = 300 // above every engine's read-batch limit
+		keys := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("bg-%03d", i)
+			keys = append(keys, k)
+			if i%3 != 0 { // every third key stays missing
+				if err := s.Put(ctx, k, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := s.BatchGet(ctx, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			v, ok := got[k]
+			if i%3 == 0 {
+				if ok {
+					t.Fatalf("missing key %s present in BatchGet result", k)
+				}
+				continue
+			}
+			if !ok || len(v) != 1 || v[0] != byte(i) {
+				t.Fatalf("BatchGet[%s] = %v, %v", k, v, ok)
+			}
+		}
+		// Mutating a returned slice must not corrupt the store.
+		probe := keys[1]
+		got[probe][0] = 0xFF
+		v, err := s.Get(ctx, probe)
+		if err != nil || v[0] != 1 {
+			t.Fatalf("BatchGet aliased stored value: %v, %v", v, err)
+		}
+	})
+	t.Run("BatchGetChunking", func(t *testing.T) {
+		// Engines exposing operation metrics must show batched reads
+		// taking round-trip-count ≤ key-count: a multi-key primitive
+		// coalesces into few BatchGets; a point-read fan-out (S3) bills
+		// per-key Gets but still must not List or error.
+		s := factory()
+		ctx := context.Background()
+		type metered interface{ Metrics() *storage.Metrics }
+		sm, ok := s.(metered)
+		if !ok {
+			t.Skip("engine exposes no metrics")
+		}
+		const n = 130
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("ck-%03d", i)
+			if err := s.Put(ctx, keys[i], []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := sm.Metrics().Snapshot()
+		if _, err := s.BatchGet(ctx, keys); err != nil {
+			t.Fatal(err)
+		}
+		d := sm.Metrics().Snapshot().Sub(before)
+		if d.Lists != 0 {
+			t.Fatalf("BatchGet issued %d Lists", d.Lists)
+		}
+		if calls := d.Calls(); calls > int64(n) {
+			t.Fatalf("BatchGet of %d keys cost %d calls", n, calls)
+		}
+		if d.BatchGets > 0 && d.BatchGetItems != int64(n) {
+			t.Fatalf("BatchGetItems = %d, want %d", d.BatchGetItems, n)
+		}
+	})
+	t.Run("BatchDeleteContract", func(t *testing.T) {
+		s := factory()
+		ctx := context.Background()
+		if err := s.BatchDelete(ctx, nil); err != nil {
+			t.Fatalf("BatchDelete(nil) = %v", err)
+		}
+		const n = 60
+		keys := make([]string, 0, 2*n)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("bd-%03d", i)
+			keys = append(keys, k, k+"-missing") // half the keys never exist
+			if err := s.Put(ctx, k, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.BatchDelete(ctx, keys); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if _, err := s.Get(ctx, k); !errors.Is(err, storage.ErrNotFound) {
+				t.Fatalf("Get(%s) after BatchDelete = %v, want ErrNotFound", k, err)
+			}
+		}
+		// Idempotent: deleting the same set again is not an error.
+		if err := s.BatchDelete(ctx, keys); err != nil {
+			t.Fatalf("repeat BatchDelete = %v", err)
+		}
+	})
 	t.Run("ContextCancelled", func(t *testing.T) {
 		s := factory()
 		ctx, cancel := context.WithCancel(context.Background())

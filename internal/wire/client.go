@@ -142,6 +142,20 @@ func (c *Client) Get(ctx context.Context, txid, key string) ([]byte, error) {
 	return resp.Value, nil
 }
 
+// MultiGet implements lb.Backend over the wire: one round trip reads the
+// whole key batch, and the server's batched read pipeline collapses the
+// storage fan-out behind it.
+func (c *Client) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
+	resp, err := c.call(&Request{Op: OpMultiGet, TxID: txid, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	if err := DecodeErr(resp.Code, resp.Message); err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
 // Put implements lb.Backend over the wire.
 func (c *Client) Put(ctx context.Context, txid, key string, value []byte) error {
 	resp, err := c.call(&Request{Op: OpPut, TxID: txid, Key: key, Value: value})

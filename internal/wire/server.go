@@ -112,6 +112,8 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		resp.TxID, err = s.node.StartTransaction(ctx)
 	case OpGet:
 		resp.Value, err = s.node.Get(ctx, req.TxID, req.Key)
+	case OpMultiGet:
+		resp.Values, err = s.node.MultiGet(ctx, req.TxID, req.Keys)
 	case OpPut:
 		err = s.node.Put(ctx, req.TxID, req.Key, req.Value)
 	case OpCommit:

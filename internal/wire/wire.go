@@ -26,6 +26,9 @@ const (
 	OpAbort
 	OpResume
 	OpPing
+	// OpMultiGet is appended after OpPing so the pre-existing op codes
+	// stay stable across versions.
+	OpMultiGet
 )
 
 // Request is one client->server message.
@@ -34,6 +37,8 @@ type Request struct {
 	TxID  string
 	Key   string
 	Value []byte
+	// Keys carries an OpMultiGet's key batch (Key is unused for that op).
+	Keys []string
 }
 
 // ErrCode classifies errors across the wire.
@@ -60,6 +65,8 @@ type Response struct {
 	CommitTS int64
 	Code     ErrCode
 	Message  string
+	// Values carries an OpMultiGet's results, aligned with Request.Keys.
+	Values [][]byte
 }
 
 // EncodeErr converts an error into a wire code + message.

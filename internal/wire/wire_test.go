@@ -198,6 +198,74 @@ func TestClientThroughLoadBalancer(t *testing.T) {
 	}
 }
 
+// TestMultiGetOverWire drives OpMultiGet client → server → core, through
+// the load balancer's transaction affinity, and checks the server's read
+// pipeline batches the storage fan-out into one BatchGet.
+func TestMultiGetOverWire(t *testing.T) {
+	_, addr, node := startServer(t)
+	client, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	bal := lb.New(client)
+
+	ctx := context.Background()
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mg-%d", i)
+		txid, err := bal.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bal.Put(ctx, txid, keys[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bal.CommitTransaction(ctx, txid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type metered interface{ Metrics() *storage.Metrics }
+	sm := node.Store().(metered).Metrics()
+	before := sm.Snapshot()
+
+	txid, err := bal.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bal.Put(ctx, txid, "buffered", []byte("rw")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := bal.MultiGet(ctx, txid, append([]string{"buffered"}, keys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(keys)+1 || string(vals[0]) != "rw" {
+		t.Fatalf("MultiGet = %v", vals)
+	}
+	for i := range keys {
+		if len(vals[i+1]) != 1 || vals[i+1][0] != byte(i) {
+			t.Fatalf("vals[%d] = %v", i+1, vals[i+1])
+		}
+	}
+	// One RPC, one batched payload fetch server-side (no data cache here).
+	d := sm.Snapshot().Sub(before)
+	if d.Gets != 0 || d.BatchGets != 1 {
+		t.Fatalf("server-side Gets = %d BatchGets = %d, want 0/1", d.Gets, d.BatchGets)
+	}
+	if node.Metrics().Snapshot().MultiGets != 1 {
+		t.Fatalf("MultiGets = %d", node.Metrics().Snapshot().MultiGets)
+	}
+	if _, err := bal.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	// A missing key's sentinel crosses the wire.
+	txid2, _ := bal.StartTransaction(ctx)
+	if _, err := bal.MultiGet(ctx, txid2, []string{"absent"}); !errors.Is(err, core.ErrKeyNotFound) {
+		t.Fatalf("MultiGet missing key over wire = %v, want ErrKeyNotFound", err)
+	}
+}
+
 func TestServerCloseIdempotentAndRejectsAfter(t *testing.T) {
 	srv, addr, _ := startServer(t)
 	client, err := Dial(addr, 1)
