@@ -31,6 +31,7 @@ import (
 	"aft/internal/cluster"
 	"aft/internal/core"
 	"aft/internal/idgen"
+	"aft/internal/lb"
 	"aft/internal/shard"
 	"aft/internal/storage"
 	"aft/internal/wire"
@@ -77,6 +78,12 @@ var (
 	// mid-transaction (possible in sharded deployments); redo the
 	// transaction.
 	ErrVersionVanished = core.ErrVersionVanished
+	// ErrUnavailable means the storage engine reported a (possibly
+	// transient) failure; RunTransaction treats it as retriable.
+	ErrUnavailable = storage.ErrUnavailable
+	// ErrBackendGone means the node serving this transaction left the
+	// cluster mid-request (failure or scale-down); redo the transaction.
+	ErrBackendGone = lb.ErrBackendGone
 )
 
 // Client is the transactional surface shared by a *Node, the cluster's

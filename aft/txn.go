@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"aft/internal/retry"
+	"aft/internal/storage"
 )
 
 // Txn is an ergonomic handle for one transaction against any Client.
@@ -64,15 +67,24 @@ func (t *Txn) Abort() error {
 }
 
 // RunTransaction executes fn inside a transaction, committing on success
-// and aborting on error. Retriable conditions — ErrNoValidVersion (§3.6)
-// and transactions lost to node failures — are retried up to five times
-// with a fresh transaction, the retry discipline the paper prescribes.
+// and aborting on error. Retriable conditions — ErrNoValidVersion (§3.6),
+// transactions lost to node failures, transient storage unavailability,
+// and load-balancer backends that vanished mid-request — are redone with a
+// fresh transaction, the §3.3.1 retry discipline. A commit that fails with
+// a transient storage error is first retried under the SAME transaction ID
+// (commits are idempotent per §3.1), so an attempt whose writes were
+// already durable returns its original commit ID instead of double-
+// applying under a redo.
 func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) error {
 	const maxAttempts = 5
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		txn, err := Begin(ctx, client)
 		if err != nil {
+			if retriable(err) {
+				lastErr = err
+				continue
+			}
 			return err
 		}
 		if err := fn(txn); err != nil {
@@ -83,7 +95,16 @@ func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) err
 			}
 			return err
 		}
-		if _, err := txn.Commit(); err != nil {
+		_, err = txn.Commit()
+		for retries := 0; err != nil && retries < maxAttempts && errors.Is(err, storage.ErrUnavailable); retries++ {
+			_, err = txn.Commit()
+		}
+		if err != nil {
+			// Release the failed attempt before redoing: the transaction
+			// is still live server-side (a failed commit keeps it so) and
+			// holds a concurrency slot plus GC reader pins; redoing
+			// without aborting would leak both.
+			_ = txn.Abort()
 			if retriable(err) {
 				lastErr = err
 				continue
@@ -95,7 +116,4 @@ func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) err
 	return fmt.Errorf("aft: transaction failed after %d attempts: %w", maxAttempts, lastErr)
 }
 
-func retriable(err error) bool {
-	return errors.Is(err, ErrNoValidVersion) || errors.Is(err, ErrTxnNotFound) ||
-		errors.Is(err, ErrVersionVanished)
-}
+func retriable(err error) bool { return retry.Retriable(err) }

@@ -8,10 +8,12 @@
 //	aft-bench -experiment fig3 -scale 0.1     # one experiment, 10x speed
 //	aft-bench -experiment fig7 -quick         # CI-sized run
 //	aft-bench -experiment sharded -json out/  # broadcast vs sharded exchange
+//	aft-bench chaos -seed 7                   # alias: seeded fault-injection campaign
+//	aft-bench -experiment chaos -seed 7 -chaos-kills 3 -chaos-error-rate 0.05
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablation, sharded, parallel, readpath. Output latencies and
-// throughputs are
+// fig9, fig10, ablation, sharded, parallel, readpath, chaos. Output
+// latencies and throughputs are
 // reported in paper-equivalent units (measured values divided by the time
 // scale).
 //
@@ -44,20 +46,42 @@ type benchResult struct {
 	ShardedCells  []experiments.ShardedCell  `json:"sharded_cells,omitempty"`
 	ParallelCells []experiments.ParallelCell `json:"parallel_cells,omitempty"`
 	ReadPathCells []experiments.ReadPathCell `json:"readpath_cells,omitempty"`
+	ChaosCells    []experiments.ChaosCell    `json:"chaos_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
 		payload    = flag.Int("payload", 4096, "value size in bytes")
 		jsonDir    = flag.String("json", ".", "directory for BENCH_<name>.json results; empty disables")
-	)
-	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Quick: *quick, Seed: *seed, Payload: *payload}
+		chaosErrRate     = flag.Float64("chaos-error-rate", 0, "chaos: transient-failure probability per storage op; 0 = default")
+		chaosPartialRate = flag.Float64("chaos-partial-rate", 0, "chaos: partial-batch-failure probability per batch op; 0 = default")
+		chaosSpikeRate   = flag.Float64("chaos-spike-rate", 0, "chaos: latency-spike probability per storage op; 0 = default")
+		chaosKills       = flag.Int("chaos-kills", 0, "chaos: node kills scheduled per campaign; 0 = default")
+		chaosRequests    = flag.Int("chaos-requests", 0, "chaos: requests per campaign; 0 = default")
+	)
+	// Allow "aft-bench chaos -seed 7"-style invocation: a leading bare
+	// word selects the experiment.
+	args := os.Args[1:]
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		if err := flag.CommandLine.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		*experiment = args[0]
+	} else {
+		flag.Parse()
+	}
+
+	opts := experiments.Options{
+		Scale: *scale, Quick: *quick, Seed: *seed, Payload: *payload,
+		ChaosErrorRate: *chaosErrRate, ChaosPartialRate: *chaosPartialRate,
+		ChaosSpikeRate: *chaosSpikeRate, ChaosKills: *chaosKills,
+		ChaosRequests: *chaosRequests,
+	}
 
 	type exp struct {
 		name string
@@ -87,6 +111,7 @@ func main() {
 		{"sharded", one(experiments.Sharded)},
 		{"parallel", one(experiments.Parallel)},
 		{"readpath", one(experiments.ReadPath)},
+		{"chaos", one(experiments.Chaos)},
 	}
 
 	selected := map[string]bool{}
@@ -138,6 +163,13 @@ func main() {
 				t, err = experiments.ReadPathTable(res.ReadPathCells)
 				res.Tables = []experiments.Table{t}
 			}
+		case "chaos":
+			res.ChaosCells, err = experiments.ChaosCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.ChaosTable(res.ChaosCells)
+				res.Tables = []experiments.Table{t}
+			}
 		default:
 			res.Tables, err = e.run(opts)
 		}
@@ -145,11 +177,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aft-bench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		res.WallTimeMS = time.Since(start).Milliseconds()
+		// The chaos campaign's contract is bit-for-bit determinism per
+		// seed; wall time is the one nondeterministic field, so it is
+		// omitted from that experiment's output and JSON.
+		if e.name != "chaos" {
+			res.WallTimeMS = time.Since(start).Milliseconds()
+		}
 		for _, t := range res.Tables {
 			t.Print(os.Stdout)
 		}
-		fmt.Printf("  (%s wall time)\n", time.Since(start).Round(time.Millisecond))
+		if e.name != "chaos" {
+			fmt.Printf("  (%s wall time)\n", time.Since(start).Round(time.Millisecond))
+		}
 		if *jsonDir != "" {
 			path := filepath.Join(*jsonDir, "BENCH_"+e.name+".json")
 			if err := writeJSON(path, res); err != nil {

@@ -1,0 +1,401 @@
+// Package checker is a Jepsen-style history checker for AFT's consistency
+// guarantees. A Recorder accumulates, concurrently, the observable history
+// of a workload — every request's read observations (workload.Meta
+// metadata, §6.1.2 of the paper) plus the client-side outcome of every
+// transaction attempt — and the Verdict engine replays that history to
+// prove, or pinpoint violations of, the §3.2 contract:
+//
+//   - read atomicity (no fractured reads): every request's read set is an
+//     Atomic Readset (Definition 1);
+//   - no dirty reads: no request observes a writer that never committed;
+//   - read-your-writes: a request never reads past its own buffered write;
+//   - repeatable read: re-reading a key returns the same version absent an
+//     intervening self-write;
+//   - atomic write durability (no lost writes): after the system quiesces,
+//     every key reads at its newest committed version — commits
+//     acknowledged by a node that later crashed included.
+//
+// The checker separates three commit-knowledge classes. Client-acked
+// commits carry the ID returned by CommitTransaction. Indeterminate
+// attempts are commits whose response was lost to an injected fault or a
+// node crash — the classic unknown-outcome window — and are resolved
+// against ground truth by ResolveStorage, which scans the Transaction
+// Commit Set: AFT's write-ordering protocol (§3.3) makes a durable commit
+// record the visibility point, so a durable record IS a commit, whatever
+// the client saw. Observing an indeterminate writer is therefore never a
+// dirty read; observing a definitively-aborted writer always is.
+package checker
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aft/internal/idgen"
+	"aft/internal/records"
+	"aft/internal/storage"
+	"aft/internal/workload"
+)
+
+// commitInfo is one known-committed transaction.
+type commitInfo struct {
+	id       idgen.ID
+	writeSet []string
+}
+
+// Recorder accumulates a workload's observable history. All methods are
+// safe for concurrent use; Verdict is called after the workload quiesces.
+type Recorder struct {
+	mu     sync.Mutex
+	traces []workload.Trace
+	// order resolves a writer UUID to its version-order ID. A UUID can
+	// gain a second commit record when a partially-failed commit attempt
+	// is retried under the same transaction ID (§3.1 idempotency): the
+	// newest ID wins, and both records' write sets stay in commits below.
+	order map[string]idgen.ID
+	// commits holds every known-committed transaction: client-acked plus
+	// storage-resolved, keyed by full ID (not UUID — see order).
+	commits map[idgen.ID]commitInfo
+	// aborted holds UUIDs whose attempts definitively did not commit: the
+	// client aborted before ever attempting a commit.
+	aborted map[string]bool
+	// indeterminate holds UUIDs whose commit attempt failed with an
+	// ambiguous error (transient fault, node crash): the record may or may
+	// not be durable. ResolveStorage settles the committed ones.
+	indeterminate map[string]bool
+}
+
+// New returns an empty Recorder.
+func New() *Recorder {
+	return &Recorder{
+		order:         make(map[string]idgen.ID),
+		commits:       make(map[idgen.ID]commitInfo),
+		aborted:       make(map[string]bool),
+		indeterminate: make(map[string]bool),
+	}
+}
+
+// RecordTrace appends one request attempt's read observations. Traces of
+// failed attempts belong in the history too: their reads were served and
+// must satisfy the same guarantees as a committed request's.
+func (r *Recorder) RecordTrace(tr workload.Trace) {
+	r.mu.Lock()
+	r.traces = append(r.traces, tr)
+	r.mu.Unlock()
+}
+
+// RecordCommit registers a client-acknowledged commit.
+func (r *Recorder) RecordCommit(uuid string, id idgen.ID, writeSet []string) {
+	r.mu.Lock()
+	r.installCommitLocked(uuid, id, writeSet)
+	r.mu.Unlock()
+}
+
+// installCommitLocked registers a commit; the newest ID for a UUID wins the
+// order entry. Callers hold r.mu.
+func (r *Recorder) installCommitLocked(uuid string, id idgen.ID, writeSet []string) {
+	delete(r.indeterminate, uuid)
+	if cur, ok := r.order[uuid]; !ok || cur.Less(id) {
+		r.order[uuid] = id
+	}
+	if _, ok := r.commits[id]; !ok {
+		r.commits[id] = commitInfo{id: id, writeSet: append([]string(nil), writeSet...)}
+	}
+}
+
+// RecordAbort registers an attempt that definitively did not commit (the
+// client aborted it before any commit attempt). Its writes must never be
+// observed.
+func (r *Recorder) RecordAbort(uuid string) {
+	r.mu.Lock()
+	r.aborted[uuid] = true
+	r.mu.Unlock()
+}
+
+// RecordIndeterminate registers an attempt whose commit outcome is unknown
+// (the commit call failed with an ambiguous error). ResolveStorage settles
+// it against the Transaction Commit Set.
+func (r *Recorder) RecordIndeterminate(uuid string) {
+	r.mu.Lock()
+	if _, committed := r.order[uuid]; !committed {
+		r.indeterminate[uuid] = true
+	}
+	r.mu.Unlock()
+}
+
+// ResolveStorage registers every durable commit record as ground truth:
+// the write-ordering protocol makes the record the commit point (§3.3), so
+// this resolves indeterminate attempts and recovers commits acknowledged
+// by nodes that crashed before broadcasting. Call it after the workload
+// quiesces (and with fault injection disabled). Returns the number of
+// records read.
+func (r *Recorder) ResolveStorage(ctx context.Context, store storage.Store) (int, error) {
+	keys, err := store.List(ctx, records.CommitPrefix)
+	if err != nil {
+		return 0, err
+	}
+	payloads, err := store.BatchGet(ctx, keys)
+	if err != nil {
+		return 0, err
+	}
+	resolved := 0
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sk := range keys {
+		payload, ok := payloads[sk]
+		if !ok {
+			continue // collected concurrently
+		}
+		rec, err := records.UnmarshalCommitRecord(payload)
+		if err != nil {
+			return resolved, fmt.Errorf("checker: decoding %s: %w", sk, err)
+		}
+		r.installCommitLocked(rec.UUID, rec.ID(), rec.WriteSet)
+		resolved++
+	}
+	return resolved, nil
+}
+
+// Verdict is the outcome of replaying a recorded history. All counts are
+// per request (a request with two fractured pairs counts one fracture,
+// matching Table 2's accounting).
+type Verdict struct {
+	// Requests is the number of recorded traces (attempts included).
+	Requests int `json:"requests"`
+	// Commits is the number of known-committed transactions.
+	Commits int `json:"commits"`
+	// Reads is the total read-observation count across traces.
+	Reads int `json:"reads"`
+	// FinalKeys is the number of keys checked by the final-state pass.
+	FinalKeys int `json:"final_keys"`
+
+	// DirtyReads counts requests that observed a writer that neither
+	// committed nor has an unknown outcome.
+	DirtyReads int `json:"dirty_reads"`
+	// AbortedReads counts requests that observed a definitively-aborted
+	// writer.
+	AbortedReads int `json:"aborted_reads"`
+	// RYW counts read-your-writes violations.
+	RYW int `json:"ryw_violations"`
+	// FracturedReads counts requests whose read set is not an Atomic
+	// Readset (this subsumes atomic-write-visibility violations: a
+	// fracture is exactly a partially-visible write set).
+	FracturedReads int `json:"fractured_reads"`
+	// NonRepeatableReads counts requests that re-read a key (with no own
+	// write in between) and observed a different version.
+	NonRepeatableReads int `json:"non_repeatable_reads"`
+	// LostWrites counts keys whose final-state read did not observe the
+	// newest committed writer.
+	LostWrites int `json:"lost_writes"`
+
+	// Violations pinpoints each anomaly (capped at maxViolations).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// maxViolations caps the pinpointed-violation list.
+const maxViolations = 32
+
+// Anomalies returns the total anomaly count.
+func (v Verdict) Anomalies() int {
+	return v.DirtyReads + v.AbortedReads + v.RYW + v.FracturedReads +
+		v.NonRepeatableReads + v.LostWrites
+}
+
+// Clean reports whether the history satisfies every checked guarantee.
+func (v Verdict) Clean() bool { return v.Anomalies() == 0 }
+
+// String renders a one-line summary.
+func (v Verdict) String() string {
+	status := "CLEAN"
+	if !v.Clean() {
+		status = fmt.Sprintf("%d ANOMALIES", v.Anomalies())
+	}
+	return fmt.Sprintf("%s (requests=%d commits=%d reads=%d dirty=%d aborted=%d ryw=%d fractured=%d non-repeatable=%d lost=%d)",
+		status, v.Requests, v.Commits, v.Reads, v.DirtyReads, v.AbortedReads,
+		v.RYW, v.FracturedReads, v.NonRepeatableReads, v.LostWrites)
+}
+
+// flag appends a pinpointed violation, respecting the cap.
+func (v *Verdict) flag(format string, args ...any) {
+	if len(v.Violations) < maxViolations {
+		v.Violations = append(v.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Verdict replays the recorded history. final, when non-nil, maps each key
+// to the metadata observed by a post-quiesce read (keys read as absent
+// omitted); it drives the lost-write check and should be collected after
+// ResolveStorage with fault injection disabled.
+func (r *Recorder) Verdict(final map[string]workload.Meta) Verdict {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := Verdict{Requests: len(r.traces), Commits: len(r.commits)}
+	for _, tr := range r.traces {
+		r.checkTraceLocked(tr, &v)
+	}
+	r.checkFinalLocked(final, &v)
+	return v
+}
+
+// resolveLocked returns the version-order ID of an observation's writer.
+// Callers hold r.mu.
+func (r *Recorder) resolveLocked(m workload.Meta) (idgen.ID, bool) {
+	if id, ok := r.order[m.UUID]; ok {
+		return id, true
+	}
+	if m.TS != 0 {
+		// Plain-storage writers embed their order at write time.
+		return idgen.ID{Timestamp: m.TS, UUID: m.UUID}, true
+	}
+	return idgen.Null, false
+}
+
+// checkTraceLocked replays one request. Callers hold r.mu.
+func (r *Recorder) checkTraceLocked(tr workload.Trace, v *Verdict) {
+	v.Reads += len(tr.Reads)
+	var dirty, abortedRead, ryw, fractured, nonRepeatable bool
+
+	// Per-read checks: writer legitimacy and read-your-writes.
+	for _, obs := range tr.Reads {
+		if obs.Meta.UUID != tr.UUID {
+			if r.aborted[obs.Meta.UUID] {
+				abortedRead = true
+				v.flag("aborted read: request %s observed aborted writer %s on %q",
+					tr.UUID, obs.Meta.UUID, obs.Key)
+			} else if _, ok := r.resolveLocked(obs.Meta); !ok && !r.indeterminate[obs.Meta.UUID] {
+				dirty = true
+				v.flag("dirty read: request %s observed unknown writer %s on %q",
+					tr.UUID, obs.Meta.UUID, obs.Key)
+			}
+			if obs.AfterOwnWrite {
+				ryw = true
+				v.flag("read-your-writes: request %s read %q from %s after writing it",
+					tr.UUID, obs.Key, obs.Meta.UUID)
+			}
+		}
+	}
+
+	// Repeatable read: re-reads of a key with no own write in between
+	// (AfterOwnWrite reads return the request's own buffered value and
+	// carry its own UUID, so they are excluded above and here).
+	seen := make(map[string]workload.Meta)
+	for _, obs := range tr.Reads {
+		if obs.Meta.UUID == tr.UUID {
+			continue
+		}
+		if prev, ok := seen[obs.Key]; ok {
+			if prev.UUID != obs.Meta.UUID || prev.TS != obs.Meta.TS {
+				nonRepeatable = true
+				v.flag("non-repeatable read: request %s read %q from %s then %s",
+					tr.UUID, obs.Key, prev.UUID, obs.Meta.UUID)
+			}
+		} else {
+			seen[obs.Key] = obs.Meta
+		}
+	}
+
+	// Read atomicity (Definition 1): for observations a and b, if b.Key is
+	// in a's cowritten set and b's writer orders before a's, then a's
+	// writer's write set is only partially visible — a fractured read.
+	// Writers whose order cannot be resolved (indeterminate and later
+	// garbage collected) are skipped: no false positives, and the window
+	// is closed by ResolveStorage for every record still durable.
+	for _, a := range tr.Reads {
+		if fractured {
+			break
+		}
+		if a.Meta.UUID == tr.UUID {
+			continue
+		}
+		idA, ok := r.resolveLocked(a.Meta)
+		if !ok {
+			continue
+		}
+		cow := make(map[string]bool, len(a.Meta.Cowritten))
+		for _, k := range a.Meta.Cowritten {
+			cow[k] = true
+		}
+		for _, b := range tr.Reads {
+			if b.Meta.UUID == tr.UUID || !cow[b.Key] {
+				continue
+			}
+			idB, ok := r.resolveLocked(b.Meta)
+			if !ok {
+				continue
+			}
+			if idB.Less(idA) {
+				fractured = true
+				v.flag("fractured read: request %s read %q from %s (%s) but cowritten %q from older %s (%s)",
+					tr.UUID, a.Key, a.Meta.UUID, idA, b.Key, b.Meta.UUID, idB)
+				break
+			}
+		}
+	}
+
+	if dirty {
+		v.DirtyReads++
+	}
+	if abortedRead {
+		v.AbortedReads++
+	}
+	if ryw {
+		v.RYW++
+	}
+	if fractured {
+		v.FracturedReads++
+	}
+	if nonRepeatable {
+		v.NonRepeatableReads++
+	}
+}
+
+// checkFinalLocked verifies atomic write durability: after quiesce and
+// recovery, every key must read at the newest committed version that wrote
+// it, and a key with no committed writer must read as absent. Callers hold
+// r.mu.
+func (r *Recorder) checkFinalLocked(final map[string]workload.Meta, v *Verdict) {
+	if final == nil {
+		return
+	}
+	v.FinalKeys = len(final)
+	// Newest committed writer per key, across acked AND storage-resolved
+	// commits: a commit acknowledged by a node that crashed before
+	// broadcasting must still win here — that is the paper's durability
+	// claim under failures (§4.2, §6.7).
+	newest := make(map[string]idgen.ID)
+	for _, ci := range r.commits {
+		for _, k := range ci.writeSet {
+			if cur, ok := newest[k]; !ok || cur.Less(ci.id) {
+				newest[k] = ci.id
+			}
+		}
+	}
+	keys := make([]string, 0, len(final))
+	for k := range final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		meta := final[k]
+		want, written := newest[k]
+		if !written {
+			v.LostWrites++
+			v.flag("phantom final value: %q read from %s but no committed writer is known", k, meta.UUID)
+			continue
+		}
+		got, ok := r.resolveLocked(meta)
+		if !ok || !got.Equal(want) {
+			v.LostWrites++
+			v.flag("lost write: %q finally read from %s (%s) but newest committed writer is %s",
+				k, meta.UUID, got, want)
+		}
+	}
+	// Keys with committed writers that the final pass read as absent.
+	for k, want := range newest {
+		if _, ok := final[k]; !ok {
+			v.LostWrites++
+			v.flag("lost write: %q has committed writer %s but finally read as absent", k, want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -228,9 +229,14 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 		c.bg.Add(1)
 		go c.localGCLoop(m)
 	}
+	// The balancer entry must be visible no later than membership: a
+	// caller polling Nodes() for a promotion to complete (the chaos
+	// scheduler does) must be able to route to the new node the instant
+	// it appears, or the routing schedule depends on this goroutine
+	// winning a race.
+	c.balancer.Add(node)
 	c.members[id] = m
 	c.mu.Unlock()
-	c.balancer.Add(node)
 	return node, nil
 }
 
@@ -313,14 +319,35 @@ func (c *Cluster) Kill(nodeID string) error {
 			defer c.bg.Done()
 			// Failure detection (~5 s, §6.7), then standby warm-up.
 			c.cfg.Sleeper.Sleep(c.cfg.DetectDelay)
-			if _, err := c.addNode(context.Background(), true); err != nil {
-				// Promotion failure leaves the cluster one node short;
-				// the next Kill or manual AddNode can still recover.
-				return
+			// A promotion can fail transiently — its bootstrap reads the
+			// Transaction Commit Set through the same storage layer whose
+			// flakiness caused failovers to matter in the first place.
+			// Retry with the join warm-up paid only once; exhausting the
+			// budget (or cluster shutdown) leaves the cluster one node
+			// short, recoverable by the next Kill or a manual AddNode.
+			for attempt := 0; attempt < promotionAttempts; attempt++ {
+				_, err := c.addNode(context.Background(), attempt == 0)
+				if err == nil || c.isStopped() {
+					return
+				}
+				c.cfg.Sleeper.Sleep(c.cfg.DetectDelay)
 			}
 		}()
 	}
 	return nil
+}
+
+// promotionAttempts bounds standby-promotion retries after a node kill.
+// Generous on purpose: a promotion bootstraps through the same storage
+// whose failure modes are being recovered from, so several attempts can
+// plausibly hit transient faults before one lands.
+const promotionAttempts = 10
+
+// isStopped reports whether Stop has run.
+func (c *Cluster) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
 }
 
 // RemoveNode gracefully retires a replica (scale-down): it leaves the
@@ -432,16 +459,24 @@ func (c *Cluster) Node(id string) (*core.Node, bool) {
 	return m.node, true
 }
 
-// FlushMulticast runs one broadcast round on every live node (tests).
+// FlushMulticast runs one broadcast round on every live node, in node-ID
+// order (tests and deterministic harnesses). Order matters under §4.1
+// pruning: a node flushing after it merged another node's round prunes
+// against the newer state, so an unordered walk would make the delivered
+// record sets — and everything downstream of them, like local-GC votes —
+// depend on map iteration order.
 func (c *Cluster) FlushMulticast() {
 	c.mu.Lock()
-	members := make([]*member, 0, len(c.members))
-	for _, m := range c.members {
-		members = append(members, m)
+	ids := make([]string, 0, len(c.members))
+	byID := make(map[string]*member, len(c.members))
+	for id, m := range c.members {
+		ids = append(ids, id)
+		byID[id] = m
 	}
 	c.mu.Unlock()
-	for _, m := range members {
-		m.mc.Flush()
+	sort.Strings(ids)
+	for _, id := range ids {
+		byID[id].mc.Flush()
 	}
 }
 

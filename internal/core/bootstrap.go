@@ -2,11 +2,9 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"aft/internal/records"
-	"aft/internal/storage"
 )
 
 // Bootstrap warms the node's metadata cache from the Transaction Commit
@@ -32,14 +30,21 @@ func (n *Node) Bootstrap(ctx context.Context) error {
 	if n.cfg.BootstrapLimit > 0 && len(keys) > n.cfg.BootstrapLimit {
 		keys = keys[len(keys)-n.cfg.BootstrapLimit:]
 	}
+	// Fetch every record through the batched read pipeline: one BatchGet
+	// round-trip group instead of one point Get per record. Beyond the
+	// round-trip economy, this matters for recovery: a replacement node
+	// bootstrapping through a flaky storage phase makes O(1) calls that
+	// can fail instead of O(records), so promotion retries actually
+	// converge (§6.7).
+	payloads, err := n.batchFetchPayloads(ctx, keys)
+	if err != nil {
+		return fmt.Errorf("aft: reading commit set: %w", err)
+	}
 	owns := n.ownership()
 	for _, sk := range keys {
-		payload, err := n.store.Get(ctx, sk)
-		if err != nil {
-			if errors.Is(err, storage.ErrNotFound) {
-				continue // concurrently garbage collected
-			}
-			return fmt.Errorf("aft: reading commit record %s: %w", sk, err)
+		payload, ok := payloads[sk]
+		if !ok {
+			continue // concurrently garbage collected
 		}
 		rec, err := records.UnmarshalCommitRecord(payload)
 		if err != nil {

@@ -101,8 +101,8 @@ func (n *Node) MultiGet(ctx context.Context, txid string, keys []string) ([][]by
 		if len(missing) == 0 {
 			return out, nil
 		}
-		// Version(s) vanished: only reachable in sharded mode on keys not
-		// yet read before this call (fetchPlanned classifies the rest).
+		// Version(s) vanished under the global GC: retry on keys not yet
+		// read before this call (fetchPlanned classifies the rest).
 		if attempt+1 >= maxAttempts {
 			return nil, fmt.Errorf("aft: fetching %s: %w",
 				n.storageKeyOf(plans[missing[0]], keys[missing[0]]), ErrVersionVanished)
@@ -140,12 +140,12 @@ func (n *Node) storageKeyOf(p *readPlan, key string) string {
 
 // fetchPlanned serves the planned indices from the data cache and one
 // batched storage fetch, filling out. It returns the indices whose payload
-// is missing from storage AND eligible for the sharded vanished-version
-// retry; any other miss is an error (for spill data and un-sharded
-// deployments a missing payload breaks the §3.3 durability ordering and is
-// surfaced for client retry, like Get does).
+// is missing from storage AND eligible for the vanished-version retry
+// (first reads of a key whose selected version the global GC collected
+// mid-read — the sharded owner-vote race or the symmetric vote/bootstrap
+// TOCTOU); a missing spill payload or a re-read of an already-read key is
+// an error, like Get's handling.
 func (n *Node) fetchPlanned(ctx context.Context, t *txnState, keys []string, plans []*readPlan, out [][]byte, idxs []int) ([]int, error) {
-	owns := n.ownership()
 	toFetch := make(map[string][]int)
 	for _, i := range idxs {
 		p := plans[i]
@@ -190,10 +190,9 @@ func (n *Node) fetchPlanned(ctx context.Context, t *txnState, keys []string, pla
 		if !ok {
 			for _, i := range waiting {
 				p := plans[i]
-				if p.spill || owns == nil {
-					// Own spill data, or no sharded GC that could have
-					// raced us: this is storage trouble, not a vanished
-					// version.
+				if p.spill {
+					// Own spill data cannot be collected under us; this
+					// is storage trouble, not a vanished version.
 					return nil, fmt.Errorf("aft: fetching %s: %w", sk, storage.ErrNotFound)
 				}
 				if p.alreadyRead {

@@ -36,6 +36,7 @@ import (
 	"aft/internal/idgen"
 	"aft/internal/records"
 	"aft/internal/storage"
+	"aft/internal/strhash"
 )
 
 // Errors returned by the node's transactional API.
@@ -121,6 +122,13 @@ type Config struct {
 	// measurable baseline for the read-path benchmarks (the read-side
 	// mirror of DisableGroupCommit).
 	DisableReadBatching bool
+	// IDEntropySeed, when non-zero, makes transaction-UUID entropy a
+	// seeded deterministic stream (mixed with the node ID, so replicas
+	// sharing a seed still mint distinct IDs). Paired with a
+	// deterministic Clock this makes every ID — and therefore every
+	// storage key — bit-for-bit reproducible, which the chaos harness
+	// requires; 0 keeps crypto randomness.
+	IDEntropySeed int64
 }
 
 // ownsFunc is a shard-ownership filter; see SetOwnership.
@@ -277,6 +285,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	for i := range n.stripes {
 		n.stripes[i] = newStripe()
+	}
+	if cfg.IDEntropySeed != 0 {
+		n.gen.SeedEntropy(cfg.IDEntropySeed ^ int64(strhash.FNV32a(cfg.NodeID)))
 	}
 	n.flusherLimit = cfg.GroupCommitFlushers
 	if n.flusherLimit <= 0 {

@@ -93,15 +93,21 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 		}
 		v, err := n.store.Get(ctx, plan.storageKey)
 		if err != nil {
-			if errors.Is(err, storage.ErrNotFound) && owns != nil {
-				// Sharded GC race: the version was superseded and
-				// collected after the owners voted; our pin could not
-				// block it. For a first read of the key, unwind the
-				// selection, forget the vanished version, and retry — a
-				// newer version exists in storage. A re-read of an
-				// already-read key cannot re-select (repeatable read
-				// requires that exact version): the transaction must be
-				// redone, signalled by ErrVersionVanished.
+			if errors.Is(err, storage.ErrNotFound) {
+				// GC race: the version was superseded and collected
+				// after the selection's protection lapsed. In sharded
+				// mode a non-owner's pin cannot block the owner-voted
+				// collection; in symmetric deployments the §5.2
+				// unanimity vote can pass and then a replacement node's
+				// bootstrap re-installs the already-confirmed record
+				// before its data is deleted (a vote/delete TOCTOU the
+				// chaos harness reproduces under kill + promotion). For
+				// a first read of the key, unwind the selection, forget
+				// the vanished version, and retry — a newer version
+				// exists in storage. A re-read of an already-read key
+				// cannot re-select (repeatable read requires that exact
+				// version): the transaction must be redone, signalled by
+				// ErrVersionVanished.
 				if !plan.alreadyRead {
 					t.mu.Lock()
 					n.forgetVanished(t, key, plan.target, plan.rec, plan.pinnedNow)

@@ -47,6 +47,17 @@ type Options struct {
 	// modeled waits (precise but CPU-hungry); the low-concurrency latency
 	// experiments set it internally.
 	spin bool
+
+	// ChaosErrorRate, ChaosPartialRate, and ChaosSpikeRate override the
+	// chaos experiment's per-operation fault probabilities; 0 selects the
+	// defaults (see chaos.go).
+	ChaosErrorRate, ChaosPartialRate, ChaosSpikeRate float64
+	// ChaosKills overrides how many node kills each chaos campaign
+	// schedules; 0 selects the default.
+	ChaosKills int
+	// ChaosRequests overrides the chaos campaign length; 0 selects the
+	// default (Quick-aware).
+	ChaosRequests int
 }
 
 // withDefaults normalizes options.

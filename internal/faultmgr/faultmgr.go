@@ -18,7 +18,6 @@ package faultmgr
 
 import (
 	"context"
-	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -161,12 +160,20 @@ func (m *Manager) KnownCommits() int {
 // node any commit record the manager had not already received via
 // broadcast (§4.2): this recovers commits acknowledged by a node that
 // failed before its multicast round.
+//
+// Failure safety: nothing is installed into the manager's index until
+// every unknown record has been fetched. A scan that installed records as
+// it went and then died on a storage error would swallow those commits
+// forever — known to the manager (so no later scan re-announces them) yet
+// delivered to no node; the chaos harness reproduces exactly that as a
+// lost write. Fetching through one BatchGet round-trip group also shrinks
+// the scan's fallible-call count from O(records) to O(1).
 func (m *Manager) ScanStorage(ctx context.Context) error {
 	keys, err := m.store.List(ctx, records.CommitPrefix)
 	if err != nil {
 		return err
 	}
-	var missed []*records.CommitRecord
+	want := make([]string, 0, len(keys))
 	for _, sk := range keys {
 		id, err := records.ParseCommitKey(sk)
 		if err != nil {
@@ -175,33 +182,38 @@ func (m *Manager) ScanStorage(ctx context.Context) error {
 		m.mu.Lock()
 		_, known := m.commits[id]
 		m.mu.Unlock()
-		if known {
-			continue
+		if !known {
+			want = append(want, sk)
 		}
-		payload, err := m.store.Get(ctx, sk)
-		if err != nil {
-			if errors.Is(err, storage.ErrNotFound) {
-				continue // concurrently deleted
-			}
-			return err
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	payloads, err := m.store.BatchGet(ctx, want)
+	if err != nil {
+		return err // nothing installed: the next scan recovers everything
+	}
+	var missed []*records.CommitRecord
+	m.mu.Lock()
+	for _, sk := range want {
+		payload, ok := payloads[sk]
+		if !ok {
+			continue // concurrently deleted
 		}
 		rec, err := records.UnmarshalCommitRecord(payload)
 		if err != nil {
 			continue // unreadable record: skip, never delete data we can't attribute
 		}
-		m.mu.Lock()
 		if m.installLocked(rec) {
 			missed = append(missed, rec)
 		}
-		m.mu.Unlock()
 	}
+	scope := m.scope
+	m.mu.Unlock()
 	if len(missed) == 0 {
 		return nil
 	}
 	m.metrics.Recovered.Add(int64(len(missed)))
-	m.mu.Lock()
-	scope := m.scope
-	m.mu.Unlock()
 	nodes := m.membership.Nodes()
 	if scope == nil {
 		for _, n := range nodes {

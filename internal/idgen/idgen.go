@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	mrand "math/rand"
 	"strconv"
 	"strings"
 	"sync"
@@ -165,6 +166,24 @@ func NewGenerator(clock Clock, node string) *Generator {
 
 var defaultWallClock = &WallClock{}
 
+// SeedEntropy replaces the generator's random source with a seeded
+// deterministic stream (simulation and chaos harnesses, where IDs must
+// reproduce bit-for-bit run over run). Uniqueness never depends on the
+// stream: UUIDs embed the node name and a sequence number, so two
+// generators sharing a seed still mint distinct IDs.
+func (g *Generator) SeedEntropy(seed int64) {
+	rng := mrand.New(mrand.NewSource(seed))
+	var mu sync.Mutex
+	g.mu.Lock()
+	g.rnd = func(b []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		_, err := rng.Read(b)
+		return err
+	}
+	g.mu.Unlock()
+}
+
 // NewID mints a fresh transaction ID. The UUID layout is
 // "<node>-<seq>-<hex random>"; sequence numbers keep UUIDs unique even when
 // the random source misbehaves.
@@ -172,10 +191,11 @@ func (g *Generator) NewID() ID {
 	g.mu.Lock()
 	g.seq++
 	seq := g.seq
+	rnd := g.rnd
 	g.mu.Unlock()
 
 	var buf [8]byte
-	if err := g.rnd(buf[:]); err != nil {
+	if err := rnd(buf[:]); err != nil {
 		// Fall back to a time-derived value; uniqueness is preserved by
 		// the node name and sequence number.
 		binary.BigEndian.PutUint64(buf[:], uint64(time.Now().UnixNano()))

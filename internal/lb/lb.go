@@ -83,7 +83,12 @@ func (b *Balancer) Add(backend Backend) {
 
 // Remove deregisters the backend with the given ID (node failure or
 // scale-down). In-flight transactions pinned to it will fail with
-// ErrBackendGone.
+// ErrBackendGone: their affinity entries become tombstones (nil backend)
+// so the failure is classified as "your node is gone, redo the
+// transaction" (retriable, §3.3.1) rather than ErrUnknownTxn — while the
+// dead Backend itself (and everything it keeps reachable) is released
+// immediately. lookup reclaims each tombstone the first time the
+// transaction notices.
 func (b *Balancer) Remove(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -94,8 +99,8 @@ func (b *Balancer) Remove(id string) {
 		}
 	}
 	for txid, be := range b.affinity {
-		if be.ID() == id {
-			delete(b.affinity, txid)
+		if be != nil && be.ID() == id {
+			b.affinity[txid] = nil
 		}
 	}
 	if len(b.backends) > 0 {
@@ -132,12 +137,20 @@ func (b *Balancer) lookup(txid string) (Backend, error) {
 	if !ok {
 		return nil, ErrUnknownTxn
 	}
-	// Confirm it is still registered.
+	if be == nil {
+		// Tombstone left by Remove: reclaim it now that the transaction
+		// has seen its node die.
+		delete(b.affinity, txid)
+		return nil, ErrBackendGone
+	}
+	// Confirm it is still registered (Remove tombstones synchronously, but
+	// a caller may hold a Backend from an earlier race window).
 	for _, cur := range b.backends {
 		if cur.ID() == be.ID() {
 			return be, nil
 		}
 	}
+	delete(b.affinity, txid)
 	return nil, ErrBackendGone
 }
 

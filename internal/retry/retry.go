@@ -1,0 +1,28 @@
+// Package retry holds the single, shared classification of errors after
+// which a client should redo its request with a fresh transaction — the
+// §3.3.1 retry discipline. The public API (aft.RunTransaction) and the
+// chaos harness must agree on this set, or the harness would report
+// failures the API retries (or vice versa); keep it in one place.
+package retry
+
+import (
+	"errors"
+
+	"aft/internal/core"
+	"aft/internal/lb"
+	"aft/internal/storage"
+)
+
+// Retriable reports whether a request that failed with err should be
+// redone under a fresh transaction: transient storage unavailability,
+// transactions lost to node crashes, read-set dead ends (§3.6), versions
+// collected mid-read, and load-balancer backends that vanished under the
+// request.
+func Retriable(err error) bool {
+	return errors.Is(err, storage.ErrUnavailable) ||
+		errors.Is(err, core.ErrTxnNotFound) ||
+		errors.Is(err, core.ErrNoValidVersion) ||
+		errors.Is(err, core.ErrVersionVanished) ||
+		errors.Is(err, lb.ErrBackendGone) ||
+		errors.Is(err, lb.ErrNoBackends)
+}

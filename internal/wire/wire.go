@@ -9,6 +9,8 @@
 package wire
 
 import (
+	"errors"
+
 	"aft/internal/core"
 	"aft/internal/idgen"
 	"aft/internal/storage"
@@ -74,17 +76,17 @@ func EncodeErr(err error) (ErrCode, string) {
 	switch {
 	case err == nil:
 		return ErrNone, ""
-	case errorIs(err, core.ErrTxnNotFound):
+	case errors.Is(err, core.ErrTxnNotFound):
 		return ErrCodeTxnNotFound, err.Error()
-	case errorIs(err, core.ErrTxnFinished):
+	case errors.Is(err, core.ErrTxnFinished):
 		return ErrCodeTxnFinished, err.Error()
-	case errorIs(err, core.ErrKeyNotFound):
+	case errors.Is(err, core.ErrKeyNotFound):
 		return ErrCodeKeyNotFound, err.Error()
-	case errorIs(err, core.ErrNoValidVersion):
+	case errors.Is(err, core.ErrNoValidVersion):
 		return ErrCodeNoValidVersion, err.Error()
-	case errorIs(err, storage.ErrUnavailable):
+	case errors.Is(err, storage.ErrUnavailable):
 		return ErrCodeUnavailable, err.Error()
-	case errorIs(err, core.ErrVersionVanished):
+	case errors.Is(err, core.ErrVersionVanished):
 		return ErrCodeVersionVanished, err.Error()
 	default:
 		return ErrCodeOther, err.Error()
@@ -122,22 +124,6 @@ func (e *RemoteError) Error() string {
 		return "aft: remote error"
 	}
 	return "aft: remote error: " + e.Message
-}
-
-// errorIs is errors.Is without importing errors in the hot path (gob
-// registration keeps this file dependency-light).
-func errorIs(err, target error) bool {
-	for err != nil {
-		if err == target {
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
 }
 
 // idFromResponse rebuilds a commit ID from a response.

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aft/internal/idgen"
+)
+
+// randomMeta draws a Meta from the awkward corners: empty and binary-ish
+// UUIDs, zero/negative/huge timestamps, nil vs empty vs duplicate-laden
+// cowritten sets with separator-hostile key names.
+func randomMeta(rng *rand.Rand) Meta {
+	uuids := []string{"", "w", "node-1-abcdef", "–ütf8-✓", "a_b/c%d\"e\\f"}
+	m := Meta{
+		TS:   []int64{0, 1, -7, 1 << 60, rng.Int63()}[rng.Intn(5)],
+		UUID: uuids[rng.Intn(len(uuids))],
+	}
+	switch rng.Intn(4) {
+	case 0:
+		m.Cowritten = nil
+	case 1:
+		m.Cowritten = []string{}
+	case 2:
+		n := rng.Intn(6)
+		for i := 0; i < n; i++ {
+			m.Cowritten = append(m.Cowritten, fmt.Sprintf("key-%08d", rng.Intn(3)))
+		}
+	case 3:
+		// Duplicates and hostile names.
+		m.Cowritten = []string{"k", "k", "", "a/b", `q"r`, "k"}
+	}
+	return m
+}
+
+// TestPropertyWrapUnwrapRoundTrip: for arbitrary metadata and payloads
+// (including empty and NUL-bearing ones), Unwrap(Wrap(m, p)) returns m and
+// p exactly.
+func TestPropertyWrapUnwrapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		m := randomMeta(rng)
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		if rng.Intn(10) == 0 {
+			payload = nil // metadata-only value
+		}
+		wrapped, err := Wrap(m, payload)
+		if err != nil {
+			t.Fatalf("iter %d: Wrap(%+v): %v", iter, m, err)
+		}
+		got, gotPayload, err := Unwrap(wrapped)
+		if err != nil {
+			t.Fatalf("iter %d: Unwrap: %v", iter, err)
+		}
+		if got.TS != m.TS || got.UUID != m.UUID {
+			t.Fatalf("iter %d: meta %+v round-tripped to %+v", iter, m, got)
+		}
+		if len(got.Cowritten) != len(m.Cowritten) {
+			t.Fatalf("iter %d: cowritten %q -> %q", iter, m.Cowritten, got.Cowritten)
+		}
+		for i := range m.Cowritten {
+			if got.Cowritten[i] != m.Cowritten[i] {
+				t.Fatalf("iter %d: cowritten %q -> %q", iter, m.Cowritten, got.Cowritten)
+			}
+		}
+		if !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("iter %d: payload %d bytes -> %d bytes", iter, len(payload), len(gotPayload))
+		}
+		// Wrapping must not alias the caller's payload into the output.
+		if len(payload) > 0 {
+			payload[0] ^= 0xFF
+			if _, p2, _ := Unwrap(wrapped); len(p2) > 0 && p2[0] == payload[0] {
+				t.Fatalf("iter %d: Wrap aliased the payload slice", iter)
+			}
+			payload[0] ^= 0xFF
+		}
+	}
+}
+
+// TestPropertyUnwrapNeverPanics: Unwrap on arbitrary (including truncated
+// and corrupted) buffers returns an error or a valid split, never panics
+// or over-reads.
+func TestPropertyUnwrapNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 2000; iter++ {
+		b := make([]byte, rng.Intn(40))
+		rng.Read(b)
+		meta, payload, err := Unwrap(b)
+		if err == nil && len(payload) > len(b) {
+			t.Fatalf("iter %d: payload longer than input (meta %+v)", iter, meta)
+		}
+	}
+	// Truncating a valid wrapped value anywhere must yield an error, a
+	// shorter payload, or corrupt-metadata detection — never a panic.
+	wrapped, err := Wrap(Meta{TS: 5, UUID: "u", Cowritten: []string{"a", "b"}}, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(wrapped); cut++ {
+		_, _, _ = Unwrap(wrapped[:cut])
+	}
+}
+
+// TestCheckEmptyWriteSetNeverFractures: values whose writer had an empty
+// (or nil) cowritten set cannot participate in fractured-read detection —
+// there is no co-written key to be partially visible.
+func TestCheckEmptyWriteSetNeverFractures(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("t1", idgen.ID{Timestamp: 5, UUID: "t1"})
+	reg.Register("t2", idgen.ID{Timestamp: 9, UUID: "t2"})
+	traces := []Trace{{UUID: "r", Reads: []ReadObs{
+		{Key: "a", Meta: Meta{UUID: "t2", Cowritten: []string{}}},
+		{Key: "b", Meta: Meta{UUID: "t1", Cowritten: nil}},
+	}}}
+	if got := Check(traces, reg); got.FracturedReads != 0 || got.RYW != 0 || got.DirtyReads != 0 {
+		t.Fatalf("empty-cowritten trace flagged: %+v", got)
+	}
+}
+
+// TestCheckDuplicateCowrittenKeysCountOnce: duplicated keys in a cowritten
+// set must not change the verdict (each request counts at most one FR
+// anomaly regardless).
+func TestCheckDuplicateCowrittenKeysCountOnce(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("t1", idgen.ID{Timestamp: 5, UUID: "t1"})
+	reg.Register("t2", idgen.ID{Timestamp: 9, UUID: "t2"})
+	cow := []string{"a", "b", "b", "a", "b"}
+	traces := []Trace{{UUID: "r", Reads: []ReadObs{
+		{Key: "a", Meta: Meta{UUID: "t2", Cowritten: cow}},
+		{Key: "b", Meta: Meta{UUID: "t1", Cowritten: cow}},
+	}}}
+	got := Check(traces, reg)
+	if got.FracturedReads != 1 {
+		t.Fatalf("FracturedReads = %d, want exactly 1 despite duplicated cowritten keys", got.FracturedReads)
+	}
+}
+
+// TestCheckMetadataOnlyPayloads: values carrying nothing but metadata
+// (empty payload) flow through wrap, unwrap, and anomaly checking like any
+// other value.
+func TestCheckMetadataOnlyPayloads(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("t1", idgen.ID{Timestamp: 5, UUID: "t1"})
+	wrapped, err := Wrap(Meta{UUID: "t1", Cowritten: []string{"a"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, payload, err := Unwrap(wrapped)
+	if err != nil || len(payload) != 0 {
+		t.Fatalf("Unwrap = %v payload %d bytes", err, len(payload))
+	}
+	traces := []Trace{{UUID: "r", Reads: []ReadObs{{Key: "a", Meta: m}}}}
+	if got := Check(traces, reg); got.FracturedReads+got.RYW+got.DirtyReads != 0 {
+		t.Fatalf("metadata-only read flagged: %+v", got)
+	}
+}
+
+// TestCheckSelfReadsNeverAnomalous: a request observing its own writes —
+// with or without AfterOwnWrite — is never dirty, fractured, or an RYW
+// violation, even when its UUID was never registered (it may still be
+// uncommitted).
+func TestCheckSelfReadsNeverAnomalous(t *testing.T) {
+	traces := []Trace{{UUID: "self", Reads: []ReadObs{
+		{Key: "a", Meta: Meta{UUID: "self", Cowritten: []string{"a", "b"}}, AfterOwnWrite: true},
+		{Key: "b", Meta: Meta{UUID: "self", Cowritten: []string{"a", "b"}}},
+	}}}
+	got := Check(traces, NewRegistry())
+	if got.RYW != 0 || got.FracturedReads != 0 {
+		t.Fatalf("self reads flagged: %+v", got)
+	}
+}
