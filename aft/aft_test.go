@@ -194,3 +194,60 @@ func TestServeAndDial(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// lostAckClient wraps a Client and makes CommitTransaction "lose" its
+// response n times for each transaction: the inner commit succeeds, but
+// the caller sees a transient storage error — the classic unknown-outcome
+// window a storage crash opens.
+type lostAckClient struct {
+	aft.Client
+	lose    int
+	losses  map[string]int
+	commits int
+}
+
+func (c *lostAckClient) CommitTransaction(ctx context.Context, txid string) (aft.ID, error) {
+	id, err := c.Client.CommitTransaction(ctx, txid)
+	c.commits++
+	if err == nil && c.losses[txid] < c.lose {
+		c.losses[txid]++
+		return aft.ID{}, fmt.Errorf("response lost: %w", aft.ErrUnavailable)
+	}
+	return id, err
+}
+
+// TestRunTransactionRecoversLostCommitAck pins the §3.1 idempotency
+// discipline end to end: when a commit lands durably but every response is
+// lost past the same-transaction retry budget, RunTransaction must use the
+// abort's ErrTxnFinished answer to recover the commit rather than redoing
+// fn under a fresh transaction — a redo would apply a non-idempotent fn
+// twice.
+func TestRunTransactionRecoversLostCommitAck(t *testing.T) {
+	node := newNode(t)
+	ctx := context.Background()
+	// Lose 6 responses per transaction: the initial attempt plus all 5
+	// same-txid retries fail, forcing the abort-classification path.
+	client := &lostAckClient{Client: node, lose: 6, losses: map[string]int{}}
+	applies := 0
+	err := aft.RunTransaction(ctx, client, func(txn *aft.Txn) error {
+		applies++
+		return txn.Put("counter", []byte{byte(applies)})
+	})
+	if err != nil {
+		t.Fatalf("RunTransaction = %v", err)
+	}
+	if applies != 1 {
+		t.Fatalf("fn applied %d times, want exactly 1 (lost-ack commit must not redo)", applies)
+	}
+	var got []byte
+	if rerr := aft.RunTransaction(ctx, node, func(txn *aft.Txn) error {
+		v, err := txn.Get("counter")
+		got = v
+		return err
+	}); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("counter = %v, want the single first-apply value", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"aft/internal/storage/dynamosim"
 	"aft/internal/storage/redissim"
 	"aft/internal/storage/s3sim"
+	"aft/internal/storage/walengine"
 )
 
 // LatencyMode selects how a simulated storage backend behaves in time.
@@ -58,6 +59,15 @@ func NewS3Store(mode LatencyMode, seed int64) Store {
 		Latency: modelFor(mode, latency.S3Profile(), seed),
 		Sleeper: sleeperFor(mode),
 	})
+}
+
+// NewWALStore opens (or creates) the disk-backed write-ahead-log engine in
+// dir — the repository's genuinely durable backend: writes are
+// acknowledged only after a (group-coalesced) fsync, and reopening the
+// directory replays the log back to the acknowledged state. Unlike the
+// simulators it takes no latency mode: its latency is the real disk's.
+func NewWALStore(dir string) (Store, error) {
+	return walengine.Open(dir, walengine.Options{})
 }
 
 // NewRedisStore returns a simulated cluster-mode Redis with the given

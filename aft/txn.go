@@ -103,8 +103,18 @@ func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) err
 			// Release the failed attempt before redoing: the transaction
 			// is still live server-side (a failed commit keeps it so) and
 			// holds a concurrency slot plus GC reader pins; redoing
-			// without aborting would leak both.
-			_ = txn.Abort()
+			// without aborting would leak both. The abort's answer also
+			// settles the outcome: a clean abort proves the commit never
+			// happened, while ErrTxnFinished proves it DID — a failed
+			// commit keeps the transaction live, so the only way it can
+			// already be finished here is that the commit record went
+			// durable and every response was lost. That attempt SUCCEEDED;
+			// redoing it would apply fn twice. (An abort that itself fails
+			// transiently leaves the outcome unknown; the §3.3.1 redo
+			// discipline applies, as in the chaos runner.)
+			if aerr := txn.Abort(); errors.Is(aerr, ErrTxnFinished) {
+				return nil
+			}
 			if retriable(err) {
 				lastErr = err
 				continue

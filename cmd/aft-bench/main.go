@@ -10,9 +10,13 @@
 //	aft-bench -experiment sharded -json out/  # broadcast vs sharded exchange
 //	aft-bench chaos -seed 7                   # alias: seeded fault-injection campaign
 //	aft-bench -experiment chaos -seed 7 -chaos-kills 3 -chaos-error-rate 0.05
+//	aft-bench durability                      # WAL engine: fsync coalescing, recovery, storage-crash campaign
+//	aft-bench -experiment fig7 -store wal     # any experiment over any backend
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablation, sharded, parallel, readpath, chaos. Output
+// fig9, fig10, ablation, sharded, parallel, readpath, chaos, durability.
+// The -store flag overrides the storage backend every experiment builds
+// (dynamodb|s3|redis|wal; default: each experiment's own choice). Output
 // latencies and throughputs are
 // reported in paper-equivalent units (measured values divided by the time
 // scale).
@@ -36,26 +40,29 @@ import (
 
 // benchResult is the BENCH_<name>.json schema.
 type benchResult struct {
-	Experiment    string                     `json:"experiment"`
-	Scale         float64                    `json:"scale"`
-	Quick         bool                       `json:"quick"`
-	Seed          int64                      `json:"seed"`
-	Payload       int                        `json:"payload"`
-	WallTimeMS    int64                      `json:"wall_time_ms"`
-	Tables        []experiments.Table        `json:"tables"`
-	ShardedCells  []experiments.ShardedCell  `json:"sharded_cells,omitempty"`
-	ParallelCells []experiments.ParallelCell `json:"parallel_cells,omitempty"`
-	ReadPathCells []experiments.ReadPathCell `json:"readpath_cells,omitempty"`
-	ChaosCells    []experiments.ChaosCell    `json:"chaos_cells,omitempty"`
+	Experiment      string                       `json:"experiment"`
+	Scale           float64                      `json:"scale"`
+	Quick           bool                         `json:"quick"`
+	Seed            int64                        `json:"seed"`
+	Payload         int                          `json:"payload"`
+	WallTimeMS      int64                        `json:"wall_time_ms"`
+	Store           string                       `json:"store,omitempty"`
+	Tables          []experiments.Table          `json:"tables"`
+	ShardedCells    []experiments.ShardedCell    `json:"sharded_cells,omitempty"`
+	ParallelCells   []experiments.ParallelCell   `json:"parallel_cells,omitempty"`
+	ReadPathCells   []experiments.ReadPathCell   `json:"readpath_cells,omitempty"`
+	ChaosCells      []experiments.ChaosCell      `json:"chaos_cells,omitempty"`
+	DurabilityCells []experiments.DurabilityCell `json:"durability_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
 		payload    = flag.Int("payload", 4096, "value size in bytes")
+		backend    = flag.String("store", "", "storage backend override for every experiment: dynamodb|s3|redis|wal; empty keeps each experiment's default")
 		jsonDir    = flag.String("json", ".", "directory for BENCH_<name>.json results; empty disables")
 
 		chaosErrRate     = flag.Float64("chaos-error-rate", 0, "chaos: transient-failure probability per storage op; 0 = default")
@@ -76,8 +83,19 @@ func main() {
 		flag.Parse()
 	}
 
+	switch *backend {
+	case "", "dynamodb", "s3", "redis", "wal":
+	default:
+		fmt.Fprintf(os.Stderr, "aft-bench: unknown store %q\n", *backend)
+		os.Exit(2)
+	}
+	// Reclaim -store wal log directories even when an experiment panics
+	// (os.Exit paths call it explicitly — deferred functions don't run
+	// there).
+	defer experiments.CleanupTempStores()
 	opts := experiments.Options{
 		Scale: *scale, Quick: *quick, Seed: *seed, Payload: *payload,
+		Backend:        *backend,
 		ChaosErrorRate: *chaosErrRate, ChaosPartialRate: *chaosPartialRate,
 		ChaosSpikeRate: *chaosSpikeRate, ChaosKills: *chaosKills,
 		ChaosRequests: *chaosRequests,
@@ -112,6 +130,7 @@ func main() {
 		{"parallel", one(experiments.Parallel)},
 		{"readpath", one(experiments.ReadPath)},
 		{"chaos", one(experiments.Chaos)},
+		{"durability", one(experiments.Durability)},
 	}
 
 	selected := map[string]bool{}
@@ -136,7 +155,7 @@ func main() {
 		start := time.Now()
 		res := benchResult{
 			Experiment: e.name, Scale: *scale, Quick: *quick,
-			Seed: *seed, Payload: *payload,
+			Seed: *seed, Payload: *payload, Store: *backend,
 		}
 		var err error
 		switch e.name {
@@ -170,11 +189,19 @@ func main() {
 				t, err = experiments.ChaosTable(res.ChaosCells)
 				res.Tables = []experiments.Table{t}
 			}
+		case "durability":
+			res.DurabilityCells, err = experiments.DurabilityCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.DurabilityTable(res.DurabilityCells)
+				res.Tables = []experiments.Table{t}
+			}
 		default:
 			res.Tables, err = e.run(opts)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aft-bench: %s: %v\n", e.name, err)
+			experiments.CleanupTempStores()
 			os.Exit(1)
 		}
 		// The chaos campaign's contract is bit-for-bit determinism per
@@ -193,11 +220,13 @@ func main() {
 			path := filepath.Join(*jsonDir, "BENCH_"+e.name+".json")
 			if err := writeJSON(path, res); err != nil {
 				fmt.Fprintf(os.Stderr, "aft-bench: writing %s: %v\n", path, err)
+				experiments.CleanupTempStores()
 				os.Exit(1)
 			}
 			fmt.Printf("  wrote %s\n", path)
 		}
 	}
+	experiments.CleanupTempStores()
 	if !ran {
 		fmt.Fprintf(os.Stderr, "aft-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

@@ -3,17 +3,21 @@
 // Usage:
 //
 //	aft-server -addr :7070 -node node-1 -store dynamodb -latency none
+//	aft-server -store wal -store-dir /var/lib/aft   # durable disk backend
 //
 // The node serves the Table 1 API (StartTransaction / Get / Put /
 // CommitTransaction / AbortTransaction) over the repository's wire
 // protocol; connect with cmd/aft-client or aft.Dial. The storage backend
-// is one of the repository's simulated cloud stores; multiple servers
+// is one of the repository's simulated cloud stores, or the durable
+// write-ahead-log engine (-store wal), whose state survives restarts in
+// -store-dir; multiple servers
 // launched with -store pointing at the same external process would
 // require a networked store, so a single server owns its store (the
 // multi-node protocols are exercised in-process via aft.NewCluster).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,17 +32,19 @@ import (
 
 	"aft/aft"
 	"aft/internal/storage"
+	"aft/internal/storage/walengine"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		nodeID  = flag.String("node", "aft-node-1", "node identifier")
-		backend = flag.String("store", "dynamodb", "storage backend: dynamodb|s3|redis")
-		lat     = flag.String("latency", "none", "latency mode: none|cloud|cloud-fast")
-		cache   = flag.Bool("cache", true, "enable the read data cache")
-		seed    = flag.Int64("seed", 1, "latency model seed")
-		debug   = flag.String("debug-addr", "", "HTTP address for /debug/pprof/* and /statz (empty disables)")
+		addr     = flag.String("addr", ":7070", "listen address")
+		nodeID   = flag.String("node", "aft-node-1", "node identifier")
+		backend  = flag.String("store", "dynamodb", "storage backend: dynamodb|s3|redis|wal")
+		storeDir = flag.String("store-dir", "aft-wal", "log directory for -store wal")
+		lat      = flag.String("latency", "none", "latency mode: none|cloud|cloud-fast (simulated backends only)")
+		cache    = flag.Bool("cache", true, "enable the read data cache")
+		seed     = flag.Int64("seed", 1, "latency model seed")
+		debug    = flag.String("debug-addr", "", "HTTP address for /debug/pprof/* and /statz (empty disables)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,12 @@ func main() {
 		store = aft.NewS3Store(mode, *seed)
 	case "redis":
 		store = aft.NewRedisStore(mode, *seed, 0)
+	case "wal":
+		var err error
+		if store, err = aft.NewWALStore(*storeDir); err != nil {
+			log.Fatalf("aft-server: opening WAL store: %v", err)
+		}
+		fmt.Printf("aft-server: durable WAL store in %s\n", *storeDir)
 	default:
 		log.Fatalf("aft-server: unknown store %q", *backend)
 	}
@@ -73,6 +85,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("aft-server: %v", err)
+	}
+	// Recover committed state left by a previous process: a no-op over the
+	// fresh in-memory simulators, but a WAL-backed server restarting on an
+	// existing -store-dir must re-learn its Transaction Commit Set.
+	if err := node.Bootstrap(context.Background()); err != nil {
+		log.Fatalf("aft-server: bootstrap from storage: %v", err)
 	}
 
 	srv, bound, err := aft.Serve(node, *addr)
@@ -143,6 +161,10 @@ func statzHandler(node *aft.Node) http.HandlerFunc {
 		type storeMetrics interface{ Metrics() *storage.Metrics }
 		if sm, ok := node.Store().(storeMetrics); ok {
 			stats["storage"] = sm.Metrics().Snapshot()
+		}
+		type walMetrics interface{ WAL() *walengine.Metrics }
+		if wm, ok := node.Store().(walMetrics); ok {
+			stats["wal"] = wm.WAL().Snapshot()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

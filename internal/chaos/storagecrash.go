@@ -1,0 +1,98 @@
+package chaos
+
+// storagecrash.go schedules Close-then-Reopen crashes of the storage
+// engine itself — the failure mode the in-memory simulators cannot
+// express. A crash fires at an exact storage-operation index (via the
+// wrapper's CrashAfter hook), so it can land anywhere in AFT's protocol:
+// between a commit's data write and its record write, mid-recovery-scan,
+// mid-GC round. The engine's log replay then has to restore every
+// acknowledged write, and the history checker's lost-write audit proves it
+// did.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StorageCrasher is a storage engine whose process crash and restart can
+// be simulated in place: Crash discards unacknowledged state and takes the
+// engine down (operations fail with storage.ErrUnavailable), Reopen
+// recovers the durable state. The WAL engine
+// (internal/storage/walengine) implements it.
+type StorageCrasher interface {
+	Crash() error
+	Reopen() error
+}
+
+// StorageCrashPlan drives n Close-then-Reopen storage crashes, one every
+// gap storage operations, by re-arming a CrashAfter hook on the chaos
+// wrapper after each firing. Crashes fire synchronously at the start of a
+// storage operation, so with a sequential driver the schedule is
+// deterministic.
+type StorageCrashPlan struct {
+	st     *Store
+	target StorageCrasher
+	gap    int64
+
+	mu        sync.Mutex
+	remaining int
+	crashes   int
+	err       error
+}
+
+// ScheduleStorageCrashes arms a plan for n crashes on st, the first after
+// gap more storage operations and each subsequent one gap operations after
+// the previous firing. The engine is reopened synchronously inside the
+// hook: the operation that tripped the crash proceeds against the
+// recovered engine (and a transaction mid-protocol observes the crash only
+// through the writes it lost).
+func ScheduleStorageCrashes(st *Store, target StorageCrasher, n int, gap int64) *StorageCrashPlan {
+	p := &StorageCrashPlan{st: st, target: target, gap: gap, remaining: n}
+	if n > 0 {
+		st.CrashAfter(gap, p.fire)
+	}
+	return p
+}
+
+// fire crashes and reopens the engine, then re-arms the next crash.
+func (p *StorageCrashPlan) fire() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.remaining <= 0 {
+		return
+	}
+	p.remaining--
+	if err := p.target.Crash(); err != nil && p.err == nil {
+		p.err = fmt.Errorf("chaos: storage crash %d: %w", p.crashes+1, err)
+	}
+	if err := p.target.Reopen(); err != nil && p.err == nil {
+		// A failed reopen is fatal to the campaign: the engine stays
+		// down and every subsequent operation fails. Surface it.
+		p.err = fmt.Errorf("chaos: storage reopen %d: %w", p.crashes+1, err)
+	}
+	p.crashes++
+	if p.remaining > 0 {
+		p.st.CrashAfter(p.gap, p.fire)
+	}
+}
+
+// Crashes returns how many crash+reopen cycles have fired.
+func (p *StorageCrashPlan) Crashes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashes
+}
+
+// Pending returns how many scheduled crashes have not fired yet.
+func (p *StorageCrashPlan) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remaining
+}
+
+// Err returns the first Crash/Reopen failure, if any.
+func (p *StorageCrashPlan) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

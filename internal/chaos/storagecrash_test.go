@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"aft/internal/storage"
+	"aft/internal/storage/storagetest"
+	"aft/internal/storage/walengine"
+)
+
+// TestStorageCrashPlanFiresAndRecovers drives a WAL engine through a
+// scheduled crash plan: every crash+reopen must fire at its operation
+// index, and every previously acknowledged write must read back after
+// each recovery.
+func TestStorageCrashPlanFiresAndRecovers(t *testing.T) {
+	ctx := context.Background()
+	eng, err := walengine.Open(t.TempDir(), walengine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st := Wrap(eng, Config{Seed: 1})
+	plan := ScheduleStorageCrashes(st, eng, 3, 10)
+
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k-%02d", i)
+		if err := st.Put(ctx, k, []byte(k)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		// Every acknowledged write so far must still be there, across
+		// however many crash+reopen cycles have fired.
+		for j := 0; j <= i; j++ {
+			kk := fmt.Sprintf("k-%02d", j)
+			v, err := st.Get(ctx, kk)
+			if err != nil || string(v) != kk {
+				t.Fatalf("after op %d (crashes=%d): Get(%s) = %q, %v",
+					i, plan.Crashes(), kk, v, err)
+			}
+		}
+	}
+	if err := plan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Crashes() != 3 || plan.Pending() != 0 {
+		t.Fatalf("crashes = %d pending = %d, want 3 and 0", plan.Crashes(), plan.Pending())
+	}
+	if got := st.FaultMetrics().Snapshot().Crashes; got != 3 {
+		t.Fatalf("wrapper crash-hook count = %d, want 3", got)
+	}
+}
+
+// TestStorageCrashPlanSurfacesReopenFailure pins the failure surface: if
+// the engine cannot reopen, the plan must report it rather than letting
+// the campaign limp on against a dead store.
+func TestStorageCrashPlanSurfacesReopenFailure(t *testing.T) {
+	ctx := context.Background()
+	eng, err := walengine.Open(t.TempDir(), walengine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	st := Wrap(eng, Config{Seed: 1})
+	plan := ScheduleStorageCrashes(st, brokenReopen{eng}, 1, 2)
+	for i := 0; i < 4; i++ {
+		err = st.Put(ctx, fmt.Sprintf("k%d", i), nil)
+	}
+	if !errors.Is(err, storage.ErrUnavailable) {
+		t.Fatalf("Put against unreopened engine = %v, want ErrUnavailable", err)
+	}
+	if plan.Err() == nil {
+		t.Fatal("plan swallowed the reopen failure")
+	}
+}
+
+// brokenReopen crashes for real but refuses to come back.
+type brokenReopen struct{ eng *walengine.Store }
+
+func (b brokenReopen) Crash() error  { return b.eng.Crash() }
+func (b brokenReopen) Reopen() error { return errors.New("disk gone") }
+
+// TestConformanceChaosOverWAL runs the shared storage contract over the
+// chaos wrapper around the disk engine (faults off): the pass-through must
+// be transparent for the durable backend exactly as for the sims.
+func TestConformanceChaosOverWAL(t *testing.T) {
+	storagetest.Run(t, func() storage.Store {
+		eng, err := walengine.Open(t.TempDir(), walengine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		return Wrap(eng, Config{Seed: 7})
+	})
+}

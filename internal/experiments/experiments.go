@@ -15,6 +15,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"aft/internal/storage/dynamosim"
 	"aft/internal/storage/redissim"
 	"aft/internal/storage/s3sim"
+	"aft/internal/storage/walengine"
 	"aft/internal/workload"
 )
 
@@ -47,6 +50,15 @@ type Options struct {
 	// modeled waits (precise but CPU-hungry); the low-concurrency latency
 	// experiments set it internally.
 	spin bool
+
+	// Backend, when non-empty, overrides the storage backend every
+	// experiment builds ("dynamodb" | "s3" | "redis" | "wal") — the
+	// aft-bench -store flag. Experiments that sweep backends themselves
+	// (fig3) collapse onto the override — their row labels keep the
+	// sweep's names (BENCH json records the override in "store"), and
+	// rows needing a capability the override lacks (transaction mode)
+	// are skipped. The default keeps each experiment's own choice.
+	Backend string
 
 	// ChaosErrorRate, ChaosPartialRate, and ChaosSpikeRate override the
 	// chaos experiment's per-operation fault probabilities; 0 selects the
@@ -149,16 +161,34 @@ func ms(d time.Duration) string { return fmt.Sprintf("%.1f", stats.Millis(d)) }
 // storeKind names a simulated backend.
 type storeKind string
 
-// Simulated backends used across experiments.
+// Simulated backends used across experiments, plus the disk-backed WAL.
 const (
 	kindDynamo storeKind = "dynamodb"
 	kindS3     storeKind = "s3"
 	kindRedis  storeKind = "redis"
+	kindWAL    storeKind = "wal"
 )
 
-// newStore builds a latency-injected simulated backend.
+// newStore builds a latency-injected simulated backend, or the disk WAL
+// engine when selected. Options.Backend overrides the experiment's choice.
 func (o Options) newStore(kind storeKind) storage.Store {
+	if o.Backend != "" {
+		kind = storeKind(o.Backend)
+	}
 	switch kind {
+	case kindWAL:
+		// The WAL engine's latency is the real disk's. Every log directory
+		// lives under one per-process temp root so CleanupTempStores can
+		// reclaim them all when the bench exits.
+		dir, err := newWALDir()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wal store: %v", err))
+		}
+		s, err := walengine.Open(dir, walengine.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: wal store: %v", err))
+		}
+		return s
 	case kindS3:
 		var m *latency.Model
 		if o.Scale > 0 {
@@ -177,6 +207,45 @@ func (o Options) newStore(kind storeKind) storage.Store {
 			m = latency.NewModel(latency.DynamoDBProfile(), o.Seed)
 		}
 		return dynamosim.New(dynamosim.Options{Latency: m, Sleeper: o.sleeper()})
+	}
+}
+
+// walTmp tracks the per-process root under which every Backend-override
+// WAL store lays its log directory.
+var walTmp struct {
+	mu   sync.Mutex
+	root string
+	n    int
+}
+
+// newWALDir allocates a fresh log directory under the process's WAL root.
+func newWALDir() (string, error) {
+	walTmp.mu.Lock()
+	defer walTmp.mu.Unlock()
+	if walTmp.root == "" {
+		root, err := os.MkdirTemp("", "aft-bench-wal-*")
+		if err != nil {
+			return "", err
+		}
+		walTmp.root = root
+	}
+	walTmp.n++
+	dir := filepath.Join(walTmp.root, fmt.Sprintf("store-%03d", walTmp.n))
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// CleanupTempStores removes every WAL log directory created for the
+// Backend override ("-store wal"); aft-bench calls it before exiting. The
+// stores' open segment handles die with the process.
+func CleanupTempStores() {
+	walTmp.mu.Lock()
+	defer walTmp.mu.Unlock()
+	if walTmp.root != "" {
+		os.RemoveAll(walTmp.root)
+		walTmp.root, walTmp.n = "", 0
 	}
 }
 

@@ -57,6 +57,15 @@ func Fig3Table2(opts Options) (Table, Table, error) {
 	}
 
 	for _, c := range configs {
+		if c.arch == "txn" && opts.Backend != "" && opts.Backend != string(kindDynamo) {
+			// The transaction-mode baseline needs storage.Transactor,
+			// which only the DynamoDB sim implements; under a -store
+			// override to another backend, skip the row instead of
+			// failing the whole sweep.
+			fig3.Notes = append(fig3.Notes,
+				fmt.Sprintf("Transactional row skipped: -store %s has no transaction mode", opts.Backend))
+			continue
+		}
 		rec, anomalies, err := runArch(ctx, opts, c.store, c.arch, payload, clients, perClient, keys, zipf)
 		if err != nil {
 			return fig3, table2, fmt.Errorf("fig3 %s/%s: %w", c.store, c.arch, err)

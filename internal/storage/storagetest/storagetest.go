@@ -60,6 +60,92 @@ func Run(t *testing.T, factory Factory) {
 			t.Fatalf("Get = %v, %v", v, err)
 		}
 	})
+	t.Run("EmptyValueRoundTrip", func(t *testing.T) {
+		// An empty value is a real value, not an absence: it must survive
+		// Put and BatchPut, read back (empty, not an error) through Get
+		// AND BatchGet — where the key must be PRESENT in the result map —
+		// and keep its key visible to List. Engines that conflate
+		// zero-length values with missing keys corrupt AFT's metadata-only
+		// writes.
+		s := factory()
+		ctx := context.Background()
+		if err := s.Put(ctx, "empty-put", []byte{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BatchPut(ctx, map[string][]byte{"empty-batch": {}}); err != nil &&
+			!errors.Is(err, storage.ErrBatchUnsupported) {
+			t.Fatal(err)
+		} else if err != nil {
+			if err := s.Put(ctx, "empty-batch", []byte{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, k := range []string{"empty-put", "empty-batch"} {
+			v, err := s.Get(ctx, k)
+			if err != nil || len(v) != 0 {
+				t.Fatalf("Get(%s) = %v, %v; want empty value", k, v, err)
+			}
+		}
+		got, err := s.BatchGet(ctx, []string{"empty-put", "empty-batch", "never-written"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []string{"empty-put", "empty-batch"} {
+			if v, ok := got[k]; !ok || len(v) != 0 {
+				t.Fatalf("BatchGet[%s] = %v, %v; want present empty value", k, v, ok)
+			}
+		}
+		if _, ok := got["never-written"]; ok {
+			t.Fatal("BatchGet invented a value for a missing key")
+		}
+		keys, err := s.List(ctx, "empty-")
+		if err != nil || len(keys) != 2 {
+			t.Fatalf("List(empty-) = %v, %v; want both empty-valued keys", keys, err)
+		}
+	})
+	t.Run("ListAfterDelete", func(t *testing.T) {
+		// Prefix listings must track deletions exactly: Delete and
+		// BatchDelete remove keys from List results, a sibling prefix is
+		// untouched, and a re-put resurrects the key. AFT's read path
+		// Lists a key's version prefix and trusts it — a stale entry
+		// becomes a phantom version, a lost entry a vanished one.
+		s := factory()
+		ctx := context.Background()
+		for _, k := range []string{"p/1", "p/2", "p/3", "p/4", "pq/1"} {
+			if err := s.Put(ctx, k, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Delete(ctx, "p/2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BatchDelete(ctx, []string{"p/3", "p/missing"}); err != nil {
+			t.Fatal(err)
+		}
+		want := func(wantKeys ...string) {
+			t.Helper()
+			got, err := s.List(ctx, "p/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(wantKeys) {
+				t.Fatalf("List(p/) = %v, want %v", got, wantKeys)
+			}
+			for i := range wantKeys {
+				if got[i] != wantKeys[i] {
+					t.Fatalf("List(p/) = %v, want %v", got, wantKeys)
+				}
+			}
+		}
+		want("p/1", "p/4")
+		if got, err := s.List(ctx, "pq/"); err != nil || len(got) != 1 {
+			t.Fatalf("List(pq/) = %v, %v; sibling prefix disturbed", got, err)
+		}
+		if err := s.Put(ctx, "p/2", []byte("again")); err != nil {
+			t.Fatal(err)
+		}
+		want("p/1", "p/2", "p/4")
+	})
 	t.Run("ValueCopySemantics", func(t *testing.T) {
 		s := factory()
 		ctx := context.Background()

@@ -1,0 +1,55 @@
+package walengine
+
+import (
+	"testing"
+
+	"aft/internal/storage"
+	"aft/internal/storage/storagetest"
+)
+
+// TestConformance runs the shared storage.Store contract over the WAL
+// engine with default options.
+func TestConformance(t *testing.T) {
+	storagetest.Run(t, func() storage.Store {
+		s, err := Open(t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+// TestConformanceTinySegments forces constant segment rolls and eager
+// compaction under the same contract: the log-management machinery must be
+// invisible to callers.
+func TestConformanceTinySegments(t *testing.T) {
+	storagetest.Run(t, func() storage.Store {
+		s, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 10, CompactGarbageBytes: 1 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+// TestConformanceAfterReopen runs the contract on a store that has already
+// been through a Close/Reopen cycle, so replay-built state obeys the same
+// rules as fresh state.
+func TestConformanceAfterReopen(t *testing.T) {
+	storagetest.Run(t, func() storage.Store {
+		s, err := Open(t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Reopen(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}

@@ -1,0 +1,1015 @@
+// Package walengine is the repository's first genuinely durable storage
+// engine: a disk-backed storage.Store built on a segmented append-only
+// write-ahead log. Every simulated engine (dynamosim, s3sim, redissim)
+// keeps its state in process memory and silently violates the durability
+// premise AFT is built on — "once a write is acknowledged, it survives"
+// (§3.1 of the paper) — the moment the process dies. This engine keeps the
+// premise for real: a Put or BatchPut is acknowledged only after its log
+// records are fsynced, and reopening the directory replays the log back to
+// exactly the acknowledged state.
+//
+// On-disk format. The log is a directory of segment files
+// ("wal-<id>.seg"). Each segment is a sequence of framed records:
+//
+//	uint32 body length | uint32 CRC32-C of body | body
+//	body = uint64 LSN | uint8 op (put/delete) | uint32 key length | key | value
+//
+// Every record carries a monotonically increasing log sequence number, and
+// replay applies records by MAX LSN PER KEY rather than by file position.
+// That one choice makes recovery order-independent: segments can be read
+// in any order, a compacted segment can coexist with the segments it
+// replaces (records copied by compaction keep their original LSNs, so
+// duplicates are idempotent), and a crash at ANY point of a compaction
+// leaves a directory that replays to the same state.
+//
+// Torn tails. A crash can tear the final frame of the segment being
+// appended (and a crash mid-compaction can tear the compacted segment).
+// On reopen, the first short or CRC-failing frame in a segment marks the
+// torn tail: the file is truncated back to its last valid frame and replay
+// continues with the next segment. Only unacknowledged bytes can be torn —
+// acknowledged writes were fsynced behind the frame boundary.
+//
+// Group fsync. Concurrent writers coalesce into one fsync per flush
+// window, mirroring the leader-based shape of the node's group-commit
+// pipeline (internal/core/groupcommit.go): an appender queues for
+// durability and, if no flusher is active, becomes one; a single
+// File.Sync then acknowledges every append that reached the file before
+// it. AppendsPerFsync is the coalescing evidence, surfaced through the
+// engine's WAL metrics.
+//
+// Reads observe only durable state. A record (or a tombstone-produced
+// absence) still inside the group-fsync window is state a crash would
+// erase, so Get/BatchGet wait out a coalesced sync before returning it,
+// List reports only keys established by fsync-covered records, and a
+// delete acknowledged against an in-flight tombstone's absence waits for
+// the covering fsync. Nothing an operation returns can be un-happened by
+// a Crash.
+//
+// Compaction rewrites the live records of every sealed segment into one
+// fresh segment and deletes the sealed segments, reclaiming the space of
+// overwritten and deleted versions (the storage-side complement of AFT's
+// global GC, whose BatchDelete retires superseded versions through the
+// same append path as any other delete). Compacting the full sealed range
+// at once is what makes tombstones droppable: a delete record only needs
+// to survive while an older put of its key survives, and after a full
+// rewrite no sealed put outlives it.
+package walengine
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aft/internal/storage"
+)
+
+// Record ops.
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// frameHeader is the fixed per-record prefix: body length + CRC32-C.
+const frameHeader = 8
+
+// bodyHeader is the fixed body prefix: LSN + op + key length.
+const bodyHeader = 13
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support on
+// both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures the engine.
+type Options struct {
+	// SegmentBytes seals the active segment once it exceeds this size;
+	// 0 defaults to 4 MiB.
+	SegmentBytes int64
+	// DisableAutoCompact turns off the garbage-triggered background
+	// compaction; Compact can still be called explicitly (deterministic
+	// campaigns compact at explicit maintenance points).
+	DisableAutoCompact bool
+	// CompactGarbageBytes is the sealed-garbage threshold that triggers a
+	// background compaction; 0 defaults to 1 MiB.
+	CompactGarbageBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactGarbageBytes <= 0 {
+		o.CompactGarbageBytes = 1 << 20
+	}
+	return o
+}
+
+// Metrics counts WAL-specific activity (the storage.Metrics operation
+// counters are kept separately, like every other engine).
+type Metrics struct {
+	Appends           atomic.Int64 // records appended to the log
+	Fsyncs            atomic.Int64 // File.Sync calls on the active segment
+	SegmentRolls      atomic.Int64 // active-segment seals
+	Compactions       atomic.Int64 // completed compaction runs
+	CompactedSegments atomic.Int64 // sealed segments rewritten and removed
+	BytesReclaimed    atomic.Int64 // bytes freed by compaction
+	TornRecords       atomic.Int64 // torn tail frames truncated on reopen
+	TornBytes         atomic.Int64 // bytes truncated from torn tails
+	ReplayedRecords   atomic.Int64 // records read back during reopen
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics, plus the derived
+// coalescing ratio.
+type MetricsSnapshot struct {
+	Appends           int64   `json:"appends"`
+	Fsyncs            int64   `json:"fsyncs"`
+	AppendsPerFsync   float64 `json:"appends_per_fsync"`
+	SegmentRolls      int64   `json:"segment_rolls"`
+	Compactions       int64   `json:"compactions"`
+	CompactedSegments int64   `json:"compacted_segments"`
+	BytesReclaimed    int64   `json:"bytes_reclaimed"`
+	TornRecords       int64   `json:"torn_records"`
+	TornBytes         int64   `json:"torn_bytes"`
+	ReplayedRecords   int64   `json:"replayed_records"`
+}
+
+// Snapshot returns the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Appends:           m.Appends.Load(),
+		Fsyncs:            m.Fsyncs.Load(),
+		SegmentRolls:      m.SegmentRolls.Load(),
+		Compactions:       m.Compactions.Load(),
+		CompactedSegments: m.CompactedSegments.Load(),
+		BytesReclaimed:    m.BytesReclaimed.Load(),
+		TornRecords:       m.TornRecords.Load(),
+		TornBytes:         m.TornBytes.Load(),
+		ReplayedRecords:   m.ReplayedRecords.Load(),
+	}
+	if s.Fsyncs > 0 {
+		s.AppendsPerFsync = float64(s.Appends) / float64(s.Fsyncs)
+	}
+	return s
+}
+
+// loc locates one live record: the frame (for compaction copies) and the
+// value bytes within it (for reads).
+type loc struct {
+	seg  int64 // owning segment id
+	off  int64 // frame start offset in the segment file
+	flen int64 // full frame length (header + body)
+	voff int64 // value offset in the segment file
+	vlen int64 // value length (0 for empty values)
+	// hadDurable records that some EARLIER version of this key was
+	// already fsync-covered when this record overwrote it: the key
+	// durably exists even while this record is still inside the group-
+	// fsync window, so List may include it without waiting.
+	hadDurable bool
+}
+
+// segment is one log file.
+type segment struct {
+	id     int64
+	f      *os.File
+	size   int64 // bytes appended
+	synced int64 // bytes known durable (== size for sealed segments)
+	live   int64 // frame bytes the index currently points into
+	// tombEnd is the end offset of the newest tombstone frame: while it
+	// exceeds synced, some observed ABSENCE rests on bytes a crash would
+	// erase, and absence-acknowledging paths must wait out a sync.
+	tombEnd int64
+}
+
+// Store is a disk-backed storage.Store over the write-ahead log. It is
+// safe for concurrent use. Crash simulates a process crash (unsynced
+// appends are discarded), Reopen replays the directory.
+type Store struct {
+	dir string
+	cfg Options
+
+	// mu guards the segment table, the active segment's file offsets, and
+	// the key index. Appends and index mutations take the write lock;
+	// reads (index lookup + pread) take the read lock, which also protects
+	// a segment file from being removed by compaction mid-read.
+	mu     sync.RWMutex
+	segs   map[int64]*segment
+	active *segment
+	next   int64 // next segment id
+	lsn    uint64
+	index  map[string]loc
+	closed bool
+	// gen counts log generations: every (re)load increments it. A
+	// durability wait is honored only within the generation it was
+	// requested in — a Crash immediately followed by Reopen must not let
+	// a waiter whose bytes the crash truncated be acknowledged against
+	// the fresh generation's fsync.
+	gen uint64
+
+	sy syncQueue
+
+	// compactMu serializes compaction runs; compacting gates the
+	// auto-trigger so at most one background run is in flight.
+	compactMu  sync.Mutex
+	compacting atomic.Bool
+
+	metrics storage.Metrics
+	wal     Metrics
+}
+
+var _ storage.Store = (*Store)(nil)
+
+// Open replays the write-ahead log in dir (created if absent) and starts a
+// fresh active segment for new appends.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{dir: dir, cfg: opts.withDefaults()}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("walengine: %w", err)
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements storage.Store.
+func (s *Store) Name() string { return "wal" }
+
+// Capabilities implements storage.Store: batch writes append under one
+// lock hold and share one fsync; there is no item limit because a batch is
+// just consecutive log records.
+func (s *Store) Capabilities() storage.Capabilities {
+	return storage.Capabilities{BatchWrites: true}
+}
+
+// Metrics returns the standard storage operation counters.
+func (s *Store) Metrics() *storage.Metrics { return &s.metrics }
+
+// WAL returns the engine's log-specific counters (appends, fsyncs,
+// compaction work, torn-tail truncations).
+func (s *Store) WAL() *Metrics { return &s.wal }
+
+// Dir returns the log directory.
+func (s *Store) Dir() string { return s.dir }
+
+// segPath returns the file path of segment id.
+func (s *Store) segPath(id int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%016d.seg", id))
+}
+
+// parseSegID extracts the segment id from a file name, reporting whether
+// the name is a segment file's.
+func parseSegID(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// syncDir fsyncs the log directory so segment creates and removes survive
+// a crash.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// replayEntry is one key's winning record during replay.
+type replayEntry struct {
+	lsn uint64
+	put bool
+	l   loc
+}
+
+// load scans the directory, replays every segment (truncating torn
+// tails), rebuilds the key index by max LSN per key, and opens a fresh
+// active segment. Callers hold no locks (Open) or s.mu (Reopen).
+func (s *Store) load() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("walengine: %w", err)
+	}
+	var ids []int64
+	for _, e := range entries {
+		if id, ok := parseSegID(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	segs := make(map[int64]*segment, len(ids)+1)
+	winners := make(map[string]replayEntry)
+	var next int64 = 1
+	var lsn uint64
+	for _, id := range ids {
+		seg, err := s.replaySegment(id, winners)
+		if err != nil {
+			for _, sg := range segs {
+				sg.f.Close()
+			}
+			return err
+		}
+		segs[id] = seg
+		if id >= next {
+			next = id + 1
+		}
+	}
+	for _, w := range winners {
+		if w.lsn > lsn {
+			lsn = w.lsn
+		}
+	}
+	index := make(map[string]loc, len(winners))
+	for k, w := range winners {
+		if w.put {
+			index[k] = w.l
+			segs[w.l.seg].live += w.l.flen
+		}
+	}
+
+	// A fresh active segment: restart appends on a clean file instead of
+	// extending the last one (the classic rotate-on-recovery shape).
+	f, err := os.OpenFile(s.segPath(next), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		for _, sg := range segs {
+			sg.f.Close()
+		}
+		return fmt.Errorf("walengine: %w", err)
+	}
+	active := &segment{id: next, f: f}
+	segs[next] = active
+	s.segs = segs
+	s.active = active
+	s.next = next + 1
+	s.lsn = lsn + 1
+	s.index = index
+	s.closed = false
+	s.gen++
+	return s.syncDir()
+}
+
+// replaySegment reads one segment's records into winners, truncating a
+// torn tail in place.
+func (s *Store) replaySegment(id int64, winners map[string]replayEntry) (*segment, error) {
+	path := s.segPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("walengine: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("walengine: %w", err)
+	}
+	valid := int64(0)
+	for off := int64(0); off < int64(len(data)); {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			break // torn header
+		}
+		blen := int64(binary.BigEndian.Uint32(rest))
+		crc := binary.BigEndian.Uint32(rest[4:])
+		if blen < bodyHeader || int64(len(rest)) < frameHeader+blen {
+			break // torn or nonsense body
+		}
+		body := rest[frameHeader : frameHeader+blen]
+		if crc32.Checksum(body, castagnoli) != crc {
+			break // torn mid-frame (the crash landed inside the body)
+		}
+		lsn := binary.BigEndian.Uint64(body)
+		op := body[8]
+		klen := int64(binary.BigEndian.Uint32(body[9:]))
+		if bodyHeader+klen > blen || (op != opPut && op != opDelete) {
+			break
+		}
+		key := string(body[bodyHeader : bodyHeader+klen])
+		flen := frameHeader + blen
+		s.wal.ReplayedRecords.Add(1)
+		if w, ok := winners[key]; !ok || lsn > w.lsn {
+			winners[key] = replayEntry{
+				lsn: lsn,
+				put: op == opPut,
+				l: loc{
+					seg:  id,
+					off:  off,
+					flen: flen,
+					voff: off + frameHeader + bodyHeader + klen,
+					vlen: blen - bodyHeader - klen,
+				},
+			}
+		}
+		valid += flen
+		off += flen
+	}
+	if torn := int64(len(data)) - valid; torn > 0 {
+		s.wal.TornRecords.Add(1)
+		s.wal.TornBytes.Add(torn)
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("walengine: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return &segment{id: id, f: f, size: valid, synced: valid}, nil
+}
+
+// Close durably seals the log and releases every file handle. Subsequent
+// operations return storage.ErrUnavailable until Reopen.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.active.f.Sync()
+	if err == nil {
+		s.active.synced = s.active.size
+	}
+	s.closeLocked()
+	s.mu.Unlock()
+	s.awaitCompaction()
+	return err
+}
+
+// Crash simulates a process crash: appended-but-unsynced bytes are
+// discarded (no caller was ever acknowledged for them), every handle is
+// closed, and the engine reports storage.ErrUnavailable until Reopen
+// replays the log. In-flight writers observe the failure through their
+// durability wait.
+func (s *Store) Crash() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var err error
+	if s.active.synced < s.active.size {
+		err = s.active.f.Truncate(s.active.synced)
+	}
+	s.closeLocked()
+	s.mu.Unlock()
+	s.awaitCompaction()
+	return err
+}
+
+// awaitCompaction blocks until any in-flight compaction has observed the
+// closed flag and aborted. Without this, a background compaction could
+// outlive a Crash/Reopen cycle and splice its pre-crash segment table into
+// the freshly replayed state.
+func (s *Store) awaitCompaction() {
+	s.compactMu.Lock()
+	//lint:ignore SA2001 the critical section IS the wait
+	s.compactMu.Unlock()
+}
+
+// closeLocked marks the engine down and closes every segment handle.
+// Callers hold s.mu.
+func (s *Store) closeLocked() {
+	s.closed = true
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+	s.segs = nil
+	s.active = nil
+	s.index = nil
+}
+
+// Reopen replays the log directory after a Close or Crash, restoring
+// exactly the acknowledged state.
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		return fmt.Errorf("walengine: Reopen of an open engine")
+	}
+	return s.load()
+}
+
+// check gates an operation on context liveness and engine availability.
+func (s *Store) check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return storage.ErrUnavailable
+	}
+	return nil
+}
+
+// appendLocked frames and writes one record to the active segment,
+// updating the index and live-byte accounting. The bytes are durable only
+// after the next fsync covering them. Callers hold s.mu.
+func (s *Store) appendLocked(op byte, key string, value []byte) error {
+	if s.active.size >= s.cfg.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return err
+		}
+	}
+	blen := bodyHeader + len(key) + len(value)
+	frame := make([]byte, frameHeader+blen)
+	body := frame[frameHeader:]
+	binary.BigEndian.PutUint64(body, s.lsn)
+	body[8] = op
+	binary.BigEndian.PutUint32(body[9:], uint32(len(key)))
+	copy(body[bodyHeader:], key)
+	copy(body[bodyHeader+len(key):], value)
+	binary.BigEndian.PutUint32(frame, uint32(blen))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(body, castagnoli))
+
+	seg := s.active
+	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
+		// seg.size is not advanced: a partial write is overwritten by the
+		// next append, and replay would truncate it as a torn tail.
+		return fmt.Errorf("walengine: append: %w", err)
+	}
+	l := loc{
+		seg:  seg.id,
+		off:  seg.size,
+		flen: int64(len(frame)),
+		voff: seg.size + frameHeader + bodyHeader + int64(len(key)),
+		vlen: int64(len(value)),
+	}
+	seg.size += int64(len(frame))
+	s.lsn++
+	s.wal.Appends.Add(1)
+	if old, ok := s.index[key]; ok {
+		s.segs[old.seg].live -= old.flen
+		l.hadDurable = old.hadDurable || s.durableLocked(old)
+	}
+	if op == opPut {
+		s.index[key] = l
+		seg.live += l.flen
+	} else {
+		delete(s.index, key)
+		seg.tombEnd = seg.size
+	}
+	return nil
+}
+
+// rollLocked seals the active segment (fsyncing its tail so sealed
+// segments are always fully durable) and opens the next one. Callers hold
+// s.mu.
+func (s *Store) rollLocked() error {
+	if err := s.active.f.Sync(); err != nil {
+		return fmt.Errorf("walengine: sealing segment %d: %w", s.active.id, err)
+	}
+	s.active.synced = s.active.size
+	id := s.next
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("walengine: %w", err)
+	}
+	s.next++
+	seg := &segment{id: id, f: f}
+	s.segs[id] = seg
+	s.active = seg
+	s.wal.SegmentRolls.Add(1)
+	return s.syncDir()
+}
+
+// syncQueue is the group-fsync rendezvous, the storage-side mirror of the
+// group-commit pipeline's leader/drainer shape.
+type syncQueue struct {
+	mu      sync.Mutex
+	waiters []syncWaiter
+	active  bool
+}
+
+// syncWaiter is one queued durability wait, pinned to the log generation
+// its bytes were appended in.
+type syncWaiter struct {
+	ch  chan error
+	gen uint64
+}
+
+// requestSync blocks until an fsync covering every byte appended before
+// the call has completed, coalescing concurrent waiters into shared
+// fsyncs. gen is the log generation observed (under s.mu) when the bytes
+// being awaited were appended or examined: if the engine crashes and
+// reopens before the covering fsync, the wait fails with ErrUnavailable
+// instead of being satisfied by the NEW generation's sync — the old
+// bytes were truncated, not made durable. The caller must have released
+// s.mu.
+func (s *Store) requestSync(gen uint64) error {
+	w := syncWaiter{ch: make(chan error, 1), gen: gen}
+	q := &s.sy
+	q.mu.Lock()
+	q.waiters = append(q.waiters, w)
+	if q.active {
+		q.mu.Unlock()
+		return <-w.ch
+	}
+	q.active = true
+	q.mu.Unlock()
+	for {
+		select {
+		case err := <-w.ch:
+			// Resolved by our own flush; hand the slot to a detached
+			// drainer for whatever queued during it.
+			go s.drainSync()
+			return err
+		default:
+		}
+		if !s.syncBatch() {
+			break // queue empty; slot released
+		}
+	}
+	return <-w.ch
+}
+
+// syncBatch takes the queued waiters and answers them with one fsync,
+// reporting whether there was work. Waiters from an older log generation
+// are failed: their bytes did not survive into the generation the fsync
+// covered.
+func (s *Store) syncBatch() bool {
+	q := &s.sy
+	q.mu.Lock()
+	batch := q.waiters
+	q.waiters = nil
+	if len(batch) == 0 {
+		q.active = false
+		q.mu.Unlock()
+		return false
+	}
+	q.mu.Unlock()
+	err := s.fsyncActive()
+	s.mu.RLock()
+	cur := s.gen
+	s.mu.RUnlock()
+	for _, w := range batch {
+		if err == nil && w.gen != cur {
+			w.ch <- storage.ErrUnavailable
+		} else {
+			w.ch <- err
+		}
+	}
+	return true
+}
+
+// drainSync flushes until the queue empties, then exits; it owns a slot
+// transferred from a writer whose own request already resolved.
+func (s *Store) drainSync() {
+	for s.syncBatch() {
+	}
+}
+
+// fsyncActive syncs the active segment and advances its durability
+// watermark. The watermark moves BEFORE any waiter is acknowledged, so a
+// Crash can never truncate an acknowledged byte.
+func (s *Store) fsyncActive() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return storage.ErrUnavailable
+	}
+	seg := s.active
+	target := seg.size
+	s.mu.RUnlock()
+	err := seg.f.Sync()
+	s.wal.Fsyncs.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// A crash raced the sync; the bytes may have been truncated, so
+		// nobody waiting on this flush may be acknowledged.
+		return storage.ErrUnavailable
+	}
+	if err != nil {
+		return fmt.Errorf("walengine: fsync: %w", err)
+	}
+	if s.active == seg && target > seg.synced {
+		seg.synced = target
+	}
+	return nil
+}
+
+// durableLocked reports whether the record at l is covered by an fsync.
+// Sealed and compacted segments are always fully durable; only the active
+// segment's tail can be pending. Callers hold s.mu.
+func (s *Store) durableLocked(l loc) bool {
+	return l.off+l.flen <= s.segs[l.seg].synced
+}
+
+// undurableAbsenceLocked reports whether some tombstone is still inside
+// the group-fsync window: until it is covered, an observed absence may be
+// the tombstone's doing, and a crash would un-delete the key. Only
+// tombstones can invalidate absence — an unsynced PUT that a crash erases
+// leaves absence correct — so paths acknowledging absence gate on this
+// rather than on all pending bytes. Callers hold s.mu.
+func (s *Store) undurableAbsenceLocked() bool {
+	return s.active.tombEnd > s.active.synced
+}
+
+// Get implements storage.Store: an index lookup plus one pread. The read
+// lock pins the segment file against concurrent compaction removal.
+//
+// Reads return only fsync-durable state: a record still inside the group-
+// fsync window (and likewise an absence produced by a not-yet-durable
+// tombstone) first waits out a coalesced sync, so no caller can observe —
+// and act on — bytes that a Crash would erase.
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.metrics.Gets.Add(1)
+	for {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return nil, storage.ErrUnavailable
+		}
+		gen := s.gen
+		l, ok := s.index[key]
+		if !ok {
+			undurable := s.undurableAbsenceLocked()
+			s.mu.RUnlock()
+			if undurable {
+				// The absence may rest on an unsynced tombstone; make the
+				// log durable before acknowledging it (re-checked each
+				// pass — a fresh tombstone can land during the wait).
+				if err := s.requestSync(gen); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, storage.ErrNotFound
+		}
+		if s.durableLocked(l) {
+			v, err := s.readValueLocked(l)
+			s.mu.RUnlock()
+			return v, err
+		}
+		s.mu.RUnlock()
+		if err := s.requestSync(gen); err != nil {
+			return nil, err
+		}
+		// Re-select: the record observed above is durable now, but it may
+		// have been superseded while we waited.
+	}
+}
+
+// readValueLocked preads one record's value. Callers hold s.mu (either
+// mode).
+func (s *Store) readValueLocked(l loc) ([]byte, error) {
+	out := make([]byte, l.vlen)
+	if l.vlen == 0 {
+		return out, nil
+	}
+	if _, err := s.segs[l.seg].f.ReadAt(out, l.voff); err != nil {
+		return nil, fmt.Errorf("walengine: read segment %d: %w", l.seg, err)
+	}
+	return out, nil
+}
+
+// Put implements storage.Store: append, then wait out a covering fsync.
+func (s *Store) Put(ctx context.Context, key string, value []byte) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	s.metrics.Puts.Add(1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return storage.ErrUnavailable
+	}
+	err := s.appendLocked(opPut, key, value)
+	gen := s.gen
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.requestSync(gen); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// BatchPut implements storage.Store: all items append under one lock hold
+// (in sorted key order, so the log layout is a function of the batch, not
+// of map iteration) and share one durability wait.
+func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.metrics.Batches.Add(1)
+	s.metrics.BatchItems.Add(int64(len(items)))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return storage.ErrUnavailable
+	}
+	var err error
+	for _, k := range keys {
+		if err = s.appendLocked(opPut, k, items[k]); err != nil {
+			break
+		}
+	}
+	gen := s.gen
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.requestSync(gen); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// BatchGet implements storage.Store: every lookup and pread happens under
+// one read-lock hold — the whole batch is one "round trip" to the disk.
+// Missing keys are absent from the result; empty values are present. Like
+// Get, only fsync-durable state is returned: a batch touching records (or
+// absences) inside the group-fsync window waits out a coalesced sync and
+// re-selects.
+func (s *Store) BatchGet(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	s.metrics.BatchGets.Add(1)
+	s.metrics.BatchGetItems.Add(int64(len(keys)))
+	for {
+		out := make(map[string][]byte, len(keys))
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return nil, storage.ErrUnavailable
+		}
+		gen := s.gen
+		retry := false
+		sawMissing := false
+		for _, k := range keys {
+			l, ok := s.index[k]
+			if !ok {
+				sawMissing = true
+				continue
+			}
+			if !s.durableLocked(l) {
+				retry = true
+				break
+			}
+			v, err := s.readValueLocked(l)
+			if err != nil {
+				s.mu.RUnlock()
+				return nil, err
+			}
+			out[k] = v
+		}
+		if !retry && sawMissing && s.undurableAbsenceLocked() {
+			retry = true
+		}
+		s.mu.RUnlock()
+		if !retry {
+			return out, nil
+		}
+		if err := s.requestSync(gen); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Delete implements storage.Store: a tombstone append (skipped when the
+// key is already absent — no record can resurrect it) plus a durability
+// wait.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	s.metrics.Deletes.Add(1)
+	return s.deleteKeys([]string{key})
+}
+
+// BatchDelete implements storage.Store: present keys gain tombstones under
+// one lock hold and share one fsync (the global GC retires whole
+// collection rounds this way).
+func (s *Store) BatchDelete(ctx context.Context, keys []string) error {
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	s.metrics.BatchDeletes.Add(1)
+	s.metrics.BatchDeleteItems.Add(int64(len(keys)))
+	return s.deleteKeys(keys)
+}
+
+// deleteKeys appends tombstones for the present subset of keys and waits
+// out their fsync. Deleting a missing key is not an error and needs no
+// log traffic — but when the observed absence rests on appended-but-
+// unsynced bytes (another caller's in-flight tombstone), the ack still
+// waits for a covering fsync: acknowledging against state a crash would
+// erase is how an "idempotent" delete resurrects.
+func (s *Store) deleteKeys(keys []string) error {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return storage.ErrUnavailable
+	}
+	appended := false
+	var err error
+	for _, k := range sorted {
+		if _, ok := s.index[k]; !ok {
+			continue
+		}
+		if err = s.appendLocked(opDelete, k, nil); err != nil {
+			break
+		}
+		appended = true
+	}
+	mustSync := appended || s.undurableAbsenceLocked()
+	gen := s.gen
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !mustSync {
+		return nil
+	}
+	if err := s.requestSync(gen); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// List implements storage.Store, returning the DURABLE key snapshot in
+// both directions. Presence: a key appears only if a fsync-covered record
+// establishes it — one whose only record is still inside the group-fsync
+// window is omitted (its write is not yet acknowledged; the listing
+// linearizes before it), so a crash can never erase a key a listing
+// reported. AFT trusts listings for commit-record recovery, and a record
+// that is announced and then vanishes is a lost write. Absence: an
+// unsynced tombstone has removed its key from the index, so while one is
+// outstanding the listing waits out a sync — otherwise a crash would
+// un-delete a key the listing omitted.
+func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.metrics.Lists.Add(1)
+	for {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return nil, storage.ErrUnavailable
+		}
+		if s.undurableAbsenceLocked() {
+			gen := s.gen
+			s.mu.RUnlock()
+			if err := s.requestSync(gen); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		out := make([]string, 0)
+		for k, l := range s.index {
+			if strings.HasPrefix(k, prefix) && (l.hadDurable || s.durableLocked(l)) {
+				out = append(out, k)
+			}
+		}
+		s.mu.RUnlock()
+		sort.Strings(out)
+		return out, nil
+	}
+}
+
+// Len returns the number of live keys (test/diagnostic helper).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
