@@ -1,0 +1,67 @@
+package aft
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+
+	"aft/internal/telemetry"
+)
+
+// Telemetry type aliases: the implementation lives in internal/telemetry;
+// these are the supported public names.
+type (
+	// MetricsRegistry unifies every subsystem's counters behind one
+	// Prometheus-format /metrics endpoint (and the JSON /statz view).
+	MetricsRegistry = telemetry.Registry
+	// Tracer retains per-transaction traces in a bounded ring, sampled
+	// client-side, 1-in-N, or always when slow.
+	Tracer = telemetry.Tracer
+	// TracerOptions parameterizes a Tracer.
+	TracerOptions = telemetry.TracerOptions
+	// TraceRecord is one retained trace, as served by /traces.
+	TraceRecord = telemetry.TraceRecord
+)
+
+// NewMetricsRegistry returns an empty registry; pass it to the
+// RegisterTelemetry method of each component you deploy (Node, Cluster,
+// stores, ...) and serve it with DebugMux.
+func NewMetricsRegistry() *MetricsRegistry { return &telemetry.Registry{} }
+
+// NewTracer returns a Tracer; wire it into NodeConfig.Tracer and serve its
+// retained traces with DebugMux.
+func NewTracer(opts TracerOptions) *Tracer { return telemetry.NewTracer(opts) }
+
+// Traced returns a context carrying a freshly minted, always-sampled trace
+// context, plus the trace ID. A transaction started under the returned
+// context is traced end to end — through the load balancer and the wire
+// protocol — and retained by the serving node's tracer regardless of its
+// sampling policy, so the trace ID can be looked up on that node's
+// /traces endpoint.
+func Traced(ctx context.Context) (context.Context, string) {
+	id := telemetry.MintTraceID("client")
+	return telemetry.WithTraceContext(ctx, telemetry.TraceContext{ID: id, Sampled: true}), id
+}
+
+// DebugMux assembles the standard observability endpoint set:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/statz         the same registry snapshot as JSON (stable schema)
+//	/traces        retained traces as JSON, newest first (?limit=N)
+//	/debug/pprof/  the Go profiler suite
+//
+// node labels the /statz payload; tracer may be nil (the /traces endpoint
+// then serves an empty trace list). Serve it with http.ListenAndServe on
+// a side port — never on the transaction-serving address.
+func DebugMux(node string, reg *MetricsRegistry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/statz", reg.StatzHandler(node))
+	mux.Handle("/traces", tracer.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

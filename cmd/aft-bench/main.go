@@ -14,7 +14,10 @@
 //	aft-bench -experiment fig7 -store wal     # any experiment over any backend
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
-// fig9, fig10, ablation, sharded, parallel, readpath, chaos, durability.
+// fig9, fig10, ablation, sharded, parallel, readpath, chaos, durability,
+// telemetry (instrumentation-overhead comparison).
+// With -debug-addr set, a side HTTP listener serves /statz and the
+// /debug/pprof/ profiler suite for the duration of the run.
 // The -store flag overrides the storage backend every experiment builds
 // (dynamodb|s3|redis|wal; default: each experiment's own choice). Output
 // latencies and throughputs are
@@ -31,10 +34,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
+	"aft/aft"
 	"aft/internal/experiments"
 )
 
@@ -53,17 +58,19 @@ type benchResult struct {
 	ReadPathCells   []experiments.ReadPathCell   `json:"readpath_cells,omitempty"`
 	ChaosCells      []experiments.ChaosCell      `json:"chaos_cells,omitempty"`
 	DurabilityCells []experiments.DurabilityCell `json:"durability_cells,omitempty"`
+	TelemetryCells  []experiments.TelemetryCell  `json:"telemetry_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
 		payload    = flag.Int("payload", 4096, "value size in bytes")
 		backend    = flag.String("store", "", "storage backend override for every experiment: dynamodb|s3|redis|wal; empty keeps each experiment's default")
 		jsonDir    = flag.String("json", ".", "directory for BENCH_<name>.json results; empty disables")
+		debug      = flag.String("debug-addr", "", "HTTP address for /statz and /debug/pprof/* during the run (empty disables)")
 
 		chaosErrRate     = flag.Float64("chaos-error-rate", 0, "chaos: transient-failure probability per storage op; 0 = default")
 		chaosPartialRate = flag.Float64("chaos-partial-rate", 0, "chaos: partial-batch-failure probability per batch op; 0 = default")
@@ -88,6 +95,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "aft-bench: unknown store %q\n", *backend)
 		os.Exit(2)
+	}
+	if *debug != "" {
+		// Experiments build their nodes internally, so the registry here
+		// carries only the process-level /statz runtime section — the point
+		// of the endpoint is profiling long runs with /debug/pprof/.
+		go func() {
+			mux := aft.DebugMux("aft-bench", aft.NewMetricsRegistry(), nil)
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "aft-bench: debug endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug endpoint (statz, pprof) on %s\n", *debug)
 	}
 	// Reclaim -store wal log directories even when an experiment panics
 	// (os.Exit paths call it explicitly — deferred functions don't run
@@ -131,6 +150,7 @@ func main() {
 		{"readpath", one(experiments.ReadPath)},
 		{"chaos", one(experiments.Chaos)},
 		{"durability", one(experiments.Durability)},
+		{"telemetry", one(experiments.Telemetry)},
 	}
 
 	selected := map[string]bool{}
@@ -194,6 +214,13 @@ func main() {
 			if err == nil {
 				var t experiments.Table
 				t, err = experiments.DurabilityTable(res.DurabilityCells)
+				res.Tables = []experiments.Table{t}
+			}
+		case "telemetry":
+			res.TelemetryCells, err = experiments.TelemetryCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.TelemetryTable(res.TelemetryCells)
 				res.Tables = []experiments.Table{t}
 			}
 		default:

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	aft-client -addr localhost:7070
+//	aft-client -trace            # trace every transaction end to end
+//
+// With -trace, each begin mints a client trace context that rides the
+// wire protocol, so the serving node retains the transaction's full
+// span tree regardless of its sampling policy; the printed trace ID can
+// be looked up on the server's /traces debug endpoint.
 //
 // Commands (one per line):
 //
@@ -29,6 +35,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:7070", "aft-server address")
+	trace := flag.Bool("trace", false, "trace every transaction (print the trace ID; look it up on the server's /traces endpoint)")
 	flag.Parse()
 
 	client, err := aft.Dial(*addr)
@@ -54,13 +61,22 @@ func main() {
 				fmt.Println("error: transaction already open; commit or abort first")
 				break
 			}
-			t, err := aft.Begin(ctx, client)
+			bctx := ctx
+			traceID := ""
+			if *trace {
+				bctx, traceID = aft.Traced(ctx)
+			}
+			t, err := aft.Begin(bctx, client)
 			if err != nil {
 				fmt.Println("error:", err)
 				break
 			}
 			txn = t
-			fmt.Println("txn", txn.ID())
+			if traceID != "" {
+				fmt.Println("txn", txn.ID(), "trace", traceID)
+			} else {
+				fmt.Println("txn", txn.ID())
+			}
 		case "get":
 			if txn == nil || len(fields) != 2 {
 				fmt.Println("usage: get <key> (inside a transaction)")

@@ -4,6 +4,7 @@
 //
 //	aft-server -addr :7070 -node node-1 -store dynamodb -latency none
 //	aft-server -store wal -store-dir /var/lib/aft   # durable disk backend
+//	aft-server -store wal -debug-addr :7071         # observability endpoints
 //
 // The node serves the Table 1 API (StartTransaction / Get / Put /
 // CommitTransaction / AbortTransaction) over the repository's wire
@@ -14,16 +15,27 @@
 // launched with -store pointing at the same external process would
 // require a networked store, so a single server owns its store (the
 // multi-node protocols are exercised in-process via aft.NewCluster).
+//
+// The server also runs the single-node maintenance pipeline — the
+// periodic multicast round (draining commit records to the fault-manager
+// tap), the fault manager's storage scan, and the global GC pass — so a
+// standalone deployment gets §4.2 recovery and §5.2 collection, and its
+// /metrics endpoint exposes every subsystem's counters.
+//
+// With -debug-addr set, a side HTTP listener serves:
+//
+//	/metrics       Prometheus text exposition (all aft_* families)
+//	/statz         the same registry snapshot as JSON (stable schema)
+//	/traces        retained transaction traces, newest first
+//	/debug/pprof/  the Go profiler suite
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,20 +43,26 @@ import (
 	"time"
 
 	"aft/aft"
+	"aft/internal/faultmgr"
+	"aft/internal/lb"
+	"aft/internal/multicast"
 	"aft/internal/storage"
 	"aft/internal/storage/walengine"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		nodeID   = flag.String("node", "aft-node-1", "node identifier")
-		backend  = flag.String("store", "dynamodb", "storage backend: dynamodb|s3|redis|wal")
-		storeDir = flag.String("store-dir", "aft-wal", "log directory for -store wal")
-		lat      = flag.String("latency", "none", "latency mode: none|cloud|cloud-fast (simulated backends only)")
-		cache    = flag.Bool("cache", true, "enable the read data cache")
-		seed     = flag.Int64("seed", 1, "latency model seed")
-		debug    = flag.String("debug-addr", "", "HTTP address for /debug/pprof/* and /statz (empty disables)")
+		addr      = flag.String("addr", ":7070", "listen address")
+		nodeID    = flag.String("node", "aft-node-1", "node identifier")
+		backend   = flag.String("store", "dynamodb", "storage backend: dynamodb|s3|redis|wal")
+		storeDir  = flag.String("store-dir", "aft-wal", "log directory for -store wal")
+		lat       = flag.String("latency", "none", "latency mode: none|cloud|cloud-fast (simulated backends only)")
+		cache     = flag.Bool("cache", true, "enable the read data cache")
+		seed      = flag.Int64("seed", 1, "latency model seed")
+		debug     = flag.String("debug-addr", "", "HTTP address for /metrics, /statz, /traces and /debug/pprof/* (empty disables)")
+		mcPeriod  = flag.Duration("multicast-period", time.Second, "multicast round period (the paper's 1s)")
+		gcPeriod  = flag.Duration("gc-period", 30*time.Second, "fault-manager scan + global GC period")
+		traceEach = flag.Int("trace-sample", 64, "self-sample 1 in N transactions into /traces (<=0 disables)")
 	)
 	flag.Parse()
 
@@ -78,10 +96,17 @@ func main() {
 		log.Fatalf("aft-server: unknown store %q", *backend)
 	}
 
+	sampleEvery := *traceEach
+	if sampleEvery <= 0 {
+		sampleEvery = -1
+	}
+	tracer := aft.NewTracer(aft.TracerOptions{Node: *nodeID, SampleEvery: sampleEvery})
+
 	node, err := aft.NewNode(aft.NodeConfig{
 		NodeID:          *nodeID,
 		Store:           store,
 		EnableDataCache: *cache,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		log.Fatalf("aft-server: %v", err)
@@ -93,6 +118,37 @@ func main() {
 		log.Fatalf("aft-server: bootstrap from storage: %v", err)
 	}
 
+	// Maintenance pipeline: multicast rounds feed the fault manager's tap
+	// (§4.2); the periodic scan recovers commits a crashed predecessor
+	// persisted but never announced, and the GC pass collects superseded
+	// state (§5.2). The balancer fronts the node for in-process clients;
+	// over the wire it only contributes its metric families.
+	bus := multicast.NewBus()
+	fm := faultmgr.New(store, faultmgr.StaticMembership{node})
+	fm.SetTracer(tracer)
+	bus.Tap(fm.Ingest)
+	mc := multicast.NewMulticaster(bus, node, *mcPeriod, true)
+	mc.SetTracer(tracer)
+	mc.Start()
+	defer mc.Stop()
+	bal := lb.New(node)
+
+	stopGC := make(chan struct{})
+	go maintenanceLoop(fm, *gcPeriod, stopGC)
+	defer close(stopGC)
+
+	reg := aft.NewMetricsRegistry()
+	node.RegisterTelemetry(reg)
+	tracer.RegisterTelemetry(reg)
+	bus.RegisterTelemetry(reg)
+	fm.RegisterTelemetry(reg)
+	bal.RegisterTelemetry(reg)
+	if ws, ok := store.(*walengine.Store); ok {
+		ws.RegisterTelemetry(reg) // storage (backend="wal") + WAL probe
+	} else if sm, ok := store.(interface{ Metrics() *storage.Metrics }); ok {
+		sm.Metrics().RegisterTelemetry(reg, store.Name())
+	}
+
 	srv, bound, err := aft.Serve(node, *addr)
 	if err != nil {
 		log.Fatalf("aft-server: %v", err)
@@ -101,25 +157,50 @@ func main() {
 		*nodeID, bound, *backend, *lat)
 
 	if *debug != "" {
-		// The pprof import registered its handlers on DefaultServeMux;
-		// /statz joins them so lock-contention and allocation profiles can
-		// be tied to protocol counters in deployments:
+		// Lock-contention and allocation profiles tie to the protocol
+		// counters served next to them:
 		//
-		//	go tool pprof http://<debug-addr>/debug/pprof/profile
-		//	go tool pprof http://<debug-addr>/debug/pprof/mutex
+		//	curl http://<debug-addr>/metrics
 		//	curl http://<debug-addr>/statz
+		//	curl http://<debug-addr>/traces
+		//	go tool pprof http://<debug-addr>/debug/pprof/profile
 		runtime.SetMutexProfileFraction(100)
 		runtime.SetBlockProfileRate(int(time.Microsecond))
-		http.HandleFunc("/statz", statzHandler(node))
+		mux := aft.DebugMux(*nodeID, reg, tracer)
 		go func() {
-			if err := http.ListenAndServe(*debug, nil); err != nil {
+			if err := http.ListenAndServe(*debug, mux); err != nil {
 				log.Printf("aft-server: debug endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("aft-server: debug endpoint (pprof, statz) on %s\n", *debug)
+		fmt.Printf("aft-server: debug endpoint (metrics, statz, traces, pprof) on %s\n", *debug)
 	}
 
 	runServer(srv)
+}
+
+// maintenanceLoop periodically recovers unannounced commits from storage
+// and runs one global-GC pass, until stop closes.
+func maintenanceLoop(fm *faultmgr.Manager, period time.Duration, stop <-chan struct{}) {
+	if period <= 0 {
+		period = 30 * time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), period)
+			if err := fm.ScanStorageTraced(ctx); err != nil {
+				log.Printf("aft-server: fault-manager scan: %v", err)
+			}
+			if _, err := fm.CollectOnceTraced(ctx, 0); err != nil {
+				log.Printf("aft-server: global GC: %v", err)
+			}
+			cancel()
+		}
+	}
 }
 
 // runServer blocks until an interrupt, then shuts the server down.
@@ -130,47 +211,5 @@ func runServer(srv *aft.Server) {
 	fmt.Println("aft-server: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("aft-server: close: %v", err)
-	}
-}
-
-// statzHandler serves a point-in-time JSON snapshot of the node's protocol
-// counters, the storage engine's operation counters, and the Go runtime's
-// memory/scheduler stats — the numbers a profile needs for context.
-func statzHandler(node *aft.Node) http.HandlerFunc {
-	start := time.Now()
-	return func(w http.ResponseWriter, r *http.Request) {
-		var mem runtime.MemStats
-		runtime.ReadMemStats(&mem)
-		stats := map[string]any{
-			"node_id":        node.ID(),
-			"uptime_seconds": time.Since(start).Seconds(),
-			"node":           node.Metrics().Snapshot(),
-			"active_txns":    node.ActiveTransactions(),
-			"metadata_size":  node.MetadataSize(),
-			"runtime": map[string]any{
-				"goroutines":     runtime.NumGoroutine(),
-				"gomaxprocs":     runtime.GOMAXPROCS(0),
-				"num_cpu":        runtime.NumCPU(),
-				"heap_alloc":     mem.HeapAlloc,
-				"heap_objects":   mem.HeapObjects,
-				"total_alloc":    mem.TotalAlloc,
-				"gc_cycles":      mem.NumGC,
-				"gc_pause_total": time.Duration(mem.PauseTotalNs).String(),
-			},
-		}
-		type storeMetrics interface{ Metrics() *storage.Metrics }
-		if sm, ok := node.Store().(storeMetrics); ok {
-			stats["storage"] = sm.Metrics().Snapshot()
-		}
-		type walMetrics interface{ WAL() *walengine.Metrics }
-		if wm, ok := node.Store().(walMetrics); ok {
-			stats["wal"] = wm.WAL().Snapshot()
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(stats); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
 	}
 }

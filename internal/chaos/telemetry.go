@@ -1,0 +1,30 @@
+package chaos
+
+import "aft/internal/telemetry"
+
+// RegisterTelemetry publishes the injector's fault counters under
+// aft_chaos_*, so a campaign's injected-fault volume is scrapeable next to
+// the verdict it produced (checker.RegisterVerdict).
+func (s *Store) RegisterTelemetry(reg *telemetry.Registry) {
+	if s == nil {
+		return
+	}
+	m := &s.metrics
+	reg.Register(func(e *telemetry.Emitter) {
+		f := m.Snapshot()
+		e.Counter("aft_chaos_ops_total",
+			"Storage operations through the fault injector.", uint64(f.Ops))
+		e.Counter("aft_chaos_errors_total",
+			"Transient full failures injected.", uint64(f.Errors))
+		e.Counter("aft_chaos_partial_batch_puts_total",
+			"BatchPut calls partially applied then failed.", uint64(f.PartialBatchPuts))
+		e.Counter("aft_chaos_partial_batch_gets_total",
+			"BatchGet calls partially answered then failed.", uint64(f.PartialBatchGets))
+		e.Counter("aft_chaos_partial_batch_deletes_total",
+			"BatchDelete calls partially applied then failed.", uint64(f.PartialBatchDeletes))
+		e.Counter("aft_chaos_spikes_total",
+			"Latency spikes injected.", uint64(f.Spikes))
+		e.Counter("aft_chaos_crashes_total",
+			"Crash hooks fired.", uint64(f.Crashes))
+	})
+}

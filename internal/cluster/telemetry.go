@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"aft/internal/storage"
+	"aft/internal/telemetry"
+)
+
+// RegisterTelemetry publishes the whole deployment on reg: every current
+// node's protocol counters and latency histograms, the multicast bus, the
+// fault manager / global GC, the load balancer, and the shared store's
+// operation counters. Nodes added later are picked up automatically — the
+// node collector re-reads the member set at scrape time.
+func (c *Cluster) RegisterTelemetry(reg *telemetry.Registry) {
+	if c == nil {
+		return
+	}
+	c.bus.RegisterTelemetry(reg)
+	c.fm.RegisterTelemetry(reg)
+	c.balancer.RegisterTelemetry(reg)
+	if m, ok := c.cfg.Store.(interface{ Metrics() *storage.Metrics }); ok {
+		m.Metrics().RegisterTelemetry(reg, c.cfg.Store.Name())
+	}
+	// Per-node registration is dynamic: each scrape walks the CURRENT
+	// member set, so scale-out nodes appear and killed nodes disappear
+	// without re-registering.
+	reg.Register(func(e *telemetry.Emitter) {
+		for _, n := range c.Nodes() {
+			n.EmitTelemetry(e)
+		}
+	})
+}

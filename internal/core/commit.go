@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // CommitTransaction persists transaction txid's updates and makes them
@@ -35,6 +37,23 @@ import (
 // idempotent per transaction ID: retrying a commit that already succeeded
 // returns the original commit ID (§3.1 exactly-once semantics).
 func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
+	tr := n.traceOf(txid)
+	ctx = telemetry.WithTrace(ctx, tr)
+	sp := tr.StartSpan("node.commit")
+	start := time.Now()
+	id, err := n.commitTransaction(ctx, txid)
+	sp.End()
+	if err == nil {
+		n.latCommit.Observe(time.Since(start))
+		// A failed attempt leaves the transaction live for a retry, so
+		// the trace stays open; success — including the idempotent-retry
+		// fast path, where tr is nil — completes it.
+		tr.Finish("committed")
+	}
+	return id, err
+}
+
+func (n *Node) commitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
 	n.tmu.RLock()
 	t, live := n.txns[txid]
 	prevID, finished := n.committedByUUID[txid]
@@ -148,20 +167,29 @@ func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, er
 		// Group pipeline: steps 1 and 2 are flushed together with other
 		// in-flight commits; the flush also installs the record and
 		// queues the multicast announcement (step 3 visibility).
-		req := &commitReq{items: items, recKey: records.CommitKey(id), recVal: payload, rec: rec}
-		if err := n.groupCommit(ctx, req); err != nil {
+		req := &commitReq{items: items, recKey: records.CommitKey(id), recVal: payload, rec: rec, trace: t.trace}
+		wait := telemetry.StartSpan(ctx, "commit.flushwait")
+		err := n.groupCommit(ctx, req)
+		wait.End()
+		if err != nil {
 			n.abandonCommit(t)
 			return idgen.Null, err
 		}
 		n.finishCommit(t, txid, id, rec, true)
 	} else {
 		// Direct path: step 1.
-		if err := n.writeVersions(ctx, items); err != nil {
+		sw := telemetry.StartSpan(ctx, "storage.write")
+		err := n.writeVersions(ctx, items)
+		sw.End()
+		if err != nil {
 			n.abandonCommit(t)
 			return idgen.Null, fmt.Errorf("aft: persisting write set: %w", err)
 		}
 		// Step 2.
-		if err := n.store.Put(ctx, records.CommitKey(id), payload); err != nil {
+		sr := telemetry.StartSpan(ctx, "storage.putrecord")
+		err = n.store.Put(ctx, records.CommitKey(id), payload)
+		sr.End()
+		if err != nil {
 			n.abandonCommit(t)
 			return idgen.Null, fmt.Errorf("aft: persisting commit record: %w", err)
 		}

@@ -36,9 +36,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"aft/internal/records"
+	"aft/internal/telemetry"
 )
 
 // commitReq is one transaction's submission to the pipeline.
@@ -51,6 +54,10 @@ type commitReq struct {
 	recVal []byte
 	// rec is installed into the metadata stripes after recVal is durable.
 	rec *records.CommitRecord
+	// trace, when non-nil, receives a retroactive gc.flush span: the
+	// flush runs under one member's goroutine, but every traced member
+	// should see how long its batch's storage writes took.
+	trace *telemetry.Trace
 
 	err  error
 	done chan struct{}
@@ -151,6 +158,7 @@ func (n *Node) drainQueue(ctx context.Context) {
 func (n *Node) flushCommits(ctx context.Context, batch []*commitReq) {
 	n.metrics.GroupFlushes.Add(1)
 	n.metrics.GroupedCommits.Add(int64(len(batch)))
+	flushStart := time.Now()
 	failed := make(map[*commitReq]error, len(batch))
 
 	// Phase 1: every transaction's data versions.
@@ -182,7 +190,12 @@ func (n *Node) flushCommits(ctx context.Context, batch []*commitReq) {
 		n.recent = append(n.recent, visible...)
 		n.recMu.Unlock()
 	}
+	flushDur := time.Since(flushStart)
 	for _, req := range batch {
+		if req.trace != nil { // skip the attr-map allocation when untraced
+			req.trace.AddSpan("gc.flush", flushStart, flushDur,
+				map[string]string{"batch": strconv.Itoa(len(batch))})
+		}
 		close(req.done)
 	}
 }
@@ -211,7 +224,10 @@ func (n *Node) flushPhase(ctx context.Context, batch []*commitReq, failed map[*c
 		}
 		var err error
 		if len(chunk) > 1 {
+			sp := telemetry.StartSpan(ctx, "storage.batchput")
+			sp.Annotate("items", strconv.Itoa(len(chunk)))
 			err = n.store.BatchPut(ctx, chunk)
+			sp.End()
 		}
 		if len(chunk) == 1 || err != nil {
 			// Solo items take the point API outright (a one-item batch

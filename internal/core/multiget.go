@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"time"
 
 	"aft/internal/records"
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // MultiGet reads every key in the context of transaction txid, returning
@@ -36,6 +39,19 @@ func (n *Node) MultiGet(ctx context.Context, txid string, keys []string) ([][]by
 	if len(keys) == 0 {
 		return nil, nil
 	}
+	ctx = telemetry.WithTrace(ctx, t.trace)
+	sp := t.trace.StartSpan("node.multiget")
+	sp.Annotate("keys", strconv.Itoa(len(keys)))
+	start := time.Now()
+	out, err := n.doMultiGet(ctx, t, txid, keys)
+	sp.End()
+	if err == nil {
+		n.latRead.Observe(time.Since(start))
+	}
+	return out, err
+}
+
+func (n *Node) doMultiGet(ctx context.Context, t *txnState, txid string, keys []string) ([][]byte, error) {
 	owns := n.ownership()
 	out := make([][]byte, len(keys))
 	plans := make([]*readPlan, len(keys))
@@ -250,7 +266,11 @@ func (n *Node) batchFetchPayloads(ctx context.Context, keys []string) (map[strin
 		return nil, nil
 	}
 	if !n.cfg.DisableReadBatching {
-		return n.store.BatchGet(ctx, keys)
+		sp := telemetry.StartSpan(ctx, "storage.batchget")
+		sp.Annotate("keys", strconv.Itoa(len(keys)))
+		got, err := n.store.BatchGet(ctx, keys)
+		sp.End()
+		return got, err
 	}
 	out := make(map[string][]byte, len(keys))
 	for _, k := range keys {

@@ -37,6 +37,7 @@ import (
 	"aft/internal/records"
 	"aft/internal/storage"
 	"aft/internal/strhash"
+	"aft/internal/telemetry"
 )
 
 // Errors returned by the node's transactional API.
@@ -129,6 +130,15 @@ type Config struct {
 	// storage key — bit-for-bit reproducible, which the chaos harness
 	// requires; 0 keeps crypto randomness.
 	IDEntropySeed int64
+	// Tracer, when non-nil, opens a trace per transaction and records
+	// layer spans into it (telemetry.Tracer retains sampled and slow
+	// traces for /traces). Nil disables tracing: every span call costs a
+	// nil check.
+	Tracer *telemetry.Tracer
+	// DisableTelemetry skips the node's latency histograms (three atomic
+	// adds per op), the measurable baseline for the instrumentation-
+	// overhead benchmark. Counters in NodeMetrics are always maintained.
+	DisableTelemetry bool
 }
 
 // ownsFunc is a shard-ownership filter; see SetOwnership.
@@ -197,6 +207,13 @@ type Node struct {
 	data *dataCache // nil when disabled
 
 	metrics NodeMetrics
+
+	// tracer and the latency histograms are nil when disabled; all their
+	// methods are nil-safe, so the hot paths carry no branching beyond
+	// the calls themselves.
+	tracer    *telemetry.Tracer
+	latCommit *telemetry.Histogram
+	latRead   *telemetry.Histogram
 }
 
 // NodeMetrics exposes node-level counters for the evaluation harness. All
@@ -312,6 +329,11 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.MaxConcurrent > 0 {
 		n.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	n.tracer = cfg.Tracer
+	if !cfg.DisableTelemetry {
+		n.latCommit = telemetry.NewHistogram(nil)
+		n.latRead = telemetry.NewHistogram(nil)
 	}
 	return n, nil
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // Get retrieves key in the context of transaction txid (Table 1), enforcing
@@ -40,7 +42,18 @@ func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
 		return nil, err
 	}
 	n.metrics.Reads.Add(1)
+	ctx = telemetry.WithTrace(ctx, t.trace)
+	sp := t.trace.StartSpan("node.read")
+	start := time.Now()
+	v, err := n.doGet(ctx, t, txid, key)
+	sp.End()
+	if err == nil {
+		n.latRead.Observe(time.Since(start))
+	}
+	return v, err
+}
 
+func (n *Node) doGet(ctx context.Context, t *txnState, txid, key string) ([]byte, error) {
 	// Sharded mode needs up to two attempts: a version selected from
 	// local metadata can have had its payload deleted by the owner-voted
 	// global GC (a non-owner's pin does not block it); the retry forgets
@@ -469,11 +482,15 @@ func (n *Node) coalesceFetch(ctx context.Context, key string) (recs []*records.C
 	if call, ok := n.fetching[key]; ok {
 		n.fetchMu.Unlock()
 		n.metrics.CoalescedFetches.Add(1)
+		sp := telemetry.StartSpan(ctx, "read.coalesce_wait")
+		sp.Annotate("role", "waiter")
 		select {
 		case <-call.done:
 		case <-ctx.Done():
+			sp.End()
 			return nil, nil, false, ctx.Err()
 		}
+		sp.End()
 		if call.err != nil {
 			recs, err = n.fetchKeyRecords(ctx, key)
 			return recs, nil, false, err
@@ -489,7 +506,10 @@ func (n *Node) coalesceFetch(ctx context.Context, key string) (recs []*records.C
 		n.fetchMu.Unlock()
 		close(call.done)
 	}
+	sp := telemetry.StartSpan(ctx, "read.coldfetch")
+	sp.Annotate("role", "leader")
 	recs, err = n.fetchKeyRecords(ctx, key)
+	sp.End()
 	if err != nil {
 		call.err = err
 		finish()

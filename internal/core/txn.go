@@ -7,6 +7,7 @@ import (
 
 	"aft/internal/idgen"
 	"aft/internal/records"
+	"aft/internal/telemetry"
 )
 
 // txnState is one in-flight transaction's session state. A logical request
@@ -57,6 +58,11 @@ type txnState struct {
 	// of the same key — e.g. existence probes of a truly absent key —
 	// cost one storage scan per transaction, not one per read.
 	metaFetched map[string]bool
+
+	// trace is the transaction's telemetry trace, nil when tracing is
+	// off. Set once at StartTransaction and immutable after, so it is
+	// read without t.mu.
+	trace *telemetry.Trace
 }
 
 func (t *txnState) spillDir() string {
@@ -81,6 +87,9 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 		pinned:   make(map[idgen.ID]bool),
 		spilled:  make(map[string]bool),
 	}
+	// The wire layer deposits an inbound client trace context in ctx; a
+	// zero context self-samples per the tracer's policy.
+	t.trace = n.tracer.Begin(id.UUID, telemetry.TraceContextFrom(ctx))
 	n.tmu.Lock()
 	n.txns[id.UUID] = t
 	n.tmu.Unlock()
@@ -247,6 +256,7 @@ func (n *Node) AbortTransaction(ctx context.Context, txid string) error {
 		_ = n.store.BatchDelete(ctx, spillKeys)
 	}
 	n.metrics.Aborted.Add(1)
+	t.trace.Finish("aborted")
 	n.release()
 	return nil
 }

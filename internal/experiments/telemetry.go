@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aft/internal/core"
+	"aft/internal/stats"
+	"aft/internal/storage/dynamosim"
+	"aft/internal/telemetry"
+	"aft/internal/workload"
+)
+
+// Telemetry measures what the observability substrate costs on the hot
+// path: the same commit-heavy workload runs with telemetry fully off
+// (Config.DisableTelemetry, no tracer), with latency histograms on (the
+// default), and with histograms plus 1-in-64 self-sampled tracing — the
+// production configuration of cmd/aft-server. Histograms are three atomic
+// adds per operation and tracing adds a pointer check plus one span per
+// traced op, so instrumented throughput should sit within a few percent
+// of the uninstrumented baseline; the BENCH json records the measured
+// ratio along with the commit-latency histogram digests the instrumented
+// runs produce.
+//
+// The run uses the zero-latency simulated backend deliberately: with no
+// storage waits to hide behind, every instrumentation cycle lands on the
+// measured path, making this an upper bound on the overhead.
+func Telemetry(opts Options) (Table, error) {
+	cells, err := TelemetryCells(opts)
+	if err != nil {
+		return Table{}, err
+	}
+	return TelemetryTable(cells)
+}
+
+// HistDigest is a compact latency-histogram summary recorded into
+// BENCH_telemetry.json (and reusable by other experiments).
+type HistDigest struct {
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// digestOf summarizes a histogram snapshot.
+func digestOf(s telemetry.HistogramSnapshot) HistDigest {
+	return HistDigest{
+		Count:      s.Count,
+		SumSeconds: s.Sum.Seconds(),
+		P50Ms:      float64(s.Quantile(0.50)) / float64(time.Millisecond),
+		P99Ms:      float64(s.Quantile(0.99)) / float64(time.Millisecond),
+	}
+}
+
+// TelemetryCell is one instrumentation mode's measurement.
+type TelemetryCell struct {
+	Mode          string  `json:"mode"` // "off" | "histograms" | "histograms+tracing"
+	Txns          int     `json:"txns"`
+	Workers       int     `json:"workers"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	// RelativeThroughput is this mode's throughput over the "off"
+	// baseline's (1.0 = free instrumentation).
+	RelativeThroughput float64 `json:"relative_throughput"`
+	// Histogram digests from the node's own instrumentation (instrumented
+	// modes only) — the evidence the /metrics histograms carry real data.
+	CommitHist *HistDigest `json:"commit_hist,omitempty"`
+	ReadHist   *HistDigest `json:"read_hist,omitempty"`
+	// Tracing volume (tracing mode only).
+	TracesStarted uint64 `json:"traces_started,omitempty"`
+	TracesKept    uint64 `json:"traces_kept,omitempty"`
+}
+
+// TelemetryCells runs the three instrumentation modes and returns their
+// measurements. The modes' timed passes are interleaved (mode A pass 1,
+// mode B pass 1, ..., mode A pass 2, ...) and each mode keeps its best
+// pass, so process-level drift — allocator growth, background GC — lands
+// on every mode instead of whichever ran first.
+func TelemetryCells(opts Options) ([]TelemetryCell, error) {
+	opts = opts.withDefaults()
+	txns := opts.scaled(12000)
+	const workers = 8
+	const reps = 3
+
+	keys := workload.NewZipf(opts.Seed, 512, 1.1)
+	keysOf := make([][]string, txns)
+	for i := range keysOf {
+		keysOf[i] = []string{keys.Next(), keys.Next()}
+	}
+	payload := workload.Payload(opts.Seed, opts.Payload)
+
+	modes := []string{"off", "histograms", "histograms+tracing"}
+	runs := make([]*telemetryRun, 0, len(modes))
+	for _, mode := range modes {
+		runs = append(runs, &telemetryRun{mode: mode})
+	}
+
+	// Every pass runs on a FRESH node: without the maintenance pipeline
+	// nothing prunes commit metadata, so a long-lived node's reads slow
+	// down with accumulated versions and the drift would drown the
+	// instrumentation signal. One discarded warm-up pass per mode, then
+	// the interleaved timed passes; each mode keeps its best
+	// (least-interfered) pass.
+	for _, r := range runs {
+		if err := r.pass(keysOf, payload, workers); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range runs {
+		r.bestTPS = 0
+	}
+	for rep := 0; rep < reps; rep++ {
+		for _, r := range runs {
+			if err := r.pass(keysOf, payload, workers); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cells := make([]TelemetryCell, 0, len(runs))
+	for _, r := range runs {
+		cell := TelemetryCell{
+			Mode: r.mode, Txns: txns, Workers: workers,
+			ThroughputTPS: r.bestTPS,
+			P50Ms:         stats.Millis(r.bestSum.Median),
+			P99Ms:         stats.Millis(r.bestSum.P99),
+		}
+		if r.mode != "off" {
+			ch := digestOf(r.bestNode.CommitLatency())
+			rh := digestOf(r.bestNode.ReadLatency())
+			cell.CommitHist, cell.ReadHist = &ch, &rh
+		}
+		if r.bestTracer != nil {
+			cell.TracesStarted, cell.TracesKept, _ = r.bestTracer.Stats()
+		}
+		cells = append(cells, cell)
+	}
+	base := cells[0].ThroughputTPS
+	for i := range cells {
+		if base > 0 {
+			cells[i].RelativeThroughput = cells[i].ThroughputTPS / base
+		}
+	}
+	return cells, nil
+}
+
+// telemetryRun is one instrumentation mode plus its best pass so far.
+type telemetryRun struct {
+	mode       string
+	bestTPS    float64
+	bestSum    stats.Summary
+	bestNode   *core.Node
+	bestTracer *telemetry.Tracer
+}
+
+// pass builds a fresh node for the run's mode over a fresh zero-latency
+// simulated backend, drives one timed pass on it, and keeps the result
+// if it beats the run's best.
+func (r *telemetryRun) pass(keysOf [][]string, payload []byte, workers int) error {
+	cfg := core.Config{
+		NodeID:          "telemetry-" + r.mode,
+		Store:           dynamosim.New(dynamosim.Options{}),
+		EnableDataCache: true,
+	}
+	var tracer *telemetry.Tracer
+	switch r.mode {
+	case "off":
+		cfg.DisableTelemetry = true
+	case "histograms":
+	case "histograms+tracing":
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{
+			Node: cfg.NodeID, SampleEvery: 64,
+		})
+		cfg.Tracer = tracer
+	default:
+		return fmt.Errorf("telemetry: unknown mode %q", r.mode)
+	}
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	tps, sum, err := telemetryPass(node, keysOf, payload, workers)
+	if err != nil {
+		return err
+	}
+	if tps > r.bestTPS {
+		r.bestTPS, r.bestSum = tps, sum
+		r.bestNode, r.bestTracer = node, tracer
+	}
+	return nil
+}
+
+// telemetryPass drives every transaction in keysOf once across workers
+// and returns the pass's throughput and latency summary. Per-commit
+// latency is measured with the same external recorder in every mode, so
+// recorder overhead cancels out of the comparison.
+func telemetryPass(node *core.Node, keysOf [][]string, payload []byte, workers int) (float64, stats.Summary, error) {
+	txns := len(keysOf)
+	rec := stats.NewRecorder()
+	ctx := context.Background()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < txns; i += workers {
+				t0 := time.Now()
+				if err := runTelemetryTxn(ctx, node, keysOf[i], payload); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				rec.Record(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, stats.Summary{}, firstErr
+	}
+	return float64(txns) / elapsed.Seconds(), rec.Summarize(), nil
+}
+
+// runTelemetryTxn is one workload transaction: read two keys (one
+// MultiGet), write both, commit.
+func runTelemetryTxn(ctx context.Context, node *core.Node, keys []string, payload []byte) error {
+	txid, err := node.StartTransaction(ctx)
+	if err != nil {
+		return err
+	}
+	if _, err := node.MultiGet(ctx, txid, keys); err != nil &&
+		!errors.Is(err, core.ErrKeyNotFound) {
+		node.AbortTransaction(ctx, txid)
+		return err
+	}
+	for _, k := range keys {
+		if err := node.Put(ctx, txid, k, payload); err != nil {
+			node.AbortTransaction(ctx, txid)
+			return err
+		}
+	}
+	_, err = node.CommitTransaction(ctx, txid)
+	return err
+}
+
+// TelemetryTable renders the overhead comparison.
+func TelemetryTable(cells []TelemetryCell) (Table, error) {
+	t := Table{
+		Title:  "Telemetry overhead: instrumented vs uninstrumented commit throughput",
+		Header: []string{"mode", "txns", "tps", "p50 (ms)", "p99 (ms)", "vs off", "hist count", "traces kept"},
+		Notes: []string{
+			"zero-latency backend: every instrumentation cycle lands on the measured path (upper-bound overhead)",
+			"histograms: three atomic adds per op; tracing: 1-in-64 self-sampled spans",
+		},
+	}
+	for _, c := range cells {
+		histCount := "-"
+		if c.CommitHist != nil {
+			histCount = fmt.Sprintf("%d", c.CommitHist.Count)
+		}
+		kept := "-"
+		if c.Mode == "histograms+tracing" {
+			kept = fmt.Sprintf("%d/%d", c.TracesKept, c.TracesStarted)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Mode,
+			fmt.Sprintf("%d", c.Txns),
+			fmt.Sprintf("%.0f", c.ThroughputTPS),
+			fmt.Sprintf("%.3f", c.P50Ms),
+			fmt.Sprintf("%.3f", c.P99Ms),
+			fmt.Sprintf("%.3f", c.RelativeThroughput),
+			histCount,
+			kept,
+		})
+	}
+	return t, nil
+}

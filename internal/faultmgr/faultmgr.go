@@ -25,6 +25,7 @@ import (
 	"aft/internal/idgen"
 	"aft/internal/records"
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // Node is the surface the fault manager needs from an AFT node.
@@ -96,6 +97,8 @@ type Manager struct {
 	latest map[string]idgen.ID
 	// scope, when non-nil, shards the manager's node-facing work.
 	scope Scope
+	// tracer, when non-nil, records sweeps as system traces (telemetry.go).
+	tracer *telemetry.Tracer
 
 	metrics Metrics
 }

@@ -1,0 +1,81 @@
+package faultmgr
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"aft/internal/idgen"
+	"aft/internal/telemetry"
+)
+
+// RegisterTelemetry publishes the fault manager's counters — the §4.2
+// recovery and global-GC activity — under aft_faultmgr_*, plus the size
+// of its global commit view.
+func (m *Manager) RegisterTelemetry(reg *telemetry.Registry) {
+	if m == nil {
+		return
+	}
+	mm := &m.metrics
+	reg.Register(func(e *telemetry.Emitter) {
+		s := mm.Snapshot()
+		e.Counter("aft_faultmgr_ingested_total",
+			"Commit records received via unpruned broadcast taps.", uint64(s.Ingested))
+		e.Counter("aft_faultmgr_recovered_total",
+			"Commit records found only by scanning storage.", uint64(s.Recovered))
+		e.Counter("aft_faultmgr_txns_deleted_total",
+			"Transactions whose data the global GC removed.", uint64(s.TxnsDeleted))
+		e.Counter("aft_faultmgr_versions_deleted_total",
+			"Key versions removed from storage by the global GC.", uint64(s.VersionsDeleted))
+		e.Gauge("aft_faultmgr_known_commits",
+			"Committed transactions in the manager's global view.",
+			float64(m.KnownCommits()))
+	})
+}
+
+// SetTracer attaches a tracer: ScanStorage and CollectOnce sweeps become
+// system traces retained under the self-sample/slow policy. Nil (the
+// default) keeps sweeps untraced.
+func (m *Manager) SetTracer(tr *telemetry.Tracer) {
+	m.mu.Lock()
+	m.tracer = tr
+	m.mu.Unlock()
+}
+
+func (m *Manager) traceSweep(name string) *telemetry.Trace {
+	m.mu.Lock()
+	tr := m.tracer
+	m.mu.Unlock()
+	return tr.BeginSystem(name)
+}
+
+// ScanStorageTraced runs ScanStorage under a faultmgr.sweep span.
+func (m *Manager) ScanStorageTraced(ctx context.Context) error {
+	t := m.traceSweep("faultmgr.scan")
+	start := time.Now()
+	err := m.ScanStorage(ctx)
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	t.AddSpan("faultmgr.sweep", start, time.Since(start),
+		map[string]string{"kind": "scan"})
+	t.Finish(status)
+	return err
+}
+
+// CollectOnceTraced runs CollectOnce under a faultmgr.sweep span
+// annotated with how many transactions the pass deleted.
+func (m *Manager) CollectOnceTraced(ctx context.Context, maxDelete int) ([]idgen.ID, error) {
+	t := m.traceSweep("faultmgr.gc")
+	start := time.Now()
+	deleted, err := m.CollectOnce(ctx, maxDelete)
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	t.AddSpan("faultmgr.sweep", start, time.Since(start),
+		map[string]string{"kind": "gc", "deleted": strconv.Itoa(len(deleted))})
+	t.Finish(status)
+	return deleted, err
+}

@@ -64,6 +64,7 @@ type Balancer struct {
 	affinity map[string]Backend
 	placer   Placer
 	placed   int64 // transactions routed by shard affinity
+	metrics  Metrics
 }
 
 // New returns a Balancer over the given backends.
@@ -135,22 +136,26 @@ func (b *Balancer) lookup(txid string) (Backend, error) {
 	defer b.mu.Unlock()
 	be, ok := b.affinity[txid]
 	if !ok {
+		b.metrics.UnknownTxns.Add(1)
 		return nil, ErrUnknownTxn
 	}
 	if be == nil {
 		// Tombstone left by Remove: reclaim it now that the transaction
 		// has seen its node die.
 		delete(b.affinity, txid)
+		b.metrics.BackendsGone.Add(1)
 		return nil, ErrBackendGone
 	}
 	// Confirm it is still registered (Remove tombstones synchronously, but
 	// a caller may hold a Backend from an earlier race window).
 	for _, cur := range b.backends {
 		if cur.ID() == be.ID() {
+			b.metrics.Routed.Add(1)
 			return be, nil
 		}
 	}
 	delete(b.affinity, txid)
+	b.metrics.BackendsGone.Add(1)
 	return nil, ErrBackendGone
 }
 
@@ -210,6 +215,7 @@ func (b *Balancer) StartTransactionHint(ctx context.Context, firstKey string) (s
 	b.mu.Lock()
 	b.affinity[txid] = be
 	b.mu.Unlock()
+	b.metrics.Started.Add(1)
 	return txid, nil
 }
 

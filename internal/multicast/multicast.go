@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"aft/internal/records"
+	"aft/internal/telemetry"
 )
 
 // Peer is the node-side surface the multicast protocol needs. *core.Node
@@ -206,6 +207,8 @@ type Multicaster struct {
 	mu      sync.Mutex
 	stop    chan struct{}
 	stopped sync.WaitGroup
+	// tracer, when set, records each round as a system trace (telemetry.go).
+	tracer *telemetry.Tracer
 }
 
 // NewMulticaster wires peer to bus with the given broadcast period (the
@@ -239,14 +242,14 @@ func (m *Multicaster) Start() {
 			case <-stop:
 				return
 			case <-ticker.C:
-				m.bus.FlushPeer(m.peer, m.prune)
+				m.flushTraced()
 			}
 		}
 	}()
 }
 
 // Flush runs one broadcast round immediately (tests and shutdown paths).
-func (m *Multicaster) Flush() int { return m.bus.FlushPeer(m.peer, m.prune) }
+func (m *Multicaster) Flush() int { return m.flushTraced() }
 
 // Stop halts the loop, runs a final flush, and unregisters the peer.
 func (m *Multicaster) Stop() {

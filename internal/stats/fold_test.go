@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecorderFoldMode drives a Recorder past foldLimit and checks the
+// digest stays faithful: exact count/mean/min/max, percentiles within the
+// histogram's bucket resolution.
+func TestRecorderFoldMode(t *testing.T) {
+	r := NewRecorder()
+	const n = foldLimit + 5000
+	for i := 0; i < n; i++ {
+		// 1ms bulk with a 2% tail at 100ms, so p99 lands in the tail.
+		d := time.Millisecond
+		if i%50 == 0 {
+			d = 100 * time.Millisecond
+		}
+		r.Record(d)
+	}
+	if !r.Folded() {
+		t.Fatalf("recorder did not fold past %d samples", foldLimit)
+	}
+	if r.Count() != n {
+		t.Fatalf("count = %d, want %d", r.Count(), n)
+	}
+	s := r.Summarize()
+	if s.Count != n {
+		t.Fatalf("summary count = %d, want %d", s.Count, n)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median < 900*time.Microsecond || s.Median > 1200*time.Microsecond {
+		t.Fatalf("median = %v, want ~1ms", s.Median)
+	}
+	// The estimate must land within one 8% bucket step of 100ms.
+	if s.P99 < 90*time.Millisecond || s.P99 > 115*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~100ms", s.P99)
+	}
+	if mean := s.Mean; mean < 2800*time.Microsecond || mean > 3200*time.Microsecond {
+		t.Fatalf("mean = %v, want ~3ms", mean)
+	}
+}
+
+// TestRecorderExactModeUnchanged: small runs never fold and keep true
+// percentiles.
+func TestRecorderExactModeUnchanged(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	if r.Folded() {
+		t.Fatal("small run folded")
+	}
+	s := r.Summarize()
+	if s.Median != 500*time.Microsecond {
+		t.Fatalf("median = %v, want 500µs exactly", s.Median)
+	}
+	if s.P99 != 990*time.Microsecond {
+		t.Fatalf("p99 = %v, want 990µs exactly", s.P99)
+	}
+}

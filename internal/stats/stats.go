@@ -10,28 +10,100 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"aft/internal/telemetry"
 )
 
+// foldLimit is the exact-sample ceiling: a Recorder that collects more
+// samples than this folds them into a fixed-bucket histogram and stops
+// growing. Short runs (every test, most benchmarks) stay in exact mode and
+// report true percentiles; long soak runs get bounded memory at the cost
+// of bucket-resolution percentiles (~5% relative error from the log-bucket
+// layout).
+const foldLimit = 1 << 17
+
 // Recorder accumulates latency samples. It is safe for concurrent use.
+// Memory is bounded: past foldLimit samples it switches to histogram mode
+// (see foldLimit).
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	// Histogram mode, active once hist != nil. The exact min/max/sum/count
+	// are still tracked so only the percentiles become approximate.
+	hist     *telemetry.Histogram
+	count    int
+	sum      time.Duration
+	min, max time.Duration
 }
 
 // NewRecorder returns an empty Recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// foldBuckets is the histogram-mode layout: 10µs to 30s at 8% steps
+// (~160 buckets), fine enough that a folded p99 lands within one step of
+// the exact one.
+func foldBuckets() []float64 {
+	return telemetry.LogBuckets(10*time.Microsecond, 30*time.Second, 1.08)
+}
+
 // Record adds one latency sample.
 func (r *Recorder) Record(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
+	if r.hist == nil {
+		r.samples = append(r.samples, d)
+		if len(r.samples) < foldLimit {
+			r.mu.Unlock()
+			return
+		}
+		r.foldLocked()
+		r.mu.Unlock()
+		return
+	}
+	r.count++
+	r.sum += d
+	if d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.hist.Observe(d)
 	r.mu.Unlock()
+}
+
+// foldLocked moves every exact sample into the bounded histogram. Callers
+// hold r.mu.
+func (r *Recorder) foldLocked() {
+	r.hist = telemetry.NewHistogram(foldBuckets())
+	r.min, r.max = r.samples[0], r.samples[0]
+	for _, d := range r.samples {
+		r.hist.Observe(d)
+		r.sum += d
+		if d < r.min {
+			r.min = d
+		}
+		if d > r.max {
+			r.max = d
+		}
+	}
+	r.count = len(r.samples)
+	r.samples = nil
+}
+
+// Folded reports whether the recorder has switched to histogram mode.
+func (r *Recorder) Folded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hist != nil
 }
 
 // Count returns the number of recorded samples.
 func (r *Recorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.hist != nil {
+		return r.count
+	}
 	return len(r.samples)
 }
 
@@ -46,9 +118,26 @@ type Summary struct {
 	Max    time.Duration
 }
 
-// Summarize computes the digest of everything recorded so far.
+// Summarize computes the digest of everything recorded so far. In exact
+// mode the percentiles are true nearest-rank values; in histogram mode
+// (see foldLimit) they come from the bucket layout while count, mean, min
+// and max stay exact.
 func (r *Recorder) Summarize() Summary {
 	r.mu.Lock()
+	if r.hist != nil {
+		h, count, sum, min, max := r.hist, r.count, r.sum, r.min, r.max
+		r.mu.Unlock()
+		snap := h.Snapshot()
+		return Summary{
+			Count:  count,
+			Median: snap.Quantile(0.50),
+			P95:    snap.Quantile(0.95),
+			P99:    snap.Quantile(0.99),
+			Mean:   sum / time.Duration(count),
+			Min:    min,
+			Max:    max,
+		}
+	}
 	s := append([]time.Duration(nil), r.samples...)
 	r.mu.Unlock()
 	return Summarize(s)

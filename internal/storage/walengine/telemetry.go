@@ -1,0 +1,35 @@
+package walengine
+
+import "aft/internal/telemetry"
+
+// RegisterTelemetry publishes the engine's counters: the generic
+// storage.Metrics operation surface (backend="wal") plus the WAL-specific
+// probe — append/fsync volume with the derived coalescing ratio,
+// compaction reclaim, and the crash-recovery evidence (torn tails,
+// replayed records). Everything is read at scrape time from the atomics
+// the durability experiments already consume.
+func (s *Store) RegisterTelemetry(reg *telemetry.Registry) {
+	if s == nil {
+		return
+	}
+	s.metrics.RegisterTelemetry(reg, "wal")
+	wal := &s.wal
+	reg.Register(func(e *telemetry.Emitter) {
+		m := wal.Snapshot()
+		c := func(name, help string, v int64) {
+			e.Counter("aft_wal_"+name, help, uint64(v))
+		}
+		c("appends_total", "Records appended to the log.", m.Appends)
+		c("fsyncs_total", "File.Sync calls on the active segment.", m.Fsyncs)
+		c("segment_rolls_total", "Active-segment seals.", m.SegmentRolls)
+		c("compactions_total", "Completed compaction runs.", m.Compactions)
+		c("compacted_segments_total", "Sealed segments rewritten and removed.", m.CompactedSegments)
+		c("reclaimed_bytes_total", "Bytes freed by compaction.", m.BytesReclaimed)
+		c("torn_records_total", "Torn tail frames truncated on reopen.", m.TornRecords)
+		c("torn_bytes_total", "Bytes truncated from torn tails.", m.TornBytes)
+		c("replayed_records_total", "Records read back during reopen.", m.ReplayedRecords)
+		e.Gauge("aft_wal_appends_per_fsync",
+			"Mean appends covered per fsync (group-commit coalescing).",
+			m.AppendsPerFsync)
+	})
+}

@@ -69,6 +69,7 @@ import (
 	"sync/atomic"
 
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // Record ops.
@@ -786,18 +787,24 @@ func (s *Store) Put(ctx context.Context, key string, value []byte) error {
 		return err
 	}
 	s.metrics.Puts.Add(1)
+	ap := telemetry.StartSpan(ctx, "wal.append")
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		ap.End()
 		return storage.ErrUnavailable
 	}
 	err := s.appendLocked(opPut, key, value)
 	gen := s.gen
 	s.mu.Unlock()
+	ap.End()
 	if err != nil {
 		return err
 	}
-	if err := s.requestSync(gen); err != nil {
+	fw := telemetry.StartSpan(ctx, "wal.fsync_wait")
+	err = s.requestSync(gen)
+	fw.End()
+	if err != nil {
 		return err
 	}
 	s.maybeCompact()
@@ -821,9 +828,12 @@ func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
 	sort.Strings(keys)
 	s.metrics.Batches.Add(1)
 	s.metrics.BatchItems.Add(int64(len(items)))
+	ap := telemetry.StartSpan(ctx, "wal.append")
+	ap.Annotate("items", strconv.Itoa(len(items)))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		ap.End()
 		return storage.ErrUnavailable
 	}
 	var err error
@@ -834,10 +844,14 @@ func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
 	}
 	gen := s.gen
 	s.mu.Unlock()
+	ap.End()
 	if err != nil {
 		return err
 	}
-	if err := s.requestSync(gen); err != nil {
+	fw := telemetry.StartSpan(ctx, "wal.fsync_wait")
+	err = s.requestSync(gen)
+	fw.End()
+	if err != nil {
 		return err
 	}
 	s.maybeCompact()

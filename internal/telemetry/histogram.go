@@ -1,0 +1,226 @@
+// Package telemetry is the repository's observability substrate: a
+// metrics registry with lock-free counters and fixed-bucket latency
+// histograms exposed in Prometheus text format (/metrics), and a
+// per-transaction tracer whose bounded ring buffer of layer-by-layer
+// spans is served as JSON (/traces).
+//
+// The package sits below every subsystem (core, storage, walengine,
+// multicast, faultmgr, lb) and imports none of them; each subsystem keeps
+// its existing atomic counters and registers a collector closure that
+// snapshots them at scrape time, so the hot paths gain no new shared
+// locks — the §6 evaluation's per-layer overhead breakdowns become
+// scrapeable without perturbing what they measure.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout in seconds: roughly
+// exponential from 100µs to 10s, matching the range the paper's latency
+// figures cover (sub-millisecond cache hits through multi-second tail
+// behaviour under faults).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// LogBuckets returns geometrically spaced bucket bounds from min to at
+// least max, growing by the given ratio per bucket. The stats recorder
+// uses a fine-grained layout (ratio ~1.05, <1% quantile error) while the
+// exposition histograms keep the coarse DefBuckets.
+func LogBuckets(min, max time.Duration, ratio float64) []float64 {
+	if ratio <= 1 {
+		ratio = 1.05
+	}
+	lo, hi := min.Seconds(), max.Seconds()
+	if lo <= 0 {
+		lo = 1e-6
+	}
+	var out []float64
+	for b := lo; b < hi*ratio; b *= ratio {
+		out = append(out, b)
+	}
+	return out
+}
+
+// histShards spreads bucket increments across independent cache-line
+// regions so concurrent observers do not serialize on one hot counter
+// word. The shard is picked from the observation's own low nanosecond
+// bits — measured latencies carry enough noise there to spread load, and
+// the pick costs no shared state.
+const histShards = 8
+
+// maxHistBuckets bounds a histogram's memory (shards × buckets × 8B).
+const maxHistBuckets = 512
+
+// histShard is one shard's counters, padded so adjacent shards do not
+// share cache lines.
+type histShard struct {
+	counts []atomic.Uint64 // one per bucket, +1 overflow (+Inf)
+	sum    atomic.Int64    // nanoseconds
+	n      atomic.Uint64
+	_      [64]byte
+}
+
+// Histogram is a concurrency-safe fixed-bucket latency histogram. All
+// operations are lock-free: Observe performs three atomic adds on one
+// shard. The zero-size memory cost is fixed at construction — unlike the
+// sample-append recorder it replaces, sustained load cannot grow it.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, seconds
+	shards [histShards]*histShard
+}
+
+// NewHistogram returns a histogram over the given ascending bucket upper
+// bounds (seconds). Nil or empty bounds select DefBuckets; bounds beyond
+// maxHistBuckets are truncated.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	if len(bounds) > maxHistBuckets {
+		bounds = bounds[:maxHistBuckets]
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	for i := range h.shards {
+		h.shards[i] = &histShard{counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return h
+}
+
+// Observe records one latency sample. Safe on a nil receiver (disabled
+// telemetry records nothing).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s := h.shards[uint64(d)%histShards]
+	s.counts[h.bucketOf(d.Seconds())].Add(1)
+	s.sum.Add(int64(d))
+	s.n.Add(1)
+}
+
+// bucketOf returns the index of the first bucket whose bound >= v, or the
+// overflow bucket. Binary search: the fine-grained recorder layout has
+// hundreds of buckets.
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with
+// cumulative per-bucket counts in Prometheus style.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, seconds; +Inf implied at the end
+	Cumulative []uint64  // len(Bounds)+1: counts <= each bound, then total
+	Count      uint64
+	Sum        time.Duration
+}
+
+// Snapshot merges the shards into cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.bounds)+1),
+	}
+	var sum int64
+	for _, s := range h.shards {
+		for i := range s.counts {
+			snap.Cumulative[i] += s.counts[i].Load()
+		}
+		sum += s.sum.Load()
+		snap.Count += s.n.Load()
+	}
+	var running uint64
+	for i := range snap.Cumulative {
+		running += snap.Cumulative[i]
+		snap.Cumulative[i] = running
+	}
+	snap.Sum = time.Duration(sum)
+	return snap
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for _, s := range h.shards {
+		n += s.n.Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the owning bucket. The overflow bucket reports its
+// lower bound (the largest finite bound). Returns 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Cumulative) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	idx := 0
+	for idx < len(s.Cumulative) && s.Cumulative[idx] < rank {
+		idx++
+	}
+	if idx >= len(s.Bounds) {
+		// Overflow bucket: no finite upper bound; report the largest one.
+		if len(s.Bounds) == 0 {
+			return 0
+		}
+		return secsToDur(s.Bounds[len(s.Bounds)-1])
+	}
+	hi := s.Bounds[idx]
+	lo := 0.0
+	var below uint64
+	if idx > 0 {
+		lo = s.Bounds[idx-1]
+		below = s.Cumulative[idx-1]
+	}
+	in := s.Cumulative[idx] - below
+	if in == 0 {
+		return secsToDur(hi)
+	}
+	frac := float64(rank-below) / float64(in)
+	return secsToDur(lo + (hi-lo)*frac)
+}
+
+// Mean returns the mean observed latency (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+func secsToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// StatzRuntime is the Go-runtime section of the /statz payload.
+type StatzRuntime struct {
+	Goroutines   int    `json:"goroutines"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	HeapAlloc    uint64 `json:"heap_alloc"`
+	HeapObjects  uint64 `json:"heap_objects"`
+	TotalAlloc   uint64 `json:"total_alloc"`
+	GCCycles     uint32 `json:"gc_cycles"`
+	GCPauseTotal string `json:"gc_pause_total"`
+}
+
+// StatzPayload is the stable /statz schema: the same registry snapshot the
+// Prometheus endpoint exposes, as JSON, plus runtime context for profiles.
+//
+//   - node: the serving node's identifier.
+//   - uptime_seconds: seconds since the handler was installed.
+//   - families: every registered metric family, sorted by name. Each
+//     family carries name, help, type ("counter" | "gauge" | "histogram")
+//     and its samples; counter/gauge samples are {labels, value}, histogram
+//     samples are digests {labels, count, sum_seconds, p50_seconds,
+//     p99_seconds}.
+//   - runtime: Go runtime memory/scheduler stats.
+//
+// Fields are only ever added, never renamed or removed — tooling may rely
+// on this shape.
+type StatzPayload struct {
+	Node          string       `json:"node,omitempty"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Families      []*Family    `json:"families"`
+	Runtime       StatzRuntime `json:"runtime"`
+}
+
+// StatzHandler serves the registry as the documented JSON schema above,
+// with Content-Type application/json. It reads the same collector
+// snapshots as the /metrics exposition, so the two endpoints can never
+// disagree about a counter's value source.
+func (r *Registry) StatzHandler(node string) http.Handler {
+	start := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		payload := StatzPayload{
+			Node:          node,
+			UptimeSeconds: time.Since(start).Seconds(),
+			Families:      r.Gather(),
+			Runtime: StatzRuntime{
+				Goroutines:   runtime.NumGoroutine(),
+				GOMAXPROCS:   runtime.GOMAXPROCS(0),
+				NumCPU:       runtime.NumCPU(),
+				HeapAlloc:    mem.HeapAlloc,
+				HeapObjects:  mem.HeapObjects,
+				TotalAlloc:   mem.TotalAlloc,
+				GCCycles:     mem.NumGC,
+				GCPauseTotal: time.Duration(mem.PauseTotalNs).String(),
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

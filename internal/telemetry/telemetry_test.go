@@ -1,0 +1,337 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(3 * time.Second)
+	snap := h.Snapshot()
+	if snap.Count != 1001 {
+		t.Fatalf("count = %d, want 1001", snap.Count)
+	}
+	if p50 := snap.Quantile(0.5); p50 > 2*time.Millisecond || p50 <= 0 {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	if pMax := snap.Quantile(1.0); pMax < time.Second {
+		t.Fatalf("p100 = %v, want >= 1s (outlier bucket)", pMax)
+	}
+	wantSum := 1000*time.Millisecond + 3*time.Second
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 {
+		t.Fatal("nil histogram should count 0")
+	}
+	if snap := h.Snapshot(); snap.Quantile(0.99) != 0 {
+		t.Fatal("nil snapshot quantile should be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(seed*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	snap := h.Snapshot()
+	if snap.Cumulative[len(snap.Cumulative)-1] != workers*per {
+		t.Fatalf("cumulative total = %d, want %d",
+			snap.Cumulative[len(snap.Cumulative)-1], workers*per)
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(100*time.Microsecond, 10*time.Second, 1.05)
+	if len(b) == 0 || len(b) > maxHistBuckets {
+		t.Fatalf("bucket count %d out of range", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+	if b[len(b)-1] < 10.0 {
+		t.Fatalf("last bucket %v does not cover max", b[len(b)-1])
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("aft_test_ops_total", "Test ops.", "node", "n1")
+	c.Add(7)
+	g := reg.NewGauge("aft_test_active", "Active things.", "node", "n1")
+	g.Set(3)
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	reg.RegisterHistogram("aft_test_latency_seconds", "Test latency.", h, "node", "n1")
+	reg.Register(func(e *Emitter) {
+		e.Counter("aft_other_total", "Other counter.", 1, "backend", `with"quote`)
+	})
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var b strings.Builder
+	reg.Expose(&b)
+	body := b.String()
+
+	for _, want := range []string{
+		"# TYPE aft_test_ops_total counter",
+		`aft_test_ops_total{node="n1"} 7`,
+		`aft_test_active{node="n1"} 3`,
+		"# TYPE aft_test_latency_seconds histogram",
+		`aft_test_latency_seconds_bucket{node="n1",le="0.001"} 1`,
+		`aft_test_latency_seconds_bucket{node="n1",le="0.01"} 2`,
+		`aft_test_latency_seconds_bucket{node="n1",le="+Inf"} 3`,
+		`aft_test_latency_seconds_count{node="n1"} 3`,
+		`aft_other_total{backend="with\"quote"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, body)
+		}
+	}
+	// Basic format sanity: every non-comment line is "name{...} value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var reg *Registry
+	c := reg.NewCounter("x", "")
+	c.Inc() // nil counter no-op
+	reg.Register(func(*Emitter) {})
+	reg.RegisterHistogram("y", "", NewHistogram(nil))
+	if got := reg.Gather(); got != nil {
+		t.Fatalf("nil registry gather = %v", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("aft_conc_total", "")
+	h := NewHistogram(nil)
+	reg.RegisterHistogram("aft_conc_seconds", "", h)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				reg.Expose(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Load())
+	}
+}
+
+func TestTracerRetention(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1", Capacity: 4, SlowThreshold: -1, SampleEvery: -1})
+	// Unsampled, fast, no self-sampling: dropped.
+	t1 := tr.Begin("tx-drop", TraceContext{})
+	t1.Finish("committed")
+	// Client-sampled: kept.
+	t2 := tr.Begin("tx-keep", TraceContext{ID: "client-1", Sampled: true})
+	sp := t2.StartSpan("node.commit")
+	sp.Annotate("keys", "2")
+	sp.End()
+	t2.AddSpan("gc.flush", time.Now(), time.Millisecond, nil)
+	t2.Finish("committed")
+
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.TraceID != "client-1" || r.TxID != "tx-keep" || r.Kept != "client" {
+		t.Fatalf("unexpected record %+v", r)
+	}
+	if len(r.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(r.Spans))
+	}
+	if _, kept, dropped := tr.Stats(); kept != 1 || dropped != 1 {
+		t.Fatalf("kept=%d dropped=%d, want 1/1", kept, dropped)
+	}
+}
+
+func TestTracerSlowPolicy(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1", SlowThreshold: time.Nanosecond, SampleEvery: -1})
+	tc := tr.Begin("tx-slow", TraceContext{})
+	time.Sleep(time.Millisecond)
+	tc.Finish("committed")
+	recs := tr.Snapshot()
+	if len(recs) != 1 || recs[0].Kept != "slow" {
+		t.Fatalf("slow trace not retained: %+v", recs)
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1", Capacity: 8, SlowThreshold: -1, SampleEvery: -1})
+	for i := 0; i < 100; i++ {
+		tc := tr.Begin("tx", TraceContext{Sampled: true})
+		tc.Finish("committed")
+	}
+	if got := len(tr.Snapshot()); got != 8 {
+		t.Fatalf("ring holds %d, want 8", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Begin("tx", TraceContext{Sampled: true})
+	sp := tc.StartSpan("anything")
+	sp.Annotate("k", "v")
+	sp.End()
+	tc.AddSpan("x", time.Now(), 0, nil)
+	tc.Finish("committed")
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot should be nil")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1", Capacity: 32, SampleEvery: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tc := tr.Begin("tx", TraceContext{Sampled: i%3 == 0})
+				sp := tc.StartSpan("op")
+				sp.End()
+				tc.Finish("committed")
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	started, kept, dropped := tr.Stats()
+	if started != 1600 || kept+dropped != started {
+		t.Fatalf("started=%d kept=%d dropped=%d", started, kept, dropped)
+	}
+}
+
+func TestTracesHandlerJSON(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1", SampleEvery: -1, SlowThreshold: -1})
+	tc := tr.Begin("tx-1", TraceContext{ID: "t-1", Sampled: true})
+	tc.StartSpan("node.commit").End()
+	tc.Finish("committed")
+
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var payload struct {
+		Node   string        `json:"node"`
+		Count  int           `json:"count"`
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("decode /traces: %v", err)
+	}
+	if payload.Count != 1 || payload.Node != "n1" || len(payload.Traces) != 1 {
+		t.Fatalf("payload = %+v", payload)
+	}
+	if payload.Traces[0].Spans[0].Name != "node.commit" {
+		t.Fatalf("span = %+v", payload.Traces[0].Spans[0])
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1"})
+	trace := tr.Begin("tx", TraceContext{Sampled: true})
+	ctx := WithTrace(context.Background(), trace)
+	if TraceFrom(ctx) != trace {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	sp := StartSpan(ctx, "layer.op")
+	sp.End()
+
+	tc := TraceContext{ID: "abc", Sampled: true}
+	ctx2 := WithTraceContext(context.Background(), tc)
+	if got := TraceContextFrom(ctx2); got != tc {
+		t.Fatalf("TraceContextFrom = %+v", got)
+	}
+	if got := TraceContextFrom(context.Background()); got != (TraceContext{}) {
+		t.Fatalf("empty ctx should yield zero TraceContext, got %+v", got)
+	}
+}
+
+func TestMintTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintTraceID("c")
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,416 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the portable identity of a trace: the ID minted by the
+// originating client and whether that client asked for the trace to be
+// retained. It is the only trace state that crosses the wire.
+type TraceContext struct {
+	ID      string
+	Sampled bool
+}
+
+// traceEpoch disambiguates locally minted IDs across process restarts.
+var traceEpoch = time.Now().UnixNano()
+
+var traceSeq atomic.Uint64
+
+// MintTraceID returns a new process-unique trace ID with the given
+// prefix (typically a client or node name). IDs are cheap — an atomic
+// increment — and deliberately avoid crypto randomness so traced runs
+// stay deterministic apart from the epoch stamp.
+func MintTraceID(prefix string) string {
+	n := traceSeq.Add(1)
+	return prefix + "-" + strconv.FormatInt(traceEpoch%0xfffff, 36) + "-" + strconv.FormatUint(n, 36)
+}
+
+// SpanRecord is one completed span within a trace, offsets relative to
+// the trace start so a reader can lay spans on a single timeline.
+type SpanRecord struct {
+	Name        string            `json:"name"`
+	StartMicros int64             `json:"start_us"`
+	Micros      int64             `json:"duration_us"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one finished trace as served by /traces.
+type TraceRecord struct {
+	TraceID string       `json:"trace_id"`
+	TxID    string       `json:"tx_id,omitempty"`
+	Node    string       `json:"node"`
+	Start   time.Time    `json:"start"`
+	Micros  int64        `json:"duration_us"`
+	Status  string       `json:"status"`
+	Kept    string       `json:"kept"` // client | self | slow
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// Trace accumulates spans for one transaction (or one system activity).
+// A nil *Trace is fully inert: every method is safe and free, so
+// untraced transactions pay only nil checks.
+type Trace struct {
+	tracer  *Tracer
+	id      string
+	txID    string
+	begin   time.Time
+	sampled bool // retain regardless of duration
+
+	mu       sync.Mutex
+	spans    []SpanRecord
+	finished bool
+}
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// ActiveSpan is an open span; End closes it. Nil-safe.
+type ActiveSpan struct {
+	t     *Trace
+	name  string
+	start time.Time
+	attrs map[string]string
+}
+
+// StartSpan opens a span named name. Attrs may be added before End.
+func (t *Trace) StartSpan(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, name: name, start: time.Now()}
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *ActiveSpan) Annotate(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 2)
+	}
+	s.attrs[k] = v
+}
+
+// End closes the span and records it into the trace.
+func (s *ActiveSpan) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.AddSpan(s.name, s.start, time.Since(s.start), s.attrs)
+}
+
+// AddSpan records a completed span directly — used where the duration
+// was measured elsewhere (e.g. a group-commit flush attributing its
+// storage write back to each member transaction). Nil-safe.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:        name,
+		StartMicros: start.Sub(t.begin).Microseconds(),
+		Micros:      d.Microseconds(),
+		Attrs:       attrs,
+	}
+	t.mu.Lock()
+	if !t.finished && len(t.spans) < maxSpansPerTrace {
+		t.spans = append(t.spans, rec)
+	}
+	t.mu.Unlock()
+}
+
+// maxSpansPerTrace bounds a single trace's memory (a retrying txn could
+// otherwise accumulate spans without limit).
+const maxSpansPerTrace = 256
+
+// Finish completes the trace with a status ("committed", "aborted",
+// an error string, ...). The tracer retains it if the client sampled it,
+// the tracer self-sampled it, or it ran longer than the slow threshold.
+// Nil-safe and idempotent.
+func (t *Trace) Finish(status string) {
+	if t == nil || t.tracer == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	spans := t.spans
+	t.mu.Unlock()
+
+	dur := time.Since(t.begin)
+	kept := ""
+	switch {
+	case t.sampled:
+		kept = "client"
+	case t.tracer.selfSampled(t.id):
+		kept = "self"
+	case t.tracer.slow > 0 && dur >= t.tracer.slow:
+		kept = "slow"
+	default:
+		t.tracer.dropped.Add(1)
+		return
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].StartMicros < spans[j].StartMicros })
+	t.tracer.keep(TraceRecord{
+		TraceID: t.id,
+		TxID:    t.txID,
+		Node:    t.tracer.node,
+		Start:   t.begin,
+		Micros:  dur.Microseconds(),
+		Status:  status,
+		Kept:    kept,
+		Spans:   spans,
+	})
+}
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Node names the owning process in retained traces.
+	Node string
+	// Capacity bounds the ring buffer (default 256).
+	Capacity int
+	// SlowThreshold keeps any trace at least this long even when
+	// unsampled (always-sample-slow). Default 250ms; <0 disables.
+	SlowThreshold time.Duration
+	// SampleEvery self-samples one of every N traces so /traces has
+	// content without client cooperation. Default 64; <0 disables.
+	SampleEvery int
+}
+
+// Tracer mints and retains traces in a bounded ring buffer. A nil
+// *Tracer disables tracing: Begin returns a nil *Trace and every span
+// call on it is free.
+type Tracer struct {
+	node string
+	cap  int
+	slow time.Duration
+	step uint64
+
+	seq     atomic.Uint64
+	started atomic.Uint64
+	kept    atomic.Uint64
+	dropped atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	n    int
+}
+
+// NewTracer builds a tracer; see TracerOptions for defaults.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 256
+	}
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = 250 * time.Millisecond
+	}
+	if opts.SlowThreshold < 0 {
+		opts.SlowThreshold = 0
+	}
+	if opts.SampleEvery == 0 {
+		opts.SampleEvery = 64
+	}
+	step := uint64(0)
+	if opts.SampleEvery > 0 {
+		step = uint64(opts.SampleEvery)
+	}
+	return &Tracer{
+		node: opts.Node,
+		cap:  opts.Capacity,
+		slow: opts.SlowThreshold,
+		step: step,
+		ring: make([]TraceRecord, opts.Capacity),
+	}
+}
+
+// Begin opens a trace for txID. tc carries the client's trace context;
+// a zero tc means the server mints an ID itself. Returns nil on a nil
+// tracer.
+func (tr *Tracer) Begin(txID string, tc TraceContext) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.started.Add(1)
+	id := tc.ID
+	if id == "" {
+		id = MintTraceID(tr.node)
+	}
+	tr.seq.Add(1)
+	return &Trace{
+		tracer:  tr,
+		id:      id,
+		txID:    txID,
+		begin:   time.Now(),
+		sampled: tc.Sampled,
+	}
+}
+
+// BeginSystem opens a trace for background activity (multicast rounds,
+// fault-manager sweeps) that has no transaction. Retention follows the
+// same self-sample/slow policy as transactions.
+func (tr *Tracer) BeginSystem(name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := tr.Begin("", TraceContext{})
+	t.txID = name
+	return t
+}
+
+// selfSampled keeps 1-in-step traces deterministically off the sequence
+// counter. The trace's own ID is unused so client-minted and
+// server-minted traces sample at the same rate.
+func (tr *Tracer) selfSampled(string) bool {
+	if tr.step == 0 {
+		return false
+	}
+	return tr.seq.Load()%tr.step == 0
+}
+
+func (tr *Tracer) keep(rec TraceRecord) {
+	tr.kept.Add(1)
+	tr.mu.Lock()
+	tr.ring[tr.next] = rec
+	tr.next = (tr.next + 1) % tr.cap
+	if tr.n < tr.cap {
+		tr.n++
+	}
+	tr.mu.Unlock()
+}
+
+// Snapshot returns retained traces, newest first.
+func (tr *Tracer) Snapshot() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceRecord, 0, tr.n)
+	for i := 0; i < tr.n; i++ {
+		idx := (tr.next - 1 - i + tr.cap*2) % tr.cap
+		out = append(out, tr.ring[idx])
+	}
+	return out
+}
+
+// Stats reports tracer volume counters.
+func (tr *Tracer) Stats() (started, kept, dropped uint64) {
+	if tr == nil {
+		return 0, 0, 0
+	}
+	return tr.started.Load(), tr.kept.Load(), tr.dropped.Load()
+}
+
+// RegisterTelemetry publishes the tracer's own volume counters.
+func (tr *Tracer) RegisterTelemetry(reg *Registry) {
+	if tr == nil || reg == nil {
+		return
+	}
+	reg.Register(func(e *Emitter) {
+		started, kept, dropped := tr.Stats()
+		e.Counter("aft_traces_started_total", "Traces opened (one per transaction when tracing is enabled).", started, "node", tr.node)
+		e.Counter("aft_traces_kept_total", "Traces retained into the ring buffer.", kept, "node", tr.node)
+		e.Counter("aft_traces_dropped_total", "Finished traces discarded by sampling policy.", dropped, "node", tr.node)
+	})
+}
+
+// tracesPayload is the stable JSON schema served at /traces.
+type tracesPayload struct {
+	Node    string        `json:"node"`
+	Count   int           `json:"count"`
+	Started uint64        `json:"started"`
+	Kept    uint64        `json:"kept"`
+	Dropped uint64        `json:"dropped"`
+	Traces  []TraceRecord `json:"traces"`
+}
+
+// Handler serves retained traces as JSON at /traces. Query param
+// ?limit=N bounds the result (default: everything retained).
+func (tr *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recs := tr.Snapshot()
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(recs) {
+				recs = recs[:n]
+			}
+		}
+		started, kept, dropped := tr.Stats()
+		node := ""
+		if tr != nil {
+			node = tr.node
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tracesPayload{
+			Node:    node,
+			Count:   len(recs),
+			Started: started,
+			Kept:    kept,
+			Dropped: dropped,
+			Traces:  recs,
+		})
+	})
+}
+
+// ---- context plumbing ----
+
+type ctxKey int
+
+const (
+	ctxKeyTraceCtx ctxKey = iota
+	ctxKeyTrace
+)
+
+// WithTraceContext attaches an inbound wire-level trace context (the
+// portable ID + sampled flag) to ctx.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	if tc.ID == "" && !tc.Sampled {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTraceCtx, tc)
+}
+
+// TraceContextFrom extracts the wire-level trace context, if any.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(ctxKeyTraceCtx).(TraceContext)
+	return tc
+}
+
+// WithTrace attaches an active server-side trace to ctx so lower layers
+// (storage, WAL) can record spans without new parameters.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTrace, t)
+}
+
+// TraceFrom extracts the active trace (nil when untraced).
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKeyTrace).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the trace in ctx; returns nil (inert) when
+// untraced.
+func StartSpan(ctx context.Context, name string) *ActiveSpan {
+	return TraceFrom(ctx).StartSpan(name)
+}

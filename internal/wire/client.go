@@ -9,6 +9,7 @@ import (
 	"context"
 
 	"aft/internal/idgen"
+	"aft/internal/telemetry"
 )
 
 // Client is a connection pool speaking the AFT wire protocol to one node.
@@ -17,6 +18,10 @@ import (
 type Client struct {
 	addr string
 	id   string
+	// version is the negotiated protocol version: min(ours, server's).
+	// Immutable after Dial. 0 means a legacy server — trace-context
+	// fields are withheld, everything else is unchanged.
+	version uint8
 
 	mu    sync.Mutex
 	idle  []*clientConn
@@ -43,15 +48,22 @@ func Dial(addr string, maxConns int) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(cc, &Request{Op: OpPing})
+	resp, err := c.roundTrip(cc, &Request{Op: OpPing, Version: ProtocolVersion})
 	if err != nil {
 		cc.conn.Close()
 		return nil, err
 	}
 	c.id = string(resp.Value)
+	c.version = resp.Version
+	if c.version > ProtocolVersion {
+		c.version = ProtocolVersion
+	}
 	c.put(cc)
 	return c, nil
 }
+
+// Version returns the negotiated protocol version (0 = legacy server).
+func (c *Client) Version() uint8 { return c.version }
 
 func (c *Client) newConn() (*clientConn, error) {
 	conn, err := net.Dial("tcp", c.addr)
@@ -121,9 +133,17 @@ func (c *Client) call(req *Request) (*Response, error) {
 // ID returns the remote node's identifier (lb.Backend).
 func (c *Client) ID() string { return c.id }
 
-// StartTransaction implements lb.Backend over the wire.
+// StartTransaction implements lb.Backend over the wire. A trace context
+// in ctx (telemetry.WithTraceContext, or aft.Traced at the API surface)
+// rides along when the handshake negotiated a trace-aware server.
 func (c *Client) StartTransaction(ctx context.Context) (string, error) {
-	resp, err := c.call(&Request{Op: OpStart})
+	req := &Request{Op: OpStart}
+	if c.version >= 1 {
+		if tc := telemetry.TraceContextFrom(ctx); tc.ID != "" || tc.Sampled {
+			req.TraceID, req.TraceSampled = tc.ID, tc.Sampled
+		}
+	}
+	resp, err := c.call(req)
 	if err != nil {
 		return "", err
 	}

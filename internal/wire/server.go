@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"aft/internal/core"
+	"aft/internal/telemetry"
 )
 
 // Server exposes an AFT node over TCP. Each accepted connection handles
@@ -109,6 +110,12 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 	var err error
 	switch req.Op {
 	case OpStart:
+		if req.TraceID != "" || req.TraceSampled {
+			ctx = telemetry.WithTraceContext(ctx, telemetry.TraceContext{
+				ID:      req.TraceID,
+				Sampled: req.TraceSampled,
+			})
+		}
 		resp.TxID, err = s.node.StartTransaction(ctx)
 	case OpGet:
 		resp.Value, err = s.node.Get(ctx, req.TxID, req.Key)
@@ -125,8 +132,9 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		err = s.node.ResumeTransaction(ctx, req.TxID)
 	case OpPing:
 		resp.Value = []byte(s.node.ID())
+		resp.Version = ProtocolVersion
 	default:
-		err = &RemoteError{Message: "unknown op"}
+		err = &UnknownOpError{Op: req.Op}
 	}
 	resp.Code, resp.Message = EncodeErr(err)
 	return resp

@@ -10,11 +10,21 @@ package wire
 
 import (
 	"errors"
+	"fmt"
+	"strconv"
 
 	"aft/internal/core"
 	"aft/internal/idgen"
 	"aft/internal/storage"
 )
+
+// ProtocolVersion is this build's wire protocol version, exchanged on
+// the Ping handshake. Version 1 adds the trace-context request fields
+// and typed unknown-op errors; version 0 is the pre-handshake protocol
+// (a v0 peer leaves the version fields gob-zeroed, which is exactly the
+// legacy behaviour — gob ignores unknown struct fields, so the trace
+// fields are negotiated rather than assumed but the codec never breaks).
+const ProtocolVersion uint8 = 1
 
 // Op identifies a request type.
 type Op uint8
@@ -41,6 +51,14 @@ type Request struct {
 	Value []byte
 	// Keys carries an OpMultiGet's key batch (Key is unused for that op).
 	Keys []string
+	// TraceID/TraceSampled carry the client's trace context on OpStart
+	// (appended after the existing fields so the pre-existing layout
+	// stays stable; v0 peers simply never set them). Sent only after the
+	// handshake negotiated protocol version >= 1.
+	TraceID      string
+	TraceSampled bool
+	// Version is the sender's protocol version, meaningful on OpPing.
+	Version uint8
 }
 
 // ErrCode classifies errors across the wire.
@@ -58,6 +76,10 @@ const (
 	// ErrCodeVersionVanished is appended after ErrCodeOther so the
 	// pre-existing code values stay stable across versions.
 	ErrCodeVersionVanished
+	// ErrCodeUnknownOp reports a request op this server does not
+	// implement, carrying the offending op code (appended last; older
+	// servers report the same condition as ErrCodeOther).
+	ErrCodeUnknownOp
 )
 
 // Response is one server->client message.
@@ -69,13 +91,32 @@ type Response struct {
 	Message  string
 	// Values carries an OpMultiGet's results, aligned with Request.Keys.
 	Values [][]byte
+	// Version is the server's protocol version, set on the OpPing reply;
+	// the client speaks min(its own, this). A v0 server leaves it 0.
+	Version uint8
+}
+
+// UnknownOpError reports a request op the server does not implement —
+// typically a newer client speaking to an older server. The offending op
+// code survives the wire round trip so callers can tell WHICH op to stop
+// sending instead of parsing a message string.
+type UnknownOpError struct{ Op Op }
+
+// Error implements the error interface.
+func (e *UnknownOpError) Error() string {
+	return fmt.Sprintf("aft: unknown wire op %d", e.Op)
 }
 
 // EncodeErr converts an error into a wire code + message.
 func EncodeErr(err error) (ErrCode, string) {
+	var unknownOp *UnknownOpError
 	switch {
 	case err == nil:
 		return ErrNone, ""
+	case errors.As(err, &unknownOp):
+		// The message carries just the op code so DecodeErr can rebuild
+		// the typed error.
+		return ErrCodeUnknownOp, strconv.Itoa(int(unknownOp.Op))
 	case errors.Is(err, core.ErrTxnNotFound):
 		return ErrCodeTxnNotFound, err.Error()
 	case errors.Is(err, core.ErrTxnFinished):
@@ -110,6 +151,12 @@ func DecodeErr(code ErrCode, msg string) error {
 		return storage.ErrUnavailable
 	case ErrCodeVersionVanished:
 		return core.ErrVersionVanished
+	case ErrCodeUnknownOp:
+		op, err := strconv.Atoi(msg)
+		if err != nil {
+			return &RemoteError{Message: "unknown op " + msg}
+		}
+		return &UnknownOpError{Op: Op(op)}
 	default:
 		return &RemoteError{Message: msg}
 	}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+
+	"aft/internal/core"
+	"aft/internal/lb"
+	"aft/internal/storage/dynamosim"
+	"aft/internal/telemetry"
+)
+
+func startTracedServer(t *testing.T) (string, *telemetry.Tracer) {
+	t.Helper()
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		Node: "srv-t", SampleEvery: -1, SlowThreshold: -1,
+	})
+	store := dynamosim.New(dynamosim.Options{})
+	node, err := core.NewNode(core.Config{NodeID: "srv-t", Store: store, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(node)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), tracer
+}
+
+// TestTraceContextSurvivesWire proves a client-minted trace ID rides
+// client → lb → node: the server's tracer retains the transaction under
+// the CLIENT's ID, with layer spans recorded node-side.
+func TestTraceContextSurvivesWire(t *testing.T) {
+	addr, tracer := startTracedServer(t)
+	client, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Version() != ProtocolVersion {
+		t.Fatalf("negotiated version = %d, want %d", client.Version(), ProtocolVersion)
+	}
+	bal := lb.New(client)
+
+	ctx := telemetry.WithTraceContext(context.Background(),
+		telemetry.TraceContext{ID: "client-trace-7", Sampled: true})
+	txid, err := bal.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bal.Put(ctx, txid, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bal.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := tracer.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.TraceID != "client-trace-7" || r.TxID != txid || r.Kept != "client" {
+		t.Fatalf("trace record = %+v", r)
+	}
+	var sawCommit bool
+	for _, sp := range r.Spans {
+		if sp.Name == "node.commit" {
+			sawCommit = true
+		}
+	}
+	if !sawCommit {
+		t.Fatalf("no node.commit span in %+v", r.Spans)
+	}
+}
+
+// TestUntracedClientStillWorks: a connection that never sets trace fields
+// (the legacy request shape) is served normally and retains nothing.
+func TestUntracedClientStillWorks(t *testing.T) {
+	addr, tracer := startTracedServer(t)
+	client, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	txid, err := client.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+	if recs := tracer.Snapshot(); len(recs) != 0 {
+		t.Fatalf("untraced txn retained: %+v", recs)
+	}
+}
+
+// legacyRequest is the protocol-v0 request layout, without the trace or
+// version fields. Encoding it against a current server proves gob's
+// struct evolution: unknown fields on the decoder side are zeroed, so an
+// old client speaks to a new server unchanged.
+type legacyRequest struct {
+	Op    Op
+	TxID  string
+	Key   string
+	Value []byte
+	Keys  []string
+}
+
+func TestOldClientCompat(t *testing.T) {
+	addr, tracer := startTracedServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	call := func(req *legacyRequest) *Response {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return &resp
+	}
+
+	// v0 ping: no Version field sent; the reply's Version advertises the
+	// server's, which a v0 client simply ignores.
+	ping := call(&legacyRequest{Op: OpPing})
+	if string(ping.Value) != "srv-t" {
+		t.Fatalf("ping = %q", ping.Value)
+	}
+	if ping.Version != ProtocolVersion {
+		t.Fatalf("server version = %d", ping.Version)
+	}
+
+	start := call(&legacyRequest{Op: OpStart})
+	if start.Code != ErrNone || start.TxID == "" {
+		t.Fatalf("start = %+v", start)
+	}
+	put := call(&legacyRequest{Op: OpPut, TxID: start.TxID, Key: "k", Value: []byte("v")})
+	if put.Code != ErrNone {
+		t.Fatalf("put = %+v", put)
+	}
+	commit := call(&legacyRequest{Op: OpCommit, TxID: start.TxID})
+	if commit.Code != ErrNone || commit.CommitTS == 0 {
+		t.Fatalf("commit = %+v", commit)
+	}
+	if recs := tracer.Snapshot(); len(recs) != 0 {
+		t.Fatalf("legacy client's txn was retained: %+v", recs)
+	}
+}
+
+func TestUnknownOpTypedError(t *testing.T) {
+	addr, _ := startTracedServer(t)
+	client, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	resp, err := client.call(&Request{Op: Op(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr := DecodeErr(resp.Code, resp.Message)
+	var unknown *UnknownOpError
+	if !errors.As(derr, &unknown) {
+		t.Fatalf("decoded error = %v (%T), want UnknownOpError", derr, derr)
+	}
+	if unknown.Op != 99 {
+		t.Fatalf("offending op = %d, want 99", unknown.Op)
+	}
+	if unknown.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestUnknownOpEncodeDecodeRoundTrip(t *testing.T) {
+	code, msg := EncodeErr(&UnknownOpError{Op: 42})
+	if code != ErrCodeUnknownOp {
+		t.Fatalf("code = %v", code)
+	}
+	var unknown *UnknownOpError
+	if err := DecodeErr(code, msg); !errors.As(err, &unknown) || unknown.Op != 42 {
+		t.Fatalf("round trip = %v", err)
+	}
+	// A malformed message (old peer, hand-rolled client) degrades to a
+	// RemoteError rather than failing decode.
+	var re *RemoteError
+	if err := DecodeErr(ErrCodeUnknownOp, "not-a-number"); !errors.As(err, &re) {
+		t.Fatalf("malformed unknown-op message = %v", err)
+	}
+}

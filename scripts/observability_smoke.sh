@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# observability_smoke.sh boots a real aft-server on the durable WAL
+# backend with its debug listener, drives traced transactions through
+# aft-client over the wire protocol, and then asserts the observability
+# surface end to end:
+#
+#   * /metrics parses as Prometheus text exposition and contains every
+#     expected aft_* family (node, latency histograms, storage, WAL,
+#     multicast, fault manager, load balancer, tracer);
+#   * /traces returns JSON containing the client's own trace ID with a
+#     multi-layer span tree;
+#   * /statz returns application/json with the documented schema fields.
+#
+# Run from the repository root: ./scripts/observability_smoke.sh
+set -eu
+
+SERVER_ADDR=127.0.0.1:7979
+DEBUG_ADDR=127.0.0.1:7981
+
+workdir=$(mktemp -d)
+cleanup() {
+    [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/aft-server" ./cmd/aft-server
+go build -o "$workdir/aft-client" ./cmd/aft-client
+
+"$workdir/aft-server" -addr "$SERVER_ADDR" -store wal -store-dir "$workdir/wal" \
+    -debug-addr "$DEBUG_ADDR" -multicast-period 100ms -gc-period 300ms -trace-sample 1 \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$DEBUG_ADDR/statz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: server exited early"; cat "$workdir/server.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: debug endpoint never came up"; cat "$workdir/server.log"; exit 1; }
+
+# Drive traced transactions: two commits (writes then a read-back).
+printf 'begin\nput alpha one\nput beta two\ncommit\nbegin\nget alpha\nput alpha three\ncommit\nquit\n' |
+    "$workdir/aft-client" -addr "$SERVER_ADDR" -trace >"$workdir/client.log" 2>&1
+grep -q 'committed ' "$workdir/client.log" || { echo "FAIL: no commit confirmed"; cat "$workdir/client.log"; exit 1; }
+trace_id=$(grep -o 'trace [^ ]*' "$workdir/client.log" | head -1 | cut -d' ' -f2)
+[ -n "$trace_id" ] || { echo "FAIL: client printed no trace ID"; cat "$workdir/client.log"; exit 1; }
+
+# Let a multicast round and a fault-manager sweep land in the counters.
+sleep 1
+
+metrics=$(curl -fsS "http://$DEBUG_ADDR/metrics")
+
+# Malformed-exposition check: every non-comment line must be
+# `name{labels} value`.
+bad=$(printf '%s\n' "$metrics" | grep -v '^#' | grep -v '^$' |
+    grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+]?([0-9.]+([eE][-+]?[0-9]+)?|Inf|NaN)$' || true)
+if [ -n "$bad" ]; then
+    echo "FAIL: malformed exposition lines:"
+    printf '%s\n' "$bad"
+    exit 1
+fi
+
+# Every layer's families must be present on a live WAL-backed server.
+for fam in \
+    aft_node_txns_started_total aft_node_txns_committed_total aft_node_reads_total \
+    aft_commit_latency_seconds aft_read_latency_seconds \
+    aft_storage_puts_total aft_storage_batch_puts_total \
+    aft_wal_appends_total aft_wal_fsyncs_total \
+    aft_multicast_rounds_total aft_multicast_deliveries_total \
+    aft_faultmgr_known_commits aft_lb_backends \
+    aft_traces_started_total aft_traces_kept_total; do
+    printf '%s\n' "$metrics" | grep -q "^$fam" ||
+        { echo "FAIL: /metrics missing family $fam"; exit 1; }
+done
+
+committed=$(printf '%s\n' "$metrics" | grep '^aft_node_txns_committed_total' | awk '{print $2}')
+[ "${committed%.*}" -ge 2 ] || { echo "FAIL: expected >=2 committed txns, got $committed"; exit 1; }
+
+# /traces must contain the client's trace with a multi-layer span tree.
+curl -fsS "http://$DEBUG_ADDR/traces?limit=256" >"$workdir/traces.json"
+python3 - "$workdir/traces.json" "$trace_id" <<'PY'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+want = sys.argv[2]
+traces = payload.get("traces") or []
+match = [t for t in traces if t.get("trace_id") == want]
+if not match:
+    sys.exit(f"FAIL: trace {want} not in /traces ({len(traces)} retained)")
+spans = match[0].get("spans") or []
+if len(spans) < 4:
+    sys.exit(f"FAIL: trace {want} has {len(spans)} spans, want >= 4: {[s.get('name') for s in spans]}")
+print(f"trace {want}: {len(spans)} spans: {[s.get('name') for s in spans]}")
+PY
+
+# /statz must be JSON with the documented schema fields.
+ctype=$(curl -s -o "$workdir/statz.json" -w '%{content_type}' "http://$DEBUG_ADDR/statz")
+case "$ctype" in application/json*) ;; *) echo "FAIL: /statz content-type $ctype"; exit 1 ;; esac
+python3 - "$workdir/statz.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+for field in ("node", "uptime_seconds", "families", "runtime"):
+    if field not in p:
+        sys.exit(f"FAIL: /statz missing field {field!r}")
+names = {f["name"] for f in p["families"]}
+if not any(n.startswith("aft_") for n in names):
+    sys.exit("FAIL: /statz has no aft_ families")
+print(f"/statz: {len(names)} families from node {p['node']}")
+PY
+
+echo "observability smoke: OK (metrics families, trace $trace_id, statz schema)"
