@@ -84,6 +84,15 @@ var (
 	// ErrBackendGone means the node serving this transaction left the
 	// cluster mid-request (failure or scale-down); redo the transaction.
 	ErrBackendGone = lb.ErrBackendGone
+	// ErrOverloaded means admission control shed the request: the node is
+	// at its concurrency limit with a full wait queue. Retry after
+	// backoff (RunTransactionPolicy with a BackoffBase does this).
+	ErrOverloaded = core.ErrOverloaded
+	// ErrDeadlineExceeded means an op ran out of time budget — the conn
+	// deadline fired against a partitioned or hung server, or the server
+	// abandoned work whose wire-carried deadline expired. Retriable while
+	// the caller's ctx still has budget.
+	ErrDeadlineExceeded = wire.ErrDeadlineExceeded
 )
 
 // Client is the transactional surface shared by a *Node, the cluster's
@@ -129,3 +138,10 @@ type RemoteClient = wire.Client
 // Dial connects to an AFT server. The returned client implements Client
 // and can be placed behind a load balancer.
 func Dial(addr string) (*RemoteClient, error) { return wire.Dial(addr, 0) }
+
+// DialConfig tunes DialWith: pool size, per-op timeout (the conn
+// deadline bounding every RPC), and dial timeout.
+type DialConfig = wire.DialConfig
+
+// DialWith is Dial with explicit pool and timeout configuration.
+func DialWith(addr string, cfg DialConfig) (*RemoteClient, error) { return wire.DialWith(addr, cfg) }

@@ -1,0 +1,116 @@
+package aft_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aft/aft"
+)
+
+// shedClient is a Client stub whose StartTransaction sheds (ErrOverloaded)
+// a configurable number of times before succeeding; the remaining methods
+// trivially succeed. It counts attempts so tests can pin the retry loop's
+// exact behavior.
+type shedClient struct {
+	starts    int
+	shedFirst int // fail this many StartTransactions, then succeed
+}
+
+func (c *shedClient) StartTransaction(ctx context.Context) (string, error) {
+	c.starts++
+	if c.starts <= c.shedFirst {
+		return "", aft.ErrOverloaded
+	}
+	return "txn-1", nil
+}
+
+func (c *shedClient) Get(ctx context.Context, txid, key string) ([]byte, error) {
+	return nil, aft.ErrKeyNotFound
+}
+
+func (c *shedClient) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
+	return make([][]byte, len(keys)), nil
+}
+
+func (c *shedClient) Put(ctx context.Context, txid, key string, value []byte) error { return nil }
+
+func (c *shedClient) CommitTransaction(ctx context.Context, txid string) (aft.ID, error) {
+	return aft.ID{UUID: txid}, nil
+}
+
+func (c *shedClient) AbortTransaction(ctx context.Context, txid string) error { return nil }
+
+// TestRetryPolicyAttemptsBound pins RetryPolicy.MaxAttempts semantics: the
+// zero value preserves the historical 5 attempts, an explicit bound is
+// honored exactly, and negative means a single attempt.
+func TestRetryPolicyAttemptsBound(t *testing.T) {
+	ctx := context.Background()
+	noop := func(*aft.Txn) error { return nil }
+	cases := []struct {
+		name    string
+		policy  aft.RetryPolicy
+		wantTry int
+	}{
+		{"zero value keeps historical 5", aft.RetryPolicy{}, 5},
+		{"explicit bound honored", aft.RetryPolicy{MaxAttempts: 3}, 3},
+		{"negative means one attempt", aft.RetryPolicy{MaxAttempts: -1}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &shedClient{shedFirst: 1 << 30} // always shed
+			err := aft.RunTransactionPolicy(ctx, c, tc.policy, noop)
+			if err == nil {
+				t.Fatal("always-shedding client reported success")
+			}
+			if !errors.Is(err, aft.ErrOverloaded) {
+				t.Fatalf("err = %v, want wrapped ErrOverloaded", err)
+			}
+			if c.starts != tc.wantTry {
+				t.Fatalf("attempts = %d, want %d", c.starts, tc.wantTry)
+			}
+		})
+	}
+}
+
+// TestRetryPolicyBackoffPaces: with BackoffBase set, redos are spaced by
+// the capped exponential schedule — equal jitter keeps a floor of half the
+// per-attempt ceiling, so the total wait has a hard lower bound.
+func TestRetryPolicyBackoffPaces(t *testing.T) {
+	ctx := context.Background()
+	c := &shedClient{shedFirst: 3}
+	policy := aft.RetryPolicy{
+		MaxAttempts: 10,
+		BackoffBase: 20 * time.Millisecond,
+		BackoffCap:  80 * time.Millisecond,
+		BackoffSeed: 1,
+	}
+	start := time.Now()
+	err := aft.RunTransactionPolicy(ctx, c, policy, func(*aft.Txn) error { return nil })
+	if err != nil {
+		t.Fatalf("transaction failed despite recovery: %v", err)
+	}
+	if c.starts != 4 {
+		t.Fatalf("attempts = %d, want 4 (3 sheds + 1 success)", c.starts)
+	}
+	// Floors: attempt delays are at least 10ms + 20ms + 40ms.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("3 backoffs took %v, want >= 70ms worth of pacing", elapsed)
+	}
+}
+
+// TestRetryPolicyCanceledCtxStops: cancellation is not retriable — the
+// loop must stop immediately instead of burning the attempt budget.
+func TestRetryPolicyCanceledCtxStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &shedClient{shedFirst: 1 << 30}
+	err := aft.RunTransactionPolicy(ctx, c, aft.RetryPolicy{MaxAttempts: 100}, func(*aft.Txn) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.starts != 0 {
+		t.Fatalf("attempts after cancellation = %d, want 0", c.starts)
+	}
+}

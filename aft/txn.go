@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"aft/internal/retry"
 	"aft/internal/storage"
@@ -66,19 +67,74 @@ func (t *Txn) Abort() error {
 	return t.client.AbortTransaction(t.ctx, t.id)
 }
 
+// RetryPolicy tunes RunTransactionPolicy's redo loop. The zero value
+// reproduces the historical RunTransaction behavior: 5 attempts,
+// back-to-back (no backoff).
+type RetryPolicy struct {
+	// MaxAttempts bounds whole-transaction redos (and per-attempt
+	// same-ID commit retries); 0 defaults to 5, negative means 1 (no
+	// retry).
+	MaxAttempts int
+	// BackoffBase enables capped exponential backoff with seeded jitter
+	// between redos: attempt k waits ~BackoffBase·2^k, capped at
+	// BackoffCap (which defaults to 1s when BackoffBase is set). 0
+	// disables backoff entirely, preserving the historical hot loop.
+	BackoffBase time.Duration
+	// BackoffCap bounds every backoff delay; meaningful only with
+	// BackoffBase set.
+	BackoffCap time.Duration
+	// BackoffSeed fixes the jitter stream (retry.Backoff semantics), so
+	// deterministic harnesses get reproducible delay sequences.
+	BackoffSeed int64
+}
+
+func (p RetryPolicy) attempts() int {
+	switch {
+	case p.MaxAttempts == 0:
+		return 5
+	case p.MaxAttempts < 0:
+		return 1
+	default:
+		return p.MaxAttempts
+	}
+}
+
 // RunTransaction executes fn inside a transaction, committing on success
-// and aborting on error. Retriable conditions — ErrNoValidVersion (§3.6),
-// transactions lost to node failures, transient storage unavailability,
-// and load-balancer backends that vanished mid-request — are redone with a
-// fresh transaction, the §3.3.1 retry discipline. A commit that fails with
-// a transient storage error is first retried under the SAME transaction ID
-// (commits are idempotent per §3.1), so an attempt whose writes were
-// already durable returns its original commit ID instead of double-
-// applying under a redo.
+// and aborting on error, under the default RetryPolicy (5 attempts, no
+// backoff). See RunTransactionPolicy.
 func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) error {
-	const maxAttempts = 5
+	return RunTransactionPolicy(ctx, client, RetryPolicy{}, fn)
+}
+
+// RunTransactionPolicy executes fn inside a transaction, committing on
+// success and aborting on error. Retriable conditions — ErrNoValidVersion
+// (§3.6), transactions lost to node failures, transient storage
+// unavailability, admission-control shedding (ErrOverloaded), op deadline
+// expiry, and load-balancer backends that vanished mid-request — are
+// redone with a fresh transaction, the §3.3.1 retry discipline, paced by
+// the policy's backoff. A commit that fails with a transient storage
+// error is first retried under the SAME transaction ID (commits are
+// idempotent per §3.1), so an attempt whose writes were already durable
+// returns its original commit ID instead of double-applying under a redo.
+func RunTransactionPolicy(ctx context.Context, client Client, policy RetryPolicy, fn func(*Txn) error) error {
+	maxAttempts := policy.attempts()
+	var backoff *retry.Backoff
+	if policy.BackoffBase > 0 {
+		backoff = &retry.Backoff{Base: policy.BackoffBase, Cap: policy.BackoffCap, Seed: policy.BackoffSeed}
+	}
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		// A dead ctx ends the loop even when the last failure was
+		// retriable (deadline expiry IS retriable — but only while the
+		// caller still has budget to retry with).
+		if ctx.Err() != nil {
+			break
+		}
+		if attempt > 0 && backoff != nil {
+			if err := backoff.Sleep(ctx, attempt-1); err != nil {
+				break
+			}
+		}
 		txn, err := Begin(ctx, client)
 		if err != nil {
 			if retriable(err) {
@@ -122,6 +178,9 @@ func RunTransaction(ctx context.Context, client Client, fn func(*Txn) error) err
 			return err
 		}
 		return nil
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
 	}
 	return fmt.Errorf("aft: transaction failed after %d attempts: %w", maxAttempts, lastErr)
 }

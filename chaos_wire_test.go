@@ -22,6 +22,7 @@ import (
 )
 
 func TestIntegrationWireChaosRedoUntilCommit(t *testing.T) {
+	checkGoroutineLeak(t)
 	ctx := context.Background()
 	st := chaos.Wrap(dynamosim.New(dynamosim.Options{}), chaos.Config{
 		Seed: 11, ErrorRate: 0.08, PartialRate: 0.15,
@@ -122,6 +123,7 @@ func TestIntegrationWireChaosRedoUntilCommit(t *testing.T) {
 // operation surfaces to the wire client as storage.ErrUnavailable (and is
 // therefore retriable), not as an opaque remote error.
 func TestIntegrationWireTransientErrorCode(t *testing.T) {
+	checkGoroutineLeak(t)
 	ctx := context.Background()
 	st := chaos.Wrap(dynamosim.New(dynamosim.Options{}), chaos.Config{Seed: 3, ErrorRate: 1})
 	node, err := core.NewNode(core.Config{NodeID: "wire-err", Store: st})

@@ -11,11 +11,13 @@
 //	aft-bench chaos -seed 7                   # alias: seeded fault-injection campaign
 //	aft-bench -experiment chaos -seed 7 -chaos-kills 3 -chaos-error-rate 0.05
 //	aft-bench durability                      # WAL engine: fsync coalescing, recovery, storage-crash campaign
+//	aft-bench resilience -quick -scale 0      # network partitions + overload survival, CI-sized
 //	aft-bench -experiment fig7 -store wal     # any experiment over any backend
 //
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, ablation, sharded, parallel, readpath, chaos, durability,
-// telemetry (instrumentation-overhead comparison).
+// telemetry (instrumentation-overhead comparison), resilience (network
+// partitions, conn resets, and overload through the real wire stack).
 // With -debug-addr set, a side HTTP listener serves /statz and the
 // /debug/pprof/ profiler suite for the duration of the run.
 // The -store flag overrides the storage backend every experiment builds
@@ -59,11 +61,12 @@ type benchResult struct {
 	ChaosCells      []experiments.ChaosCell      `json:"chaos_cells,omitempty"`
 	DurabilityCells []experiments.DurabilityCell `json:"durability_cells,omitempty"`
 	TelemetryCells  []experiments.TelemetryCell  `json:"telemetry_cells,omitempty"`
+	ResilienceCells []experiments.ResilienceCell `json:"resilience_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry|resilience")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -151,6 +154,7 @@ func main() {
 		{"chaos", one(experiments.Chaos)},
 		{"durability", one(experiments.Durability)},
 		{"telemetry", one(experiments.Telemetry)},
+		{"resilience", one(experiments.Resilience)},
 	}
 
 	selected := map[string]bool{}
@@ -223,6 +227,13 @@ func main() {
 				t, err = experiments.TelemetryTable(res.TelemetryCells)
 				res.Tables = []experiments.Table{t}
 			}
+		case "resilience":
+			res.ResilienceCells, err = experiments.ResilienceCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.ResilienceTable(res.ResilienceCells)
+				res.Tables = []experiments.Table{t}
+			}
 		default:
 			res.Tables, err = e.run(opts)
 		}
@@ -231,16 +242,19 @@ func main() {
 			experiments.CleanupTempStores()
 			os.Exit(1)
 		}
-		// The chaos campaign's contract is bit-for-bit determinism per
-		// seed; wall time is the one nondeterministic field, so it is
-		// omitted from that experiment's output and JSON.
-		if e.name != "chaos" {
+		// The chaos and resilience campaigns' contract is bit-for-bit
+		// determinism per seed (resilience quarantines its wall-clock
+		// numbers in each cell's `measured` block); wall time would be
+		// one more nondeterministic field, so it is omitted from those
+		// experiments' output and JSON.
+		deterministic := e.name == "chaos" || e.name == "resilience"
+		if !deterministic {
 			res.WallTimeMS = time.Since(start).Milliseconds()
 		}
 		for _, t := range res.Tables {
 			t.Print(os.Stdout)
 		}
-		if e.name != "chaos" {
+		if !deterministic {
 			fmt.Printf("  (%s wall time)\n", time.Since(start).Round(time.Millisecond))
 		}
 		if *jsonDir != "" {

@@ -28,6 +28,12 @@
 //	/statz         the same registry snapshot as JSON (stable schema)
 //	/traces        retained transaction traces, newest first
 //	/debug/pprof/  the Go profiler suite
+//
+// SIGINT/SIGTERM shuts down gracefully: the listener stops accepting,
+// in-flight transactions get up to -drain-timeout to finish (abandoned
+// sessions are reaped by their propagated deadlines), the maintenance
+// pipeline stops, and the store is flushed and closed. A second signal
+// forces immediate exit.
 package main
 
 import (
@@ -63,6 +69,7 @@ func main() {
 		mcPeriod  = flag.Duration("multicast-period", time.Second, "multicast round period (the paper's 1s)")
 		gcPeriod  = flag.Duration("gc-period", 30*time.Second, "fault-manager scan + global GC period")
 		traceEach = flag.Int("trace-sample", 64, "self-sample 1 in N transactions into /traces (<=0 disables)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight transactions to finish")
 	)
 	flag.Parse()
 
@@ -94,6 +101,16 @@ func main() {
 		fmt.Printf("aft-server: durable WAL store in %s\n", *storeDir)
 	default:
 		log.Fatalf("aft-server: unknown store %q", *backend)
+	}
+	// Deferred first so it runs LAST on the clean-shutdown path: the WAL
+	// engine's Close flushes and fsyncs the log tail after the server has
+	// drained and the maintenance pipeline has stopped.
+	if cl, ok := store.(interface{ Close() error }); ok {
+		defer func() {
+			if err := cl.Close(); err != nil {
+				log.Printf("aft-server: closing store: %v", err)
+			}
+		}()
 	}
 
 	sampleEvery := *traceEach
@@ -175,7 +192,7 @@ func main() {
 		fmt.Printf("aft-server: debug endpoint (metrics, statz, traces, pprof) on %s\n", *debug)
 	}
 
-	runServer(srv)
+	runServer(srv, node, *drain)
 }
 
 // maintenanceLoop periodically recovers unannounced commits from storage
@@ -203,13 +220,46 @@ func maintenanceLoop(fm *faultmgr.Manager, period time.Duration, stop <-chan str
 	}
 }
 
-// runServer blocks until an interrupt, then shuts the server down.
-func runServer(srv *aft.Server) {
-	sig := make(chan os.Signal, 1)
+// runServer blocks until SIGINT/SIGTERM, then shuts down gracefully: the
+// listener stops accepting, in-flight transactions get up to drain to
+// finish (dangling sessions abandoned by dead clients are reaped by their
+// propagated deadlines so they cannot hold up the drain), and only then
+// do the caller's defers stop the maintenance pipeline and flush/close
+// the store. A second signal forces immediate exit.
+func runServer(srv *aft.Server, node *aft.Node, drain time.Duration) {
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("aft-server: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("aft-server: close: %v", err)
+	fmt.Printf("aft-server: draining (up to %s; signal again to force)\n", drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	go func() {
+		// Second signal: skip the drain.
+		select {
+		case <-sig:
+			fmt.Println("aft-server: forced shutdown")
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	go func() {
+		// Abandoned sessions (clients that died mid-transaction) only
+		// quiesce through the reaper; tick it so the drain converges.
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				node.ReapExpired(ctx, 0)
+			}
+		}
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("aft-server: shutdown forced with transactions in flight: %v", err)
+		return
 	}
+	fmt.Println("aft-server: drained cleanly")
 }

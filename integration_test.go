@@ -215,6 +215,7 @@ func TestIntegrationZeroAnomaliesWithCrashesAndGC(t *testing.T) {
 // TCP servers + load balancer topology: two aft-server-style nodes over
 // shared storage, remote clients, and RunTransaction retries.
 func TestIntegrationPublicAPIOverWireCluster(t *testing.T) {
+	checkGoroutineLeak(t)
 	store := aft.NewDynamoDBStore(aft.LatencyNone, 0)
 	var remotes []*aft.RemoteClient
 	for i := 0; i < 2; i++ {

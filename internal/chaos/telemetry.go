@@ -28,3 +28,34 @@ func (s *Store) RegisterTelemetry(reg *telemetry.Registry) {
 			"Crash hooks fired.", uint64(f.Crashes))
 	})
 }
+
+// RegisterTelemetry publishes the network injector's fault counters under
+// aft_chaos_net_*, the wire-level sibling of the storage injector's
+// aft_chaos_* families.
+func (n *NetChaos) RegisterTelemetry(reg *telemetry.Registry) {
+	if n == nil {
+		return
+	}
+	m := &n.metrics
+	reg.Register(func(e *telemetry.Emitter) {
+		f := m.Snapshot()
+		e.Counter("aft_chaos_net_conns_total",
+			"Connections accepted through the network fault injector.", uint64(f.Conns))
+		e.Counter("aft_chaos_net_partitions_total",
+			"Blackhole partitions installed.", uint64(f.Partitions))
+		e.Counter("aft_chaos_net_heals_total",
+			"Partitions healed.", uint64(f.Heals))
+		e.Counter("aft_chaos_net_blackholed_conns_total",
+			"Connections accepted inside a partition window.", uint64(f.BlackholedConns))
+		e.Counter("aft_chaos_net_blocked_reads_total",
+			"Reads that blocked against a partition.", uint64(f.BlockedReads))
+		e.Counter("aft_chaos_net_swallowed_writes_total",
+			"Server writes swallowed by an outbound blackhole.", uint64(f.SwallowedWrites))
+		e.Counter("aft_chaos_net_resets_total",
+			"Scheduled mid-frame connection resets fired.", uint64(f.Resets))
+		e.Counter("aft_chaos_net_delays_total",
+			"Network delay spikes injected.", uint64(f.Delays))
+		e.Counter("aft_chaos_net_dripped_conns_total",
+			"Connections selected for slow-drip reads.", uint64(f.DrippedConns))
+	})
+}

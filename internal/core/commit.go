@@ -54,6 +54,12 @@ func (n *Node) CommitTransaction(ctx context.Context, txid string) (idgen.ID, er
 }
 
 func (n *Node) commitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
+	// An op whose deadline already passed is abandoned before any storage
+	// write: the client has given up and will settle the outcome through
+	// the §3.3.1 abort-or-redo path.
+	if err := n.checkCtx(ctx); err != nil {
+		return idgen.Null, err
+	}
 	n.tmu.RLock()
 	t, live := n.txns[txid]
 	prevID, finished := n.committedByUUID[txid]
@@ -64,6 +70,7 @@ func (n *Node) commitTransaction(ctx context.Context, txid string) (idgen.ID, er
 		}
 		return idgen.Null, ErrTxnNotFound
 	}
+	t.refreshLease(ctx)
 
 	t.mu.Lock()
 	for t.committing != nil {

@@ -30,10 +30,14 @@ import (
 // already-read key cannot re-select and surfaces ErrVersionVanished, the
 // redo-the-transaction signal.
 func (n *Node) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
+	if err := n.checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	t, err := n.lookup(txid)
 	if err != nil {
 		return nil, err
 	}
+	t.refreshLease(ctx)
 	n.metrics.MultiGets.Add(1)
 	n.metrics.Reads.Add(int64(len(keys)))
 	if len(keys) == 0 {

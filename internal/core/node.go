@@ -61,6 +61,12 @@ var (
 	// collection, so this race is possible (akin to §5.2.1's missing
 	// versions); clients should redo the transaction.
 	ErrVersionVanished = errors.New("aft: version collected mid-read; retry transaction")
+	// ErrOverloaded means admission control shed the request: the node is
+	// at MaxConcurrent and the wait queue for a slot is already
+	// AdmissionQueue deep. Fast-failing here instead of parking keeps
+	// queueing delay bounded under overload; clients should retry after
+	// backoff.
+	ErrOverloaded = errors.New("aft: node overloaded; retry after backoff")
 )
 
 // Config parameterizes a node.
@@ -86,6 +92,13 @@ type Config struct {
 	// real node's throughput plateau near 40 clients (§6.5.1); 0 means
 	// unbounded (unit tests).
 	MaxConcurrent int
+	// AdmissionQueue bounds how many StartTransaction callers may park
+	// waiting for a MaxConcurrent slot; past the bound, new arrivals
+	// fast-fail with ErrOverloaded instead of queueing without limit
+	// (graceful shedding beats unbounded queueing delay under overload).
+	// 0 preserves the historical behavior: callers park until a slot
+	// frees or their ctx is done. Meaningless when MaxConcurrent is 0.
+	AdmissionQueue int
 	// BootstrapLimit bounds how many commit records Bootstrap reads from
 	// the Transaction Commit Set, newest first ("it bootstraps itself by
 	// reading the latest records", §3.1); 0 reads everything. Replacement
@@ -151,6 +164,10 @@ type Node struct {
 	gen   *idgen.Generator
 	clock idgen.Clock
 	sem   chan struct{} // nil when MaxConcurrent == 0
+	// waiting counts callers parked in acquire for a sem slot; the
+	// admission bound sheds arrivals that would push it past
+	// cfg.AdmissionQueue.
+	waiting atomic.Int64
 
 	// stripes is the lock-striped metadata core: Commit Set Cache,
 	// key-version index, and locally-deleted markers, partitioned by key
@@ -236,6 +253,9 @@ type NodeMetrics struct {
 	MultiGets         atomic.Int64 // MultiGet calls (Reads counts their keys individually)
 	GroupFlushes      atomic.Int64 // group-commit flush rounds
 	GroupedCommits    atomic.Int64 // commits that went through the group pipeline
+	OverloadShed      atomic.Int64 // arrivals shed by admission control (ErrOverloaded)
+	DeadlineExceeded  atomic.Int64 // ops abandoned at a ctx-deadline check
+	ReapedExpired     atomic.Int64 // dangling transactions aborted past their deadline
 }
 
 // NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
@@ -244,7 +264,8 @@ type NodeMetricsSnapshot struct {
 	MergedRemote, PrunedMerges, SweptMetadata,
 	PrunedNonOwned, RemoteFetches, CoalescedFetches,
 	BatchedRecordGets, MultiGets,
-	GroupFlushes, GroupedCommits int64
+	GroupFlushes, GroupedCommits,
+	OverloadShed, DeadlineExceeded, ReapedExpired int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -266,6 +287,9 @@ func (m *NodeMetrics) Snapshot() NodeMetricsSnapshot {
 		MultiGets:         m.MultiGets.Load(),
 		GroupFlushes:      m.GroupFlushes.Load(),
 		GroupedCommits:    m.GroupedCommits.Load(),
+		OverloadShed:      m.OverloadShed.Load(),
+		DeadlineExceeded:  m.DeadlineExceeded.Load(),
+		ReapedExpired:     m.ReapedExpired.Load(),
 	}
 }
 
@@ -385,17 +409,67 @@ func (n *Node) Store() storage.Store { return n.store }
 // Metrics returns the node's counters.
 func (n *Node) Metrics() *NodeMetrics { return &n.metrics }
 
-// acquire takes a concurrency slot, honoring ctx cancellation.
+// acquire takes a concurrency slot, honoring ctx cancellation. With
+// AdmissionQueue set, at most that many callers park waiting for a slot;
+// an arrival that would deepen the queue further is shed with
+// ErrOverloaded so overload degrades into fast, retriable failures
+// instead of unbounded queueing.
 func (n *Node) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		n.metrics.DeadlineExceeded.Add(1)
+		return err
+	}
 	if n.sem == nil {
 		return nil
 	}
 	select {
 	case n.sem <- struct{}{}:
 		return nil
+	default:
+	}
+	// The fast path failed: some slots may be held not by live work but
+	// by abandoned sessions — transactions whose client gave up (lease
+	// expired) and is redoing under a fresh ID. Reap them before queueing
+	// or shedding, or a burst of lost acks (a gray partition swallowing
+	// responses) wedges admission permanently: the abandoned transactions
+	// hold every slot, and a caller relying only on periodic maintenance
+	// reaping may never get a slot to reach its next maintenance point.
+	if n.ReapExpired(ctx, 0) > 0 {
+		select {
+		case n.sem <- struct{}{}:
+			return nil
+		default:
+		}
+	}
+	if q := n.cfg.AdmissionQueue; q > 0 {
+		if int(n.waiting.Add(1)) > q {
+			n.waiting.Add(-1)
+			n.metrics.OverloadShed.Add(1)
+			return ErrOverloaded
+		}
+		defer n.waiting.Add(-1)
+	}
+	select {
+	case n.sem <- struct{}{}:
+		return nil
 	case <-ctx.Done():
+		n.metrics.DeadlineExceeded.Add(1)
 		return ctx.Err()
 	}
+}
+
+// AdmissionWaiting returns the number of callers currently parked for a
+// concurrency slot (the queue the admission bound limits).
+func (n *Node) AdmissionWaiting() int { return int(n.waiting.Load()) }
+
+// checkCtx abandons an op whose ctx is already done — the client gave up
+// (its deadline rode the wire) — counting it in DeadlineExceeded.
+func (n *Node) checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		n.metrics.DeadlineExceeded.Add(1)
+		return err
+	}
+	return nil
 }
 
 func (n *Node) release() {

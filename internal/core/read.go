@@ -37,10 +37,14 @@ import (
 // none is compatible with the read set (§3.6) — clients should abort and
 // retry in that case.
 func (n *Node) Get(ctx context.Context, txid, key string) ([]byte, error) {
+	if err := n.checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	t, err := n.lookup(txid)
 	if err != nil {
 		return nil, err
 	}
+	t.refreshLease(ctx)
 	n.metrics.Reads.Add(1)
 	ctx = telemetry.WithTrace(ctx, t.trace)
 	sp := t.trace.StartSpan("node.read")

@@ -73,8 +73,13 @@ func (n *Node) EmitTelemetry(e *telemetry.Emitter) {
 		c("aft_node_multigets_total", "MultiGet calls.", m.MultiGets)
 		c("aft_node_group_flushes_total", "Group-commit flush rounds.", m.GroupFlushes)
 		c("aft_node_grouped_commits_total", "Commits that went through the group pipeline.", m.GroupedCommits)
+		c("aft_overload_shed_total", "Arrivals shed by admission control (ErrOverloaded).", m.OverloadShed)
+		c("aft_deadline_exceeded_total", "Ops abandoned at a ctx-deadline check.", m.DeadlineExceeded)
+		c("aft_node_reaped_expired_total", "Dangling transactions aborted past their client deadline.", m.ReapedExpired)
 		e.Gauge("aft_node_active_txns", "In-flight transactions.",
 			float64(n.ActiveTransactions()), "node", node)
+		e.Gauge("aft_node_admission_waiting", "Callers parked for a concurrency slot (bounded by AdmissionQueue).",
+			float64(n.AdmissionWaiting()), "node", node)
 		e.Gauge("aft_node_metadata_records", "Cached commit records (the quantity the local GC bounds).",
 			float64(n.MetadataSize()), "node", node)
 	}

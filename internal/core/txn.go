@@ -4,6 +4,8 @@ import (
 	"context"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
@@ -63,6 +65,37 @@ type txnState struct {
 	// off. Set once at StartTransaction and immutable after, so it is
 	// read without t.mu.
 	trace *telemetry.Trace
+
+	// deadline is the transaction's abandonment lease as UnixNano (0 when
+	// no op ever carried a deadline): the latest client op deadline seen,
+	// extended by every operation that touches the transaction. It is
+	// atomic so ReapExpired and refreshLease need no lock. A transaction
+	// idle past its lease is presumed abandoned — its client gave up (the
+	// deadline rode the wire) and will redo under a fresh ID — so the
+	// reaper may abort it to reclaim its concurrency slot and buffered
+	// writes. Transactions whose ops never carry deadlines (in-process
+	// callers) keep a zero lease and are never reaped.
+	deadline atomic.Int64
+}
+
+// refreshLease extends the transaction's abandonment lease to the current
+// operation's deadline: each op proves the client is still driving the
+// transaction, so the lease tracks the LAST op's deadline, not the
+// first's. Without the refresh, a multi-op transaction outliving its
+// StartTransaction op deadline would be reaped mid-flight. Ops without a
+// deadline leave the lease untouched.
+func (t *txnState) refreshLease(ctx context.Context) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	nd := dl.UnixNano()
+	for {
+		cur := t.deadline.Load()
+		if cur >= nd || t.deadline.CompareAndSwap(cur, nd) {
+			return
+		}
+	}
 }
 
 func (t *txnState) spillDir() string {
@@ -90,6 +123,7 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 	// The wire layer deposits an inbound client trace context in ctx; a
 	// zero context self-samples per the tracer's policy.
 	t.trace = n.tracer.Begin(id.UUID, telemetry.TraceContextFrom(ctx))
+	t.refreshLease(ctx)
 	n.tmu.Lock()
 	n.txns[id.UUID] = t
 	n.tmu.Unlock()
@@ -107,7 +141,8 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 func (n *Node) ResumeTransaction(ctx context.Context, txid string) error {
 	n.tmu.RLock()
 	defer n.tmu.RUnlock()
-	if _, ok := n.txns[txid]; ok {
+	if t, ok := n.txns[txid]; ok {
+		t.refreshLease(ctx)
 		return nil
 	}
 	if _, ok := n.committedByUUID[txid]; ok {
@@ -151,6 +186,7 @@ func (n *Node) Put(ctx context.Context, txid, key string, value []byte) error {
 	if err != nil {
 		return err
 	}
+	t.refreshLease(ctx)
 	v := make([]byte, len(value))
 	copy(v, value)
 
@@ -259,6 +295,47 @@ func (n *Node) AbortTransaction(ctx context.Context, txid string) error {
 	t.trace.Finish("aborted")
 	n.release()
 	return nil
+}
+
+// ReapExpired aborts live transactions whose abandonment lease (the
+// latest client op deadline, see refreshLease) passed more than grace
+// ago: dangling sessions a partitioned or timed-out client abandoned
+// mid-transaction. Without the reaper those sessions hold MaxConcurrent
+// slots and buffered writes until process exit (the client redoes under
+// a fresh ID and never aborts the old one). Transactions whose ops never
+// carried a deadline are never reaped. It returns how many transactions
+// it aborted.
+//
+// Callers drive it from their maintenance pipeline (aft-server's loop,
+// the chaos campaigns' explicit maintenance points) — an explicit pass
+// rather than a background timer, so deterministic harnesses control
+// exactly when reaping happens. The one built-in caller is admission
+// (acquire's slow path), which reaps before parking or shedding so
+// abandoned sessions cannot wedge the node.
+func (n *Node) ReapExpired(ctx context.Context, grace time.Duration) int {
+	now := time.Now().UnixNano()
+	var expired []string
+	n.tmu.RLock()
+	for txid, t := range n.txns {
+		if dl := t.deadline.Load(); dl != 0 && now > dl+int64(grace) {
+			expired = append(expired, txid)
+		}
+	}
+	n.tmu.RUnlock()
+	reaped := 0
+	for _, txid := range expired {
+		// AbortTransaction re-checks liveness and waits out any in-flight
+		// commit attempt, so racing a late client retry is safe: whichever
+		// side finishes first settles the transaction, the other observes
+		// ErrTxnFinished/ErrTxnNotFound.
+		if err := n.AbortTransaction(ctx, txid); err == nil {
+			reaped++
+		}
+	}
+	if reaped > 0 {
+		n.metrics.ReapedExpired.Add(int64(reaped))
+	}
+	return reaped
 }
 
 // unpin releases the transaction's reader pins. The caller holds t.mu.

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResilienceCellsDeterministic is the campaign's reproducibility
+// contract: for a fixed seed and scale, every field outside the
+// `measured` sub-struct is bit-for-bit identical across runs — same
+// commits, same redo count, same injected-fault totals, same number of
+// reaped abandoned transactions, same verdict. Wall-clock numbers live
+// only in Measured, which is zeroed before comparison.
+func TestResilienceCellsDeterministic(t *testing.T) {
+	opts := Options{Scale: 0, Quick: true, Seed: 77}
+	run := func() []ResilienceCell {
+		cells, err := ResilienceCells(opts)
+		if err != nil {
+			t.Fatalf("resilience campaign: %v", err)
+		}
+		for i := range cells {
+			cells[i].Measured = ResilienceMeasured{}
+		}
+		return cells
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed campaigns diverged:\nrun A: %+v\nrun B: %+v", a, b)
+	}
+
+	for _, c := range a {
+		if !c.Verdict.Clean() {
+			t.Fatalf("seed %d verdict not clean: %s", c.Seed, c.Verdict)
+		}
+		if c.LeakedGoroutines != 0 {
+			t.Fatalf("seed %d leaked %d goroutines", c.Seed, c.LeakedGoroutines)
+		}
+		if c.Partitions != 2 || c.Heals != 2 {
+			t.Fatalf("seed %d partitions/heals = %d/%d, want 2/2", c.Seed, c.Partitions, c.Heals)
+		}
+		if c.ConnResets != 3 {
+			t.Fatalf("seed %d conn resets = %d, want 3", c.Seed, c.ConnResets)
+		}
+		if c.SwallowedWrites == 0 {
+			t.Fatalf("seed %d: outbound partition swallowed nothing", c.Seed)
+		}
+		if c.Shed != resilienceQueue {
+			t.Fatalf("seed %d shed = %d, want %d (slots and queue all held)", c.Seed, c.Shed, resilienceQueue)
+		}
+		if c.Reaped == 0 {
+			t.Fatalf("seed %d: lost acks left no abandoned transactions to reap", c.Seed)
+		}
+		if c.Redos == 0 {
+			t.Fatalf("seed %d: campaign survived without a single redo (faults injected nothing)", c.Seed)
+		}
+	}
+}

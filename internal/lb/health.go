@@ -1,0 +1,180 @@
+package lb
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pinger is the optional liveness surface a Backend may implement; the
+// wire client does (one RPC round trip), so balancer health probes
+// exercise the full conn path to a remote node. Backends without it —
+// in-process *core.Node — are considered always reachable.
+type Pinger interface {
+	Ping(ctx context.Context) error
+}
+
+// HealthConfig tunes probe-driven backend ejection.
+type HealthConfig struct {
+	// FailThreshold is how many CONSECUTIVE probe failures eject a
+	// backend from new-transaction routing; 0 defaults to 3. One blip
+	// never ejects: partitions look like several timeouts in a row.
+	FailThreshold int
+	// RecoverThreshold is how many consecutive probe successes re-admit
+	// an ejected backend; 0 defaults to 2.
+	RecoverThreshold int
+	// ProbeTimeout bounds each probe; 0 defaults to 1s.
+	ProbeTimeout time.Duration
+}
+
+// healthState is one backend's probe bookkeeping, guarded by b.mu.
+type healthState struct {
+	failStreak int
+	okStreak   int
+	ejected    bool
+}
+
+// EnableHealth turns on health tracking under cfg. Until StartHealthLoop
+// (or manual ProbeOnce calls) drives probes, every backend counts as
+// healthy. Ejection only filters NEW transaction placement: operations
+// of transactions already pinned to an ejected backend still route to it
+// — §3.1 requires every op of a transaction to reach the node that
+// started it, and if that node is truly dead the ops fail on their own
+// deadlines and the client redoes elsewhere.
+func (b *Balancer) EnableHealth(cfg HealthConfig) {
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RecoverThreshold <= 0 {
+		cfg.RecoverThreshold = 2
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	b.mu.Lock()
+	b.healthCfg = cfg
+	b.healthOn = true
+	if b.health == nil {
+		b.health = make(map[string]*healthState)
+	}
+	b.mu.Unlock()
+}
+
+// ProbeOnce runs one synchronous probe round over the registered
+// backends, updating ejection state. Deterministic tests drive this
+// directly; production uses StartHealthLoop. No-op until EnableHealth.
+func (b *Balancer) ProbeOnce(ctx context.Context) {
+	b.mu.Lock()
+	if !b.healthOn {
+		b.mu.Unlock()
+		return
+	}
+	timeout := b.healthCfg.ProbeTimeout
+	backends := append([]Backend(nil), b.backends...)
+	b.mu.Unlock()
+	for _, be := range backends {
+		err := probe(ctx, be, timeout)
+		b.recordProbe(be.ID(), err == nil)
+	}
+}
+
+// probe pings one backend under its own timeout; non-Pinger backends
+// always pass.
+func probe(ctx context.Context, be Backend, timeout time.Duration) error {
+	p, ok := be.(Pinger)
+	if !ok {
+		return nil
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return p.Ping(pctx)
+}
+
+// recordProbe folds one probe outcome into the backend's streaks,
+// ejecting after FailThreshold consecutive failures and re-admitting
+// after RecoverThreshold consecutive successes.
+func (b *Balancer) recordProbe(id string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	found := false
+	for _, be := range b.backends {
+		if be.ID() == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		delete(b.health, id) // removed mid-probe
+		return
+	}
+	hs := b.health[id]
+	if hs == nil {
+		hs = &healthState{}
+		b.health[id] = hs
+	}
+	if ok {
+		hs.failStreak = 0
+		if hs.ejected {
+			if hs.okStreak++; hs.okStreak >= b.healthCfg.RecoverThreshold {
+				hs.ejected = false
+				hs.okStreak = 0
+				b.metrics.Readmissions.Add(1)
+			}
+		}
+		return
+	}
+	hs.okStreak = 0
+	if !hs.ejected {
+		if hs.failStreak++; hs.failStreak >= b.healthCfg.FailThreshold {
+			hs.ejected = true
+			hs.failStreak = 0
+			b.metrics.Ejections.Add(1)
+		}
+	}
+}
+
+// ejectedLocked reports whether id is currently ejected. Caller holds
+// b.mu.
+func (b *Balancer) ejectedLocked(id string) bool {
+	if !b.healthOn {
+		return false
+	}
+	hs := b.health[id]
+	return hs != nil && hs.ejected
+}
+
+// UnhealthyBackends returns the IDs of currently ejected backends.
+func (b *Balancer) UnhealthyBackends() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for id, hs := range b.health {
+		if hs.ejected {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StartHealthLoop probes all backends every interval (0 defaults to 1s)
+// until the returned stop function is called. Stop is idempotent.
+func (b *Balancer) StartHealthLoop(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				b.ProbeOnce(context.Background())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,212 @@
+package lb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aft/internal/core"
+	"aft/internal/storage/dynamosim"
+)
+
+// probeBackend wraps a real node with a controllable Ping so tests can
+// fake a partitioned backend without a network.
+type probeBackend struct {
+	*core.Node
+	mu   sync.Mutex
+	fail bool
+}
+
+func (p *probeBackend) setFail(v bool) {
+	p.mu.Lock()
+	p.fail = v
+	p.mu.Unlock()
+}
+
+func (p *probeBackend) Ping(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail {
+		return errors.New("probe: unreachable")
+	}
+	return nil
+}
+
+func newProbeBackends(t *testing.T, n int) []*probeBackend {
+	t.Helper()
+	store := dynamosim.New(dynamosim.Options{})
+	out := make([]*probeBackend, n)
+	for i := range out {
+		node, err := core.NewNode(core.Config{NodeID: fmt.Sprintf("n%d", i), Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = &probeBackend{Node: node}
+	}
+	return out
+}
+
+// TestHealthEjectAndReadmit walks the full lifecycle: consecutive probe
+// failures eject, new transactions route around the ejected backend,
+// consecutive successes re-admit.
+func TestHealthEjectAndReadmit(t *testing.T) {
+	bes := newProbeBackends(t, 2)
+	b := New(bes[0], bes[1])
+	b.EnableHealth(HealthConfig{FailThreshold: 3, RecoverThreshold: 2})
+	ctx := context.Background()
+
+	// Healthy rounds change nothing.
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 0 {
+		t.Fatalf("unhealthy after clean probe = %d", n)
+	}
+
+	// Two failures: below threshold, still routed.
+	bes[0].setFail(true)
+	b.ProbeOnce(ctx)
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 0 {
+		t.Fatalf("ejected below FailThreshold (unhealthy=%d)", n)
+	}
+	// Third consecutive failure ejects.
+	b.ProbeOnce(ctx)
+	if got := b.UnhealthyBackends(); len(got) != 1 || got[0] != "n0" {
+		t.Fatalf("unhealthy = %v, want [n0]", got)
+	}
+	if got := b.Metrics().Snapshot().Ejections; got != 1 {
+		t.Fatalf("Ejections = %d, want 1", got)
+	}
+
+	// New transactions avoid the ejected backend entirely.
+	for i := 0; i < 6; i++ {
+		txid, err := b.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AbortTransaction(ctx, txid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bes[0].Metrics().Snapshot().Started; got != 0 {
+		t.Fatalf("ejected backend started %d transactions", got)
+	}
+	if got := bes[1].Metrics().Snapshot().Started; got != 6 {
+		t.Fatalf("healthy backend started %d, want 6", got)
+	}
+
+	// One success is below RecoverThreshold; the second re-admits.
+	bes[0].setFail(false)
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 1 {
+		t.Fatalf("re-admitted below RecoverThreshold (unhealthy=%d)", n)
+	}
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 0 {
+		t.Fatalf("still ejected after recovery (unhealthy=%d)", n)
+	}
+	if got := b.Metrics().Snapshot().Readmissions; got != 1 {
+		t.Fatalf("Readmissions = %d, want 1", got)
+	}
+	txid, err := b.StartTransaction(ctx) // round-robin reaches n0 again
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AbortTransaction(ctx, txid)
+	txid, err = b.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.AbortTransaction(ctx, txid)
+	if got := bes[0].Metrics().Snapshot().Started; got == 0 {
+		t.Fatal("re-admitted backend received no transactions")
+	}
+}
+
+// TestHealthFailureStreakResets checks that a success between failures
+// resets the streak — FailThreshold means CONSECUTIVE failures.
+func TestHealthFailureStreakResets(t *testing.T) {
+	bes := newProbeBackends(t, 1)
+	b := New(bes[0])
+	b.EnableHealth(HealthConfig{FailThreshold: 2})
+	ctx := context.Background()
+	bes[0].setFail(true)
+	b.ProbeOnce(ctx)
+	bes[0].setFail(false)
+	b.ProbeOnce(ctx) // streak broken
+	bes[0].setFail(true)
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 0 {
+		t.Fatalf("ejected on non-consecutive failures (unhealthy=%d)", n)
+	}
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 1 {
+		t.Fatalf("not ejected after 2 consecutive failures (unhealthy=%d)", n)
+	}
+}
+
+// TestHealthAllEjected: with every backend ejected, new transactions get
+// the retriable ErrNoBackends, and in-flight transactions pinned to an
+// ejected backend still route (§3.1 affinity outranks ejection).
+func TestHealthAllEjected(t *testing.T) {
+	bes := newProbeBackends(t, 1)
+	b := New(bes[0])
+	b.EnableHealth(HealthConfig{FailThreshold: 1})
+	ctx := context.Background()
+
+	txid, err := b.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bes[0].setFail(true)
+	b.ProbeOnce(ctx)
+	if _, err := b.StartTransaction(ctx); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("start with all ejected = %v, want ErrNoBackends", err)
+	}
+	// The pinned transaction keeps working: the backend process is up
+	// (only its probe path "failed" here), and affinity must not break.
+	if err := b.Put(ctx, txid, "k", []byte("v")); err != nil {
+		t.Fatalf("pinned op after ejection: %v", err)
+	}
+	if _, err := b.CommitTransaction(ctx, txid); err != nil {
+		t.Fatalf("pinned commit after ejection: %v", err)
+	}
+}
+
+// TestHealthNonPingerAlwaysHealthy: in-process nodes (no Ping method)
+// never eject.
+func TestHealthNonPingerAlwaysHealthy(t *testing.T) {
+	store := dynamosim.New(dynamosim.Options{})
+	node, err := core.NewNode(core.Config{NodeID: "plain", Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(node)
+	b.EnableHealth(HealthConfig{FailThreshold: 1})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		b.ProbeOnce(ctx)
+	}
+	if n := len(b.UnhealthyBackends()); n != 0 {
+		t.Fatalf("non-Pinger backend ejected (unhealthy=%d)", n)
+	}
+}
+
+// TestHealthRemoveDropsState: removing a backend clears its health entry
+// so a same-ID replacement starts fresh.
+func TestHealthRemoveDropsState(t *testing.T) {
+	bes := newProbeBackends(t, 2)
+	b := New(bes[0], bes[1])
+	b.EnableHealth(HealthConfig{FailThreshold: 1})
+	ctx := context.Background()
+	bes[0].setFail(true)
+	b.ProbeOnce(ctx)
+	if n := len(b.UnhealthyBackends()); n != 1 {
+		t.Fatalf("unhealthy = %d, want 1", n)
+	}
+	b.Remove("n0")
+	if n := len(b.UnhealthyBackends()); n != 0 {
+		t.Fatalf("health state survived Remove (unhealthy=%d)", n)
+	}
+}

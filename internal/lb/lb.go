@@ -65,6 +65,13 @@ type Balancer struct {
 	placer   Placer
 	placed   int64 // transactions routed by shard affinity
 	metrics  Metrics
+
+	// Probe-driven health state (health.go): backends that fail
+	// FailThreshold consecutive probes are ejected from new-transaction
+	// routing until they recover. Nil/false until EnableHealth.
+	health    map[string]*healthState
+	healthCfg HealthConfig
+	healthOn  bool
 }
 
 // New returns a Balancer over the given backends.
@@ -104,6 +111,7 @@ func (b *Balancer) Remove(id string) {
 			b.affinity[txid] = nil
 		}
 	}
+	delete(b.health, id)
 	if len(b.backends) > 0 {
 		b.next %= len(b.backends)
 	} else {
@@ -118,16 +126,24 @@ func (b *Balancer) Len() int {
 	return len(b.backends)
 }
 
-// pick returns the next backend round-robin.
+// pick returns the next healthy backend round-robin. With every backend
+// ejected the answer is ErrNoBackends — retriable, so clients back off
+// and retry into the recovery instead of failing terminally.
 func (b *Balancer) pick() (Backend, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.backends) == 0 {
+	n := len(b.backends)
+	if n == 0 {
 		return nil, ErrNoBackends
 	}
-	be := b.backends[b.next%len(b.backends)]
-	b.next = (b.next + 1) % len(b.backends)
-	return be, nil
+	for i := 0; i < n; i++ {
+		be := b.backends[b.next%n]
+		b.next = (b.next + 1) % n
+		if !b.ejectedLocked(be.ID()) {
+			return be, nil
+		}
+	}
+	return nil, ErrNoBackends
 }
 
 // lookup resolves a transaction's pinned backend.
@@ -179,7 +195,7 @@ func (b *Balancer) Placed() int64 {
 func (b *Balancer) pickFor(firstKey string) (Backend, error) {
 	b.mu.Lock()
 	if b.placer != nil && firstKey != "" {
-		if id, ok := b.placer(firstKey); ok {
+		if id, ok := b.placer(firstKey); ok && !b.ejectedLocked(id) {
 			for _, be := range b.backends {
 				if be.ID() == id {
 					b.placed++

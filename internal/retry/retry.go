@@ -1,12 +1,16 @@
 // Package retry holds the single, shared classification of errors after
 // which a client should redo its request with a fresh transaction — the
-// §3.3.1 retry discipline. The public API (aft.RunTransaction) and the
-// chaos harness must agree on this set, or the harness would report
-// failures the API retries (or vice versa); keep it in one place.
+// §3.3.1 retry discipline — plus the capped exponential backoff that
+// paces those redos. The public API (aft.RunTransaction) and the chaos
+// harness must agree on this set, or the harness would report failures
+// the API retries (or vice versa); keep it in one place.
 package retry
 
 import (
+	"context"
 	"errors"
+	"math/rand"
+	"time"
 
 	"aft/internal/core"
 	"aft/internal/lb"
@@ -16,13 +20,94 @@ import (
 // Retriable reports whether a request that failed with err should be
 // redone under a fresh transaction: transient storage unavailability,
 // transactions lost to node crashes, read-set dead ends (§3.6), versions
-// collected mid-read, and load-balancer backends that vanished under the
-// request.
+// collected mid-read, load-balancer backends that vanished under the
+// request, admission-control shedding (core.ErrOverloaded — the node
+// asked for backoff, not abandonment), and op deadline expiry
+// (context.DeadlineExceeded, which wire.ErrDeadlineExceeded wraps — a
+// timed-out op has indeterminate effect, and redo is safe because
+// commits are idempotent under the same txid, §3.1). A canceled ctx is
+// NOT retriable: the caller withdrew the request on purpose.
 func Retriable(err error) bool {
 	return errors.Is(err, storage.ErrUnavailable) ||
 		errors.Is(err, core.ErrTxnNotFound) ||
 		errors.Is(err, core.ErrNoValidVersion) ||
 		errors.Is(err, core.ErrVersionVanished) ||
 		errors.Is(err, lb.ErrBackendGone) ||
-		errors.Is(err, lb.ErrNoBackends)
+		errors.Is(err, lb.ErrNoBackends) ||
+		errors.Is(err, core.ErrOverloaded) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// Backoff computes capped exponential delays with seeded jitter:
+// attempt k (0-based) waits uniformly in [Base·2^k/2, Base·2^k), capped
+// at Cap. The jitter stream is seeded, so harnesses that fix their seeds
+// (the chaos campaigns' idgen discipline) get bit-for-bit reproducible
+// delay sequences; production callers seed from entropy or accept the
+// zero value's defaults.
+//
+// A Backoff is NOT safe for concurrent use: each retry loop owns one
+// (rand.Rand is unsynchronized, and sharing one stream across loops
+// would destroy per-loop determinism anyway).
+type Backoff struct {
+	// Base is the attempt-0 delay ceiling; 0 defaults to 5ms.
+	Base time.Duration
+	// Cap bounds every delay; 0 defaults to 1s.
+	Cap time.Duration
+	// Seed fixes the jitter stream; 0 seeds from the base/cap mix only
+	// (still deterministic — determinism is the point; pass a
+	// per-process random seed for decorrelated production jitter).
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// Next returns the delay before retry attempt k (0-based). Out-of-range
+// attempts clamp to Cap.
+func (b *Backoff) Next(attempt int) time.Duration {
+	base, cp := b.Base, b.Cap
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if cp <= 0 {
+		cp = time.Second
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed ^ 0x5eed5eed))
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base
+	for i := 0; i < attempt && d < cp; i++ {
+		d *= 2
+	}
+	if d > cp {
+		d = cp
+	}
+	// Uniform in [d/2, d): "equal jitter" keeps a floor (so retries never
+	// stampede immediately) while decorrelating the crowd.
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.rng.Int63n(int64(half)))
+}
+
+// Sleep waits Next(attempt), returning early with ctx.Err() when ctx is
+// done first. A nil Sleeper-style override is not needed here: callers
+// that must not really sleep (deterministic harnesses at scale 0) set a
+// tiny Base/Cap instead.
+func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
+	d := b.Next(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

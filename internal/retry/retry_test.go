@@ -1,0 +1,135 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"aft/internal/core"
+	"aft/internal/lb"
+	"aft/internal/storage"
+	"aft/internal/wire"
+)
+
+// TestRetriableTable drives the classification over every sentinel the
+// §3.3.1 redo discipline covers, plus conditions that must NOT retry.
+func TestRetriableTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"storage unavailable", storage.ErrUnavailable, true},
+		{"txn not found", core.ErrTxnNotFound, true},
+		{"no valid version", core.ErrNoValidVersion, true},
+		{"version vanished", core.ErrVersionVanished, true},
+		{"backend gone", lb.ErrBackendGone, true},
+		{"no backends", lb.ErrNoBackends, true},
+		{"overloaded", core.ErrOverloaded, true},
+		{"ctx deadline", context.DeadlineExceeded, true},
+		{"wire deadline", wire.ErrDeadlineExceeded, true},
+		{"txn finished", core.ErrTxnFinished, false},
+		{"key not found", core.ErrKeyNotFound, false},
+		{"ctx canceled", context.Canceled, false},
+		{"wire client closed", wire.ErrClosed, false},
+		{"opaque", errors.New("disk on fire"), false},
+
+		// Wrapped chains must classify by errors.Is, not identity.
+		{"wrapped unavailable", fmt.Errorf("op: %w", storage.ErrUnavailable), true},
+		{"deeply wrapped overloaded", fmt.Errorf("a: %w", fmt.Errorf("b: %w", core.ErrOverloaded)), true},
+		{"wrapped wire deadline", fmt.Errorf("commit: %w", wire.ErrDeadlineExceeded), true},
+		{"wrapped finished", fmt.Errorf("op: %w", core.ErrTxnFinished), false},
+
+		// Multi-%w: one retriable branch anywhere in the tree suffices.
+		{"multi-wrap retriable branch", fmt.Errorf("%w; also %w", errors.New("context"), core.ErrTxnNotFound), true},
+		{"multi-wrap transport", fmt.Errorf("wire: conn to host: %v: %w", errors.New("reset"), storage.ErrUnavailable), true},
+		{"multi-wrap none retriable", fmt.Errorf("%w and %w", core.ErrTxnFinished, errors.New("other")), false},
+	}
+	for _, tc := range cases {
+		if got := Retriable(tc.err); got != tc.want {
+			t.Errorf("Retriable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffDeterministic locks the seeded jitter contract: same seed,
+// same delay sequence; different seed, different sequence.
+func TestBackoffDeterministic(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		b := &Backoff{Base: 4 * time.Millisecond, Cap: 100 * time.Millisecond, Seed: seed}
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Next(i)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestBackoffBounds checks the envelope: attempt k's delay lies in
+// [base·2^k/2, base·2^k) until the cap clamps it, and never exceeds Cap.
+func TestBackoffBounds(t *testing.T) {
+	base, cap_ := 4*time.Millisecond, 20*time.Millisecond
+	b := &Backoff{Base: base, Cap: cap_, Seed: 3}
+	for attempt := 0; attempt < 12; attempt++ {
+		d := b.Next(attempt)
+		ceil := base
+		for i := 0; i < attempt && ceil < cap_; i++ {
+			ceil *= 2
+		}
+		if ceil > cap_ {
+			ceil = cap_
+		}
+		if d < ceil/2 || d >= ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, ceil/2, ceil)
+		}
+	}
+}
+
+// TestBackoffDefaults exercises the zero value.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Next(0)
+	if d <= 0 || d > 5*time.Millisecond {
+		t.Fatalf("zero-value attempt-0 delay %v outside (0, 5ms]", d)
+	}
+	if d := b.Next(1000); d > time.Second {
+		t.Fatalf("delay %v exceeds default cap", d)
+	}
+}
+
+// TestBackoffSleepCtx verifies Sleep returns early when ctx dies first.
+func TestBackoffSleepCtx(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Second, Cap: 10 * time.Second, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not honor ctx cancellation")
+	}
+}

@@ -1,33 +1,59 @@
 package wire
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
-
-	"context"
+	"time"
 
 	"aft/internal/idgen"
+	"aft/internal/storage"
 	"aft/internal/telemetry"
 )
+
+// DialConfig tunes a Client beyond the defaults Dial applies.
+type DialConfig struct {
+	// MaxConns bounds the connection pool (0 defaults to 16).
+	MaxConns int
+	// OpTimeout is the per-op conn deadline applied when the caller's ctx
+	// carries none (and the floor when it does: the effective deadline is
+	// the earlier of the two). 0 defaults to 30s; negative disables the
+	// floor so only the ctx deadline bounds the op.
+	OpTimeout time.Duration
+	// DialTimeout bounds each TCP connect (0 defaults to 10s; negative
+	// disables).
+	DialTimeout time.Duration
+}
 
 // Client is a connection pool speaking the AFT wire protocol to one node.
 // It implements lb.Backend, so remote nodes compose with the load balancer
 // exactly like in-process ones.
+//
+// Every op is deadline-bounded: the earlier of the caller's ctx deadline
+// and the configured OpTimeout is set as the conn read/write deadline, so
+// a partitioned or hung server yields a retriable ErrDeadlineExceeded
+// instead of an indefinite hang, and (protocol v2) the remaining budget
+// rides the wire so the server abandons work the client gave up on.
 type Client struct {
 	addr string
 	id   string
 	// version is the negotiated protocol version: min(ours, server's).
-	// Immutable after Dial. 0 means a legacy server — trace-context
-	// fields are withheld, everything else is unchanged.
-	version uint8
+	// Immutable after Dial. Servers below v1 never see trace-context
+	// fields, servers below v2 never see deadline fields; everything else
+	// is unchanged.
+	version     uint8
+	opTimeout   time.Duration
+	dialTimeout time.Duration
 
-	mu    sync.Mutex
-	idle  []*clientConn
-	total int
-	max   int
-	dead  bool
+	mu       sync.Mutex
+	idle     []*clientConn
+	inflight map[*clientConn]struct{}
+	max      int
+	dead     bool
 }
 
 type clientConn struct {
@@ -36,22 +62,40 @@ type clientConn struct {
 	dec  *gob.Decoder
 }
 
-// Dial connects to an AFT server at addr. maxConns bounds the connection
-// pool (0 defaults to 16). The initial connection doubles as a liveness
-// check and learns the node's ID.
+// Dial connects to an AFT server at addr with default timeouts. maxConns
+// bounds the connection pool (0 defaults to 16). The initial connection
+// doubles as a liveness check and learns the node's ID.
 func Dial(addr string, maxConns int) (*Client, error) {
-	if maxConns <= 0 {
-		maxConns = 16
+	return DialWith(addr, DialConfig{MaxConns: maxConns})
+}
+
+// DialWith is Dial with explicit pool and timeout configuration.
+func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 16
 	}
-	c := &Client{addr: addr, max: maxConns}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	c := &Client{
+		addr:        addr,
+		max:         cfg.MaxConns,
+		opTimeout:   cfg.OpTimeout,
+		dialTimeout: cfg.DialTimeout,
+		inflight:    make(map[*clientConn]struct{}),
+	}
 	cc, err := c.newConn()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(cc, &Request{Op: OpPing, Version: ProtocolVersion})
+	dl, _ := c.opDeadline(context.Background())
+	resp, err := c.roundTrip(cc, &Request{Op: OpPing, Version: ProtocolVersion}, dl)
 	if err != nil {
 		cc.conn.Close()
-		return nil, err
+		return nil, c.opErr(err)
 	}
 	c.id = string(resp.Value)
 	c.version = resp.Version
@@ -66,34 +110,55 @@ func Dial(addr string, maxConns int) (*Client, error) {
 func (c *Client) Version() uint8 { return c.version }
 
 func (c *Client) newConn() (*clientConn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	d := net.Dialer{}
+	if c.dialTimeout > 0 {
+		d.Timeout = c.dialTimeout
+	}
+	conn, err := d.Dial("tcp", c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dialing %s: %w", c.addr, err)
+		// A failed (re)connect — including a mid-pool redial after the
+		// server dropped our conns — is a transient condition the §3.3.1
+		// redo discipline handles, so it classifies as retriable.
+		return nil, fmt.Errorf("wire: dialing %s: %v: %w", c.addr, err, storage.ErrUnavailable)
 	}
 	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-// get borrows a pooled connection, dialing when the pool is empty.
+// get borrows a pooled connection, dialing when the pool is empty, and
+// registers it in-flight so Close can interrupt a blocked op.
 func (c *Client) get() (*clientConn, error) {
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: client closed")
+		return nil, fmt.Errorf("wire: %w", ErrClosed)
 	}
 	if n := len(c.idle); n > 0 {
 		cc := c.idle[n-1]
 		c.idle = c.idle[:n-1]
+		c.inflight[cc] = struct{}{}
 		c.mu.Unlock()
 		return cc, nil
 	}
-	c.total++
 	c.mu.Unlock()
-	return c.newConn()
+	cc, err := c.newConn()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		cc.conn.Close()
+		return nil, fmt.Errorf("wire: %w", ErrClosed)
+	}
+	c.inflight[cc] = struct{}{}
+	c.mu.Unlock()
+	return cc, nil
 }
 
 // put returns a healthy connection to the pool.
 func (c *Client) put(cc *clientConn) {
 	c.mu.Lock()
+	delete(c.inflight, cc)
 	if !c.dead && len(c.idle) < c.max {
 		c.idle = append(c.idle, cc)
 		c.mu.Unlock()
@@ -103,7 +168,32 @@ func (c *Client) put(cc *clientConn) {
 	cc.conn.Close()
 }
 
-func (c *Client) roundTrip(cc *clientConn, req *Request) (*Response, error) {
+// discard drops a connection that errored; it is never reused.
+func (c *Client) discard(cc *clientConn) {
+	c.mu.Lock()
+	delete(c.inflight, cc)
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// opDeadline resolves the effective deadline for one op: the earlier of
+// the ctx deadline and now+OpTimeout. A zero return means unbounded.
+func (c *Client) opDeadline(ctx context.Context) (time.Time, bool) {
+	dl, ok := ctx.Deadline()
+	if c.opTimeout > 0 {
+		if od := time.Now().Add(c.opTimeout); !ok || od.Before(dl) {
+			dl, ok = od, true
+		}
+	}
+	return dl, ok
+}
+
+// roundTrip runs one request/response exchange under dl (zero clears any
+// deadline left by the conn's previous op).
+func (c *Client) roundTrip(cc *clientConn, req *Request, dl time.Time) (*Response, error) {
+	if err := cc.conn.SetDeadline(dl); err != nil {
+		return nil, fmt.Errorf("wire: set deadline: %w", err)
+	}
 	if err := cc.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
@@ -114,17 +204,60 @@ func (c *Client) roundTrip(cc *clientConn, req *Request) (*Response, error) {
 	return &resp, nil
 }
 
-// call runs one request on a pooled connection; connections that error are
-// discarded rather than reused.
-func (c *Client) call(req *Request) (*Response, error) {
+// opErr classifies a transport-level failure: ops interrupted by Close
+// are terminal (ErrClosed), timeouts map to the retriable
+// ErrDeadlineExceeded, and everything else — resets, EOFs from a dying
+// server, failed redials — to the retriable storage.ErrUnavailable
+// (indeterminate ops are safe to redo: commits are idempotent under the
+// same txid, §3.1).
+func (c *Client) opErr(err error) error {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	switch {
+	case dead:
+		return fmt.Errorf("wire: op interrupted: %w", ErrClosed)
+	case isTimeout(err):
+		return fmt.Errorf("wire: %s: %v: %w", c.addr, err, ErrDeadlineExceeded)
+	default:
+		return fmt.Errorf("wire: conn to %s: %v: %w", c.addr, err, storage.ErrUnavailable)
+	}
+}
+
+// isTimeout reports whether err is a conn-deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// call runs one request on a pooled connection; connections that error
+// are discarded rather than reused.
+func (c *Client) call(ctx context.Context, req *Request) (*Response, error) {
+	dl, ok := c.opDeadline(ctx)
+	if ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, fmt.Errorf("wire: %s: %w", c.addr, ErrDeadlineExceeded)
+		}
+		if c.version >= 2 {
+			ms := rem.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			req.DeadlineMillis = ms
+		}
+	}
 	cc, err := c.get()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(cc, req)
+	resp, err := c.roundTrip(cc, req, dl)
 	if err != nil {
-		cc.conn.Close()
-		return nil, err
+		c.discard(cc)
+		return nil, c.opErr(err)
 	}
 	c.put(cc)
 	return resp, nil
@@ -132,6 +265,13 @@ func (c *Client) call(req *Request) (*Response, error) {
 
 // ID returns the remote node's identifier (lb.Backend).
 func (c *Client) ID() string { return c.id }
+
+// Ping round-trips a no-op request, verifying the conn path end to end.
+// It implements lb.Pinger, so balancer health probes reach over the wire.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, &Request{Op: OpPing})
+	return err
+}
 
 // StartTransaction implements lb.Backend over the wire. A trace context
 // in ctx (telemetry.WithTraceContext, or aft.Traced at the API surface)
@@ -143,7 +283,7 @@ func (c *Client) StartTransaction(ctx context.Context) (string, error) {
 			req.TraceID, req.TraceSampled = tc.ID, tc.Sampled
 		}
 	}
-	resp, err := c.call(req)
+	resp, err := c.call(ctx, req)
 	if err != nil {
 		return "", err
 	}
@@ -152,7 +292,7 @@ func (c *Client) StartTransaction(ctx context.Context) (string, error) {
 
 // Get implements lb.Backend over the wire.
 func (c *Client) Get(ctx context.Context, txid, key string) ([]byte, error) {
-	resp, err := c.call(&Request{Op: OpGet, TxID: txid, Key: key})
+	resp, err := c.call(ctx, &Request{Op: OpGet, TxID: txid, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +306,7 @@ func (c *Client) Get(ctx context.Context, txid, key string) ([]byte, error) {
 // whole key batch, and the server's batched read pipeline collapses the
 // storage fan-out behind it.
 func (c *Client) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
-	resp, err := c.call(&Request{Op: OpMultiGet, TxID: txid, Keys: keys})
+	resp, err := c.call(ctx, &Request{Op: OpMultiGet, TxID: txid, Keys: keys})
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +318,7 @@ func (c *Client) MultiGet(ctx context.Context, txid string, keys []string) ([][]
 
 // Put implements lb.Backend over the wire.
 func (c *Client) Put(ctx context.Context, txid, key string, value []byte) error {
-	resp, err := c.call(&Request{Op: OpPut, TxID: txid, Key: key, Value: value})
+	resp, err := c.call(ctx, &Request{Op: OpPut, TxID: txid, Key: key, Value: value})
 	if err != nil {
 		return err
 	}
@@ -187,7 +327,7 @@ func (c *Client) Put(ctx context.Context, txid, key string, value []byte) error 
 
 // CommitTransaction implements lb.Backend over the wire.
 func (c *Client) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
-	resp, err := c.call(&Request{Op: OpCommit, TxID: txid})
+	resp, err := c.call(ctx, &Request{Op: OpCommit, TxID: txid})
 	if err != nil {
 		return idgen.Null, err
 	}
@@ -199,7 +339,7 @@ func (c *Client) CommitTransaction(ctx context.Context, txid string) (idgen.ID, 
 
 // AbortTransaction implements lb.Backend over the wire.
 func (c *Client) AbortTransaction(ctx context.Context, txid string) error {
-	resp, err := c.call(&Request{Op: OpAbort, TxID: txid})
+	resp, err := c.call(ctx, &Request{Op: OpAbort, TxID: txid})
 	if err != nil {
 		return err
 	}
@@ -208,21 +348,34 @@ func (c *Client) AbortTransaction(ctx context.Context, txid string) error {
 
 // ResumeTransaction re-attaches to a transaction after a function retry.
 func (c *Client) ResumeTransaction(ctx context.Context, txid string) error {
-	resp, err := c.call(&Request{Op: OpResume, TxID: txid})
+	resp, err := c.call(ctx, &Request{Op: OpResume, TxID: txid})
 	if err != nil {
 		return err
 	}
 	return DecodeErr(resp.Code, resp.Message)
 }
 
-// Close tears down the pool.
+// Close tears down the pool. In-flight ops blocked on a dead or
+// partitioned server are unblocked: their conns close under them and the
+// ops fail with ErrClosed.
 func (c *Client) Close() {
 	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
 	c.dead = true
 	idle := c.idle
 	c.idle = nil
+	inflight := make([]*clientConn, 0, len(c.inflight))
+	for cc := range c.inflight {
+		inflight = append(inflight, cc)
+	}
 	c.mu.Unlock()
 	for _, cc := range idle {
+		cc.conn.Close()
+	}
+	for _, cc := range inflight {
 		cc.conn.Close()
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"aft/internal/core"
 	"aft/internal/telemetry"
@@ -40,6 +41,14 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts serving on an externally created listener — e.g. one
+// wrapped by chaos.WrapListener for network fault injection — returning
+// its address. The server owns ln from here on: Close and Shutdown close
+// it.
+func (s *Server) Serve(ln net.Listener) net.Addr {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -48,7 +57,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		defer s.wg.Done()
 		s.acceptLoop(ln)
 	}()
-	return ln.Addr(), nil
+	return ln.Addr()
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -106,6 +115,14 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(ctx context.Context, req *Request) *Response {
+	// A v2 client ships its remaining per-op budget; honoring it here
+	// means work the client has already given up on is abandoned at the
+	// node's next ctx check instead of burning a concurrency slot.
+	if req.DeadlineMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
 	resp := &Response{TxID: req.TxID}
 	var err error
 	switch req.Op {
@@ -138,6 +155,31 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 	}
 	resp.Code, resp.Message = EncodeErr(err)
 	return resp
+}
+
+// Shutdown drains the server gracefully: it closes the listener so no
+// new connections arrive, waits for the node's in-flight transactions to
+// finish (polling, bounded by ctx), then closes the remaining
+// connections. On ctx expiry it force-closes and returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for s.node.ActiveTransactions() > 0 {
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return s.Close()
 }
 
 // Close stops the listener and all live connections, then waits for

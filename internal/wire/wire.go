@@ -9,6 +9,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -20,11 +21,14 @@ import (
 
 // ProtocolVersion is this build's wire protocol version, exchanged on
 // the Ping handshake. Version 1 adds the trace-context request fields
-// and typed unknown-op errors; version 0 is the pre-handshake protocol
-// (a v0 peer leaves the version fields gob-zeroed, which is exactly the
-// legacy behaviour — gob ignores unknown struct fields, so the trace
-// fields are negotiated rather than assumed but the codec never breaks).
-const ProtocolVersion uint8 = 1
+// and typed unknown-op errors; version 2 adds the request deadline field
+// (the client's remaining per-op budget rides the wire so the server
+// abandons work the client has given up on); version 0 is the
+// pre-handshake protocol (a v0 peer leaves the version fields
+// gob-zeroed, which is exactly the legacy behaviour — gob ignores
+// unknown struct fields, so the trace and deadline fields are negotiated
+// rather than assumed but the codec never breaks).
+const ProtocolVersion uint8 = 2
 
 // Op identifies a request type.
 type Op uint8
@@ -59,6 +63,14 @@ type Request struct {
 	TraceSampled bool
 	// Version is the sender's protocol version, meaningful on OpPing.
 	Version uint8
+	// DeadlineMillis is the client's remaining per-op time budget in
+	// milliseconds at send time (appended after the v1 fields; sent only
+	// after the handshake negotiated protocol version >= 2, 0 = no
+	// deadline). It is a relative duration rather than an absolute wall
+	// time so client and server clocks never need to agree; the server
+	// derives a context deadline from it and abandons the op once the
+	// budget is spent.
+	DeadlineMillis int64
 }
 
 // ErrCode classifies errors across the wire.
@@ -77,9 +89,18 @@ const (
 	// pre-existing code values stay stable across versions.
 	ErrCodeVersionVanished
 	// ErrCodeUnknownOp reports a request op this server does not
-	// implement, carrying the offending op code (appended last; older
-	// servers report the same condition as ErrCodeOther).
+	// implement, carrying the offending op code (appended after
+	// ErrCodeVersionVanished; older servers report the same condition as
+	// ErrCodeOther).
 	ErrCodeUnknownOp
+	// ErrCodeOverloaded reports admission-control shedding: the node's
+	// wait queue for a concurrency slot is full. Retriable after backoff.
+	// Appended after ErrCodeUnknownOp so pre-existing values stay stable.
+	ErrCodeOverloaded
+	// ErrCodeDeadlineExceeded reports that the op's deadline expired
+	// server-side before the work finished. Retriable with a fresh
+	// deadline. Appended last.
+	ErrCodeDeadlineExceeded
 )
 
 // Response is one server->client message.
@@ -95,6 +116,20 @@ type Response struct {
 	// the client speaks min(its own, this). A v0 server leaves it 0.
 	Version uint8
 }
+
+// ErrDeadlineExceeded reports an op that ran out of time budget — the
+// conn deadline fired client-side, or the server reported
+// ErrCodeDeadlineExceeded. It wraps context.DeadlineExceeded so callers
+// (and retry.Retriable) classify both transport-level and ctx-level
+// timeouts with one errors.Is check; the §3.3.1 redo discipline treats
+// it as retriable because a timed-out op has indeterminate effect and
+// commits are idempotent under the same txid (§3.1).
+var ErrDeadlineExceeded = fmt.Errorf("aft: op deadline exceeded: %w", context.DeadlineExceeded)
+
+// ErrClosed reports an op issued on (or interrupted by) a closed
+// Client. Unlike a conn failure it is NOT retriable: the caller tore
+// the pool down on purpose.
+var ErrClosed = errors.New("wire: client closed")
 
 // UnknownOpError reports a request op the server does not implement —
 // typically a newer client speaking to an older server. The offending op
@@ -129,6 +164,10 @@ func EncodeErr(err error) (ErrCode, string) {
 		return ErrCodeUnavailable, err.Error()
 	case errors.Is(err, core.ErrVersionVanished):
 		return ErrCodeVersionVanished, err.Error()
+	case errors.Is(err, core.ErrOverloaded):
+		return ErrCodeOverloaded, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrCodeDeadlineExceeded, err.Error()
 	default:
 		return ErrCodeOther, err.Error()
 	}
@@ -151,6 +190,10 @@ func DecodeErr(code ErrCode, msg string) error {
 		return storage.ErrUnavailable
 	case ErrCodeVersionVanished:
 		return core.ErrVersionVanished
+	case ErrCodeOverloaded:
+		return core.ErrOverloaded
+	case ErrCodeDeadlineExceeded:
+		return ErrDeadlineExceeded
 	case ErrCodeUnknownOp:
 		op, err := strconv.Atoi(msg)
 		if err != nil {

@@ -168,7 +168,7 @@ func TestUnknownOpTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	resp, err := client.call(&Request{Op: Op(99)})
+	resp, err := client.call(context.Background(), &Request{Op: Op(99)})
 	if err != nil {
 		t.Fatal(err)
 	}
