@@ -17,7 +17,9 @@
 // Experiments: fig2, fig3 (includes table2), fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, ablation, sharded, parallel, readpath, chaos, durability,
 // telemetry (instrumentation-overhead comparison), resilience (network
-// partitions, conn resets, and overload through the real wire stack).
+// partitions, conn resets, and overload through the real wire stack),
+// recovery (WAL checkpoints vs full replay, incremental bootstrap,
+// metadata-budget spill, and a crash campaign over all three).
 // With -debug-addr set, a side HTTP listener serves /statz and the
 // /debug/pprof/ profiler suite for the duration of the run.
 // The -store flag overrides the storage backend every experiment builds
@@ -62,11 +64,12 @@ type benchResult struct {
 	DurabilityCells []experiments.DurabilityCell `json:"durability_cells,omitempty"`
 	TelemetryCells  []experiments.TelemetryCell  `json:"telemetry_cells,omitempty"`
 	ResilienceCells []experiments.ResilienceCell `json:"resilience_cells,omitempty"`
+	RecoveryCells   []experiments.RecoveryCell   `json:"recovery_cells,omitempty"`
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry|resilience")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry|resilience|recovery")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -155,6 +158,7 @@ func main() {
 		{"durability", one(experiments.Durability)},
 		{"telemetry", one(experiments.Telemetry)},
 		{"resilience", one(experiments.Resilience)},
+		{"recovery", one(experiments.Recovery)},
 	}
 
 	selected := map[string]bool{}
@@ -232,6 +236,13 @@ func main() {
 			if err == nil {
 				var t experiments.Table
 				t, err = experiments.ResilienceTable(res.ResilienceCells)
+				res.Tables = []experiments.Table{t}
+			}
+		case "recovery":
+			res.RecoveryCells, err = experiments.RecoveryCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.RecoveryTable(res.RecoveryCells)
 				res.Tables = []experiments.Table{t}
 			}
 		default:

@@ -70,6 +70,8 @@ func main() {
 		gcPeriod  = flag.Duration("gc-period", 30*time.Second, "fault-manager scan + global GC period")
 		traceEach = flag.Int("trace-sample", 64, "self-sample 1 in N transactions into /traces (<=0 disables)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight transactions to finish")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "WAL index checkpoint period for -store wal (0 disables; restarts then replay the full log)")
+		budget    = flag.Int64("metadata-budget", 0, "metadata memory budget in bytes (0 = unbounded); past it the node spills cold commit records to storage")
 	)
 	flag.Parse()
 
@@ -124,6 +126,10 @@ func main() {
 		Store:           store,
 		EnableDataCache: *cache,
 		Tracer:          tracer,
+		// Only the WAL store survives restarts, so only there does a
+		// persisted watermark make the next Bootstrap incremental.
+		PersistBootstrapWatermark: *backend == "wal",
+		MetadataBudgetBytes:       *budget,
 	})
 	if err != nil {
 		log.Fatalf("aft-server: %v", err)
@@ -151,8 +157,15 @@ func main() {
 	bal := lb.New(node)
 
 	stopGC := make(chan struct{})
-	go maintenanceLoop(fm, *gcPeriod, stopGC)
+	go maintenanceLoop(fm, node, *budget, *gcPeriod, stopGC)
 	defer close(stopGC)
+	if *ckptEvery > 0 {
+		if ws, ok := store.(*walengine.Store); ok {
+			go checkpointLoop(ws, *ckptEvery, stopGC)
+		} else {
+			log.Printf("aft-server: -checkpoint-interval ignored: store %q keeps no WAL", *backend)
+		}
+	}
 
 	reg := aft.NewMetricsRegistry()
 	node.RegisterTelemetry(reg)
@@ -195,9 +208,10 @@ func main() {
 	runServer(srv, node, *drain)
 }
 
-// maintenanceLoop periodically recovers unannounced commits from storage
-// and runs one global-GC pass, until stop closes.
-func maintenanceLoop(fm *faultmgr.Manager, period time.Duration, stop <-chan struct{}) {
+// maintenanceLoop periodically recovers unannounced commits from storage,
+// runs one global-GC pass, and (with a budget set) brings the node's
+// metadata memory back under it, until stop closes.
+func maintenanceLoop(fm *faultmgr.Manager, node *aft.Node, budget int64, period time.Duration, stop <-chan struct{}) {
 	if period <= 0 {
 		period = 30 * time.Second
 	}
@@ -214,6 +228,30 @@ func maintenanceLoop(fm *faultmgr.Manager, period time.Duration, stop <-chan str
 			}
 			if _, err := fm.CollectOnceTraced(ctx, 0); err != nil {
 				log.Printf("aft-server: global GC: %v", err)
+			}
+			if budget > 0 {
+				if _, err := node.EnforceBudget(ctx); err != nil {
+					log.Printf("aft-server: metadata budget enforcement: %v", err)
+				}
+			}
+			cancel()
+		}
+	}
+}
+
+// checkpointLoop periodically checkpoints the WAL store's key index so a
+// restart replays only the log tail written since, until stop closes.
+func checkpointLoop(ws *walengine.Store, period time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), period)
+			if _, err := ws.Checkpoint(ctx); err != nil && err != walengine.ErrCheckpointInProgress {
+				log.Printf("aft-server: WAL checkpoint: %v", err)
 			}
 			cancel()
 		}

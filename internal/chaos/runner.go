@@ -77,6 +77,12 @@ type Runner struct {
 	// MaxCommitRetries bounds same-transaction commit retries on transient
 	// errors; 0 defaults to 8.
 	MaxCommitRetries int
+	// OnRedo, when set, runs before each redo with the error that failed
+	// the previous attempt. Deterministic harnesses use it as the stand-in
+	// for server-side maintenance that runs concurrently with client
+	// backoff in a real deployment — e.g. budget enforcement relieving the
+	// ErrOverloaded a shedding node answered with.
+	OnRedo func(ctx context.Context, err error)
 
 	metrics RunnerMetrics
 }
@@ -95,6 +101,9 @@ func (r *Runner) Do(ctx context.Context, req workload.Request) error {
 	for redo := 0; redo <= maxRedos; redo++ {
 		if redo > 0 {
 			r.metrics.Redos.Add(1)
+			if r.OnRedo != nil {
+				r.OnRedo(ctx, lastErr)
+			}
 		}
 		err := r.attempt(ctx, req)
 		if err == nil {

@@ -76,6 +76,15 @@ type Config struct {
 	// NumShards and VNodes tune the ring; 0 selects shard.DefaultShards /
 	// shard.DefaultVNodes. Ignored unless Sharded.
 	NumShards, VNodes int
+	// IncrementalBootstrap makes node joins (including standby promotions)
+	// warm up incrementally: the fault manager pushes its in-memory commit
+	// view to the joiner, which then fetches from storage only records
+	// newer than that view — O(delta the manager missed) instead of
+	// O(history). Anything older that the manager also missed stays
+	// recoverable on demand through the joiner's partial-metadata read
+	// fallback. Ignored in Sharded mode, where Bootstrap is already scoped
+	// to the joiner's shard share.
+	IncrementalBootstrap bool
 }
 
 type member struct {
@@ -201,7 +210,26 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 		c.reannounceForPlan(c.ring.AddNode(id))
 		node.SetOwnership(func(key string) bool { return c.ring.OwnsKey(id, key) })
 	}
-	if err := node.Bootstrap(ctx); err != nil {
+	bootstrap := node.Bootstrap
+	if c.cfg.IncrementalBootstrap && c.ring == nil {
+		// Recover commits a dead node persisted but never announced (§4.2)
+		// BEFORE cutting the watermark. The tap-fed view alone can hold a
+		// key's older version while missing its newest (the writer died
+		// pre-flush); announcing that view and skipping everything below
+		// its maximum would freeze the joiner on the stale version — it
+		// has resident candidates, so its reads never consult storage.
+		// After a scan the manager holds the newest durable version of
+		// every key it knows at all, and the watermark cut is sound. If
+		// the scan fails (storage fault mid-join), fall back to a full
+		// cold-start bootstrap rather than trust a watermark with holes.
+		if err := c.fm.ScanStorage(ctx); err == nil {
+			since := c.fm.AnnounceTo(node)
+			bootstrap = func(ctx context.Context) error {
+				return node.BootstrapSince(ctx, since)
+			}
+		}
+	}
+	if err := bootstrap(ctx); err != nil {
 		if c.ring != nil {
 			c.reannounceForPlan(c.ring.RemoveNode(id))
 			c.bus.Unregister(id)
@@ -250,6 +278,11 @@ func (c *Cluster) localGCLoop(m *member) {
 			return
 		case <-ticker.C:
 			m.node.SweepLocalMetadata(0)
+			if c.cfg.Node.MetadataBudgetBytes > 0 {
+				// Best-effort: a storage error mid-enforcement just leaves
+				// memory relief to the next tick.
+				_, _ = m.node.EnforceBudget(context.Background())
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // dataCache is the node's read cache for key-version payloads (§3.1): it
@@ -34,6 +35,9 @@ type cacheShard struct {
 	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	// bytes sums cached key and value lengths; written under mu, read
+	// atomically by cross-shard budget checks.
+	bytes atomic.Int64
 }
 
 type cacheEntry struct {
@@ -97,19 +101,33 @@ func (c *dataCache) put(storageKey string, value []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[storageKey]; ok {
-		el.Value.(*cacheEntry).value = v
+		e := el.Value.(*cacheEntry)
+		s.bytes.Add(int64(len(v) - len(e.value)))
+		e.value = v
 		s.order.MoveToFront(el)
 		return
 	}
 	for len(s.entries) >= s.cap {
-		back := s.order.Back()
-		if back == nil {
+		if !s.dropOldestLocked() {
 			break
 		}
-		s.order.Remove(back)
-		delete(s.entries, back.Value.(*cacheEntry).key)
 	}
 	s.entries[storageKey] = s.order.PushFront(&cacheEntry{key: storageKey, value: v})
+	s.bytes.Add(int64(len(storageKey) + len(v)))
+}
+
+// dropOldestLocked evicts the shard's least recently used entry,
+// reporting whether one existed. Callers hold s.mu.
+func (s *cacheShard) dropOldestLocked() bool {
+	back := s.order.Back()
+	if back == nil {
+		return false
+	}
+	e := back.Value.(*cacheEntry)
+	s.order.Remove(back)
+	delete(s.entries, e.key)
+	s.bytes.Add(-int64(len(e.key) + len(e.value)))
+	return true
 }
 
 // evict removes storageKey if cached.
@@ -121,8 +139,10 @@ func (c *dataCache) evict(storageKey string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[storageKey]; ok {
+		e := el.Value.(*cacheEntry)
 		s.order.Remove(el)
 		delete(s.entries, storageKey)
+		s.bytes.Add(-int64(len(e.key) + len(e.value)))
 	}
 }
 
@@ -138,4 +158,52 @@ func (c *dataCache) len() int {
 		s.mu.Unlock()
 	}
 	return total
+}
+
+// byteSize returns the approximate bytes held by cached payloads.
+func (c *dataCache) byteSize() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range c.shards {
+		total += s.bytes.Load()
+	}
+	return total
+}
+
+// shrink evicts least-recently-used entries, round-robin across shards,
+// until the cache holds at most maxBytes of payload (or is empty). It
+// returns the number of entries evicted. Cached payloads are pure
+// re-fetchable copies of durable storage state, so shrinking never loses
+// anything — it is the memory budget's cheapest relief valve.
+func (c *dataCache) shrink(maxBytes int64) int {
+	if c == nil {
+		return 0
+	}
+	evicted := 0
+	for c.byteSize() > maxBytes {
+		progressed := false
+		for _, s := range c.shards {
+			s.mu.Lock()
+			if s.bytes.Load() > maxBytes/int64(len(c.shards)) && s.dropOldestLocked() {
+				evicted++
+				progressed = true
+			}
+			s.mu.Unlock()
+		}
+		if !progressed {
+			// Remaining bytes are spread below the per-shard share;
+			// finish with a global pass so tiny budgets still converge.
+			for _, s := range c.shards {
+				s.mu.Lock()
+				for s.bytes.Load() > 0 && c.byteSize() > maxBytes && s.dropOldestLocked() {
+					evicted++
+				}
+				s.mu.Unlock()
+			}
+			break
+		}
+	}
+	return evicted
 }

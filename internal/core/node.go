@@ -103,8 +103,28 @@ type Config struct {
 	// the Transaction Commit Set, newest first ("it bootstraps itself by
 	// reading the latest records", §3.1); 0 reads everything. Replacement
 	// nodes in large deployments set a limit so warm-up stays bounded;
-	// older transactions are recovered on demand via the fault manager.
+	// older transactions are recovered on demand: truncation flips the
+	// node into partial-metadata mode, so reads of keys whose records were
+	// dropped fall back to the Transaction Commit Set in storage
+	// (read.go), and the fault manager's scan re-announces anything
+	// missed. Truncations are counted in NodeMetrics.BootstrapTruncated.
 	BootstrapLimit int
+	// PersistBootstrapWatermark makes Bootstrap persist the newest commit
+	// key it processed (under records.BootstrapWatermarkKey(NodeID)) and,
+	// on the next Bootstrap over the same store, fetch only records past
+	// that watermark — the restarted-node fast path: warm-up traffic
+	// proportional to the delta since the last run, not the full commit
+	// set. Skipped history stays recoverable on demand (partial-metadata
+	// read fallback + fault-manager re-announcement). Off by default; the
+	// extra watermark Get/Put would perturb deterministic campaigns.
+	PersistBootstrapWatermark bool
+	// MetadataBudgetBytes bounds the node's approximate metadata memory:
+	// cached commit records (commit cache + version index) plus the read
+	// data cache. EnforceBudget (budget.go) sheds data-cache entries and
+	// spills cold commit records back to storage-resident form when the
+	// budget is exceeded, and StartTransaction sheds retriable
+	// ErrOverloaded past a 25% hard ceiling. 0 means unbounded.
+	MetadataBudgetBytes int64
 	// PackedLayout enables the S3-optimized data layout sketched in §8
 	// ("Efficient Data Layout"): each transaction's whole write set is
 	// persisted as ONE packed object instead of one object per key,
@@ -177,6 +197,19 @@ type Node struct {
 	stripes    []*stripe
 	stripeMask int
 	metaCount  atomic.Int64
+	// metaBytes approximates the resident bytes of cached commit records
+	// (records.CommitRecord.ApproxBytes, counted once per record at
+	// install/remove); together with the data cache's byte count it is
+	// what MetadataBudgetBytes budgets.
+	metaBytes atomic.Int64
+
+	// partialMeta, once set, records that this node's in-memory metadata
+	// is a subset of the Transaction Commit Set: an incremental or
+	// truncated bootstrap skipped history, or the memory budget spilled
+	// cold records. Reads that miss locally then fall back to storage
+	// (read.go) even in non-sharded deployments. Sticky by design — the
+	// fallback is also what makes the skip/spill safe.
+	partialMeta atomic.Bool
 
 	// owns filters metadata ownership in sharded deployments: when
 	// non-nil, this node caches commit metadata only for transactions
@@ -256,6 +289,11 @@ type NodeMetrics struct {
 	OverloadShed      atomic.Int64 // arrivals shed by admission control (ErrOverloaded)
 	DeadlineExceeded  atomic.Int64 // ops abandoned at a ctx-deadline check
 	ReapedExpired     atomic.Int64 // dangling transactions aborted past their deadline
+
+	BootstrapTruncated atomic.Int64 // commit records dropped by BootstrapLimit
+	BootstrapSkipped   atomic.Int64 // commit records skipped below the bootstrap watermark
+	SpilledRecords     atomic.Int64 // cached commit records spilled by the memory budget
+	BudgetShed         atomic.Int64 // arrivals shed past the metadata-budget hard ceiling
 }
 
 // NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
@@ -265,7 +303,8 @@ type NodeMetricsSnapshot struct {
 	PrunedNonOwned, RemoteFetches, CoalescedFetches,
 	BatchedRecordGets, MultiGets,
 	GroupFlushes, GroupedCommits,
-	OverloadShed, DeadlineExceeded, ReapedExpired int64
+	OverloadShed, DeadlineExceeded, ReapedExpired,
+	BootstrapTruncated, BootstrapSkipped, SpilledRecords, BudgetShed int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -290,6 +329,11 @@ func (m *NodeMetrics) Snapshot() NodeMetricsSnapshot {
 		OverloadShed:      m.OverloadShed.Load(),
 		DeadlineExceeded:  m.DeadlineExceeded.Load(),
 		ReapedExpired:     m.ReapedExpired.Load(),
+
+		BootstrapTruncated: m.BootstrapTruncated.Load(),
+		BootstrapSkipped:   m.BootstrapSkipped.Load(),
+		SpilledRecords:     m.SpilledRecords.Load(),
+		BudgetShed:         m.BudgetShed.Load(),
 	}
 }
 

@@ -220,13 +220,35 @@ func (n *Node) planRead(ctx context.Context, t *txnState, key string, owns ownsF
 	}
 	_, alreadyRead := t.readSet[key]
 
-	target, rec, pinnedNow, err := n.selectAndPin(t, key, nil)
+	var target idgen.ID
+	var rec *records.CommitRecord
+	var pinnedNow bool
+	var err error
+	if !alreadyRead && !t.metaFetched[key] && n.floorSet(key) {
+		// A budget spill evicted this key's newest resident version
+		// (stripe.go spillFloor): resident candidates may all be stale, so
+		// the index must not be trusted until storage is consulted. Skip
+		// the optimistic selection and take the recovery path directly —
+		// a floor implies partial-metadata mode, so the condition below
+		// passes. Verification re-installs a version >= the floor, which
+		// lifts it; until then the cost is one List per key per
+		// transaction, only for spilled keys. A re-read needs no floor
+		// check: repeatable reads pin the exact prior version, which is
+		// resident by §5.1.
+		err = ErrKeyNotFound
+	} else {
+		target, rec, pinnedNow, err = n.selectAndPin(t, key, nil)
+	}
 	if (errors.Is(err, ErrKeyNotFound) || errors.Is(err, ErrNoValidVersion)) &&
-		owns != nil && !t.metaFetched[key] {
+		(owns != nil || n.partialMeta.Load()) && !t.metaFetched[key] {
 		// Sharded mode: a local miss is inconclusive — the key may be
 		// non-owned (its metadata lives with another node), or owned but
-		// cold (the shard was just gained in a rebalance). Recover the
-		// key's commit metadata from storage and retry Algorithm 1 once.
+		// cold (the shard was just gained in a rebalance). The same holds
+		// on any node in partial-metadata mode: an incremental or
+		// truncated bootstrap skipped history, or the memory budget
+		// spilled cold records, so the Transaction Commit Set in storage
+		// may know versions this node does not. Recover the key's commit
+		// metadata from storage and retry Algorithm 1 once.
 		// Ownership partitions metadata caching, never serveability (§8
 		// future-work direction). metaFetched bounds the cost to one
 		// storage scan per key per transaction (the scan runs under t.mu;
@@ -321,7 +343,7 @@ func (n *Node) selectAndPin(t *txnState, key string, install []*records.CommitRe
 	ss := n.stripesOf(union)
 	lockStripes(ss)
 	for _, fr := range install {
-		n.installRecoveredLocked(fr)
+		n.installRecoveredLocked(fr, key)
 	}
 	target, rec, err := n.selectVersionLocked(t, key, lower)
 	pinnedNow := false
@@ -397,6 +419,7 @@ func (n *Node) forgetVanished(t *txnState, key string, target idgen.ID, rec *rec
 				delete(s.commits, target)
 			}
 			n.metaCount.Add(-1)
+			n.metaBytes.Add(-int64(rec.ApproxBytes()))
 			dropMarker = true
 		}
 	}
@@ -548,12 +571,19 @@ func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.Comm
 		return nil, err
 	}
 	want := make([]string, 0, len(storageKeys))
+	var out []*records.CommitRecord
 	for _, sk := range storageKeys {
 		_, id, err := records.ParseDataKey(sk)
 		if err != nil {
 			continue
 		}
-		if n.recordForKey(key, id) != nil {
+		if rec := n.recordForKey(key, id); rec != nil {
+			// Cached already — perhaps selectable only for sibling keys
+			// (recovered installs index only the verified key). Re-install
+			// it without a round trip: installRecoveredLocked is
+			// idempotent, makes it a candidate for THIS key, and lifts the
+			// key's refetch floor once the newest version goes through.
+			out = append(out, rec)
 			continue
 		}
 		want = append(want, records.CommitKey(id))
@@ -562,7 +592,6 @@ func (n *Node) fetchKeyRecords(ctx context.Context, key string) ([]*records.Comm
 	if err != nil {
 		return nil, err
 	}
-	var out []*records.CommitRecord
 	for _, ck := range want {
 		payload, ok := payloads[ck]
 		if !ok {
@@ -588,12 +617,16 @@ func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*record
 		return nil, err
 	}
 	want := make([]string, 0, len(storageKeys))
+	var out []*records.CommitRecord
 	for _, sk := range storageKeys {
 		id, err := records.ParseCommitKey(sk)
 		if err != nil {
 			continue
 		}
-		if _, known := n.findRecord(id); known {
+		if rec, known := n.findRecord(id); known {
+			if rec.Cowritten(key) {
+				out = append(out, rec) // re-install: idempotent, lifts floors
+			}
 			continue
 		}
 		want = append(want, sk)
@@ -602,7 +635,6 @@ func (n *Node) fetchKeyRecordsPacked(ctx context.Context, key string) ([]*record
 	if err != nil {
 		return nil, err
 	}
-	var out []*records.CommitRecord
 	for _, sk := range want {
 		payload, ok := payloads[sk]
 		if !ok {

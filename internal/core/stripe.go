@@ -12,6 +12,10 @@ package core
 // is shared, not the record), under the invariant that a record is present
 // either in ALL stripes of its write set or in NONE — multi-stripe
 // mutations take every affected stripe lock before touching any of them.
+// The version index is allowed to be PARTIAL relative to the commit set: a
+// record recovered from storage is indexed only under the keys whose
+// fallback reads verified their version lists (installRecoveredLocked),
+// never under keys whose newer versions this node may have spilled.
 //
 // Lock ordering, node-wide:
 //
@@ -51,6 +55,15 @@ type stripe struct {
 	// locallyDeleted mirrors commits for transactions the local GC has
 	// removed, answering the global GC's unanimity queries (§5.2).
 	locallyDeleted map[idgen.ID]*records.CommitRecord
+	// spillFloor marks keys whose newest resident version a budget spill
+	// evicted: key → the evicted ID. While a key has a floor, its index
+	// cannot be trusted to hold the newest committed version — a later
+	// full-index install of an OLDER record (a fault-manager scan
+	// recovery, a promotion announcement) would otherwise become the
+	// key's apparent newest and reads would serve it without consulting
+	// storage. The read path verifies floored keys against storage once
+	// per transaction; installing any version >= the floor clears it.
+	spillFloor map[string]idgen.ID
 }
 
 func newStripe() *stripe {
@@ -58,6 +71,7 @@ func newStripe() *stripe {
 		index:          make(versionIndex),
 		commits:        make(map[idgen.ID]*records.CommitRecord),
 		locallyDeleted: make(map[idgen.ID]*records.CommitRecord),
+		spillFloor:     make(map[string]idgen.ID),
 	}
 }
 
@@ -131,6 +145,18 @@ func (n *Node) installLocked(rec *records.CommitRecord) bool {
 	ss := n.stripesOf(rec.WriteSet)
 	id := rec.ID()
 	if _, ok := ss[0].commits[id]; ok {
+		// Already cached — but possibly only partially indexed, if it
+		// arrived through a read fallback (installRecoveredLocked indexes
+		// just the verified key). A full install (commit, multicast,
+		// fault-manager push) vouches for the whole write set, so upgrade
+		// it to fully selectable; without this, the announcement would be
+		// swallowed and the record could stay invisible to reads of its
+		// other keys forever.
+		for _, k := range rec.WriteSet {
+			s := n.stripeFor(k)
+			s.index.insert(k, id)
+			s.clearFloorLocked(k, id)
+		}
 		return false
 	}
 	if _, ok := ss[0].locallyDeleted[id]; ok {
@@ -140,37 +166,76 @@ func (n *Node) installLocked(rec *records.CommitRecord) bool {
 		s.commits[id] = rec
 	}
 	for _, k := range rec.WriteSet {
-		n.stripeFor(k).index.insert(k, id)
+		s := n.stripeFor(k)
+		s.index.insert(k, id)
+		s.clearFloorLocked(k, id)
 	}
 	n.metaCount.Add(1)
+	n.metaBytes.Add(int64(rec.ApproxBytes()))
 	return true
 }
 
+// clearFloorLocked lifts key's refetch floor if id supersedes it: with a
+// version >= the evicted newest resident, the index's top is again at
+// least as new as anything the spill dropped, so reads can trust it. The
+// caller holds the stripe's write lock.
+func (s *stripe) clearFloorLocked(key string, id idgen.ID) {
+	if fl, ok := s.spillFloor[key]; ok && !id.Less(fl) {
+		delete(s.spillFloor, key)
+	}
+}
+
+// floorSet reports whether key currently has a refetch floor — its index
+// may be hiding a spilled newer version, so a read must verify against
+// storage before trusting resident candidates.
+func (n *Node) floorSet(key string) bool {
+	s := n.stripeFor(key)
+	s.mu.RLock()
+	_, ok := s.spillFloor[key]
+	s.mu.RUnlock()
+	return ok
+}
+
 // installRecoveredLocked installs a record recovered from storage for a
-// read (the sharded fallback), resurrecting it even if the local GC had
-// deleted it. The local sweep's supersedence view is ownership-scoped, so
-// a cross-shard record can be locally deleted while it is still the
-// newest version of a NON-owned key this node must serve; without
-// resurrection such keys would read as missing forever after a sweep.
-// Clearing the locally-deleted markers flips this node's GC vote back to
-// "cached" (Caches), which is conservative for the owner-voted global GC;
-// if the data was already collected, the payload fetch fails and the
-// ErrVersionVanished retry re-selects. The caller must hold write locks
-// covering every stripe of rec's write set.
-func (n *Node) installRecoveredLocked(rec *records.CommitRecord) bool {
+// read of key (the partial-metadata fallback), resurrecting it even if
+// the local GC had deleted it. The local sweep's supersedence view is
+// ownership-scoped, so a cross-shard record can be locally deleted while
+// it is still the newest version of a NON-owned key this node must serve;
+// without resurrection such keys would read as missing forever after a
+// sweep. Clearing the locally-deleted markers flips this node's GC vote
+// back to "cached" (Caches), which is conservative for the owner-voted
+// global GC; if the data was already collected, the payload fetch fails
+// and the ErrVersionVanished retry re-selects.
+//
+// The record is indexed ONLY under key, not its whole write set. The
+// fallback verified key's version list against storage (the List is
+// ground truth), so key's candidates are complete; the record's OTHER
+// keys were NOT verified, and indexing them would resurrect an old
+// version as the apparent newest of a key whose newer records this node
+// spilled or never bootstrapped. A later read of a sibling key sees its
+// own miss, runs its own fallback, and re-indexes the cached record
+// without a second round trip (fetchKeyRecords' index-aware dedup). The
+// caller must hold write locks covering every stripe of rec's write set.
+func (n *Node) installRecoveredLocked(rec *records.CommitRecord, key string) bool {
 	ss := n.stripesOf(rec.WriteSet)
 	id := rec.ID()
 	if _, ok := ss[0].commits[id]; ok {
+		// Cached already — possibly selectable only for sibling keys after
+		// an earlier recovery; make it a candidate for THIS key too.
+		ks := n.stripeFor(key)
+		ks.index.insert(key, id)
+		ks.clearFloorLocked(key, id)
 		return false
 	}
 	for _, s := range ss {
 		delete(s.locallyDeleted, id)
 		s.commits[id] = rec
 	}
-	for _, k := range rec.WriteSet {
-		n.stripeFor(k).index.insert(k, id)
-	}
+	ks := n.stripeFor(key)
+	ks.index.insert(key, id)
+	ks.clearFloorLocked(key, id)
 	n.metaCount.Add(1)
+	n.metaBytes.Add(int64(rec.ApproxBytes()))
 	return true
 }
 
@@ -200,6 +265,7 @@ func (n *Node) removeLocked(rec *records.CommitRecord, ss []*stripe, markDeleted
 		}
 	}
 	n.metaCount.Add(-1)
+	n.metaBytes.Add(-int64(rec.ApproxBytes()))
 }
 
 // recordForKey returns the commit record of id if this node caches it and

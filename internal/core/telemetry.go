@@ -74,6 +74,10 @@ func (n *Node) EmitTelemetry(e *telemetry.Emitter) {
 		c("aft_node_group_flushes_total", "Group-commit flush rounds.", m.GroupFlushes)
 		c("aft_node_grouped_commits_total", "Commits that went through the group pipeline.", m.GroupedCommits)
 		c("aft_overload_shed_total", "Arrivals shed by admission control (ErrOverloaded).", m.OverloadShed)
+		c("aft_bootstrap_truncated_total", "Commit records dropped from warm-up by BootstrapLimit (served on demand afterwards).", m.BootstrapTruncated)
+		c("aft_node_bootstrap_skipped_total", "Commit records skipped by the incremental-bootstrap watermark.", m.BootstrapSkipped)
+		c("aft_node_spilled_records_total", "Live commit records evicted to storage by the metadata budget.", m.SpilledRecords)
+		c("aft_node_budget_shed_total", "Transactions shed past the metadata-budget hard ceiling.", m.BudgetShed)
 		c("aft_deadline_exceeded_total", "Ops abandoned at a ctx-deadline check.", m.DeadlineExceeded)
 		c("aft_node_reaped_expired_total", "Dangling transactions aborted past their client deadline.", m.ReapedExpired)
 		e.Gauge("aft_node_active_txns", "In-flight transactions.",
@@ -82,5 +86,7 @@ func (n *Node) EmitTelemetry(e *telemetry.Emitter) {
 			float64(n.AdmissionWaiting()), "node", node)
 		e.Gauge("aft_node_metadata_records", "Cached commit records (the quantity the local GC bounds).",
 			float64(n.MetadataSize()), "node", node)
+		e.Gauge("aft_node_metadata_bytes", "Approximate resident metadata bytes (records + data cache; the quantity MetadataBudgetBytes bounds).",
+			float64(n.MetadataBytes()), "node", node)
 	}
 }

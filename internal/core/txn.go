@@ -110,6 +110,16 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 	if err := n.acquire(ctx); err != nil {
 		return "", err
 	}
+	if n.overBudgetHard() {
+		// Past the metadata-budget hard ceiling (budget.go): shed with
+		// the same retriable contract as admission control. The client's
+		// backoff gives the maintenance-point EnforceBudget time to
+		// release memory, after which retries admit normally.
+		n.release()
+		n.metrics.BudgetShed.Add(1)
+		n.metrics.OverloadShed.Add(1)
+		return "", ErrOverloaded
+	}
 	id := n.gen.NewID()
 	t := &txnState{
 		uuid:     id.UUID,

@@ -1,0 +1,105 @@
+package experiments
+
+import "testing"
+
+// TestRecoveryCellsQuick locks in the recovery experiment's acceptance
+// shape at quick scale: checkpointed reopens replay only the tail, the
+// incremental bootstrap fetches exactly the watermark delta and skips the
+// rest, the budget-constrained node spills and ends resident under its
+// budget, and all three seeded chaos campaigns — storage crashes including
+// one armed mid-spill, kills with incremental promotion — come back with a
+// zero-anomaly checker verdict. The >=10x speedup bar on the largest log
+// is a full-scale property (BENCH_recovery.json); at quick scale the test
+// asserts the structural invariants, not wall-clock ratios.
+func TestRecoveryCellsQuick(t *testing.T) {
+	opts := Options{Scale: 0, Quick: true, Seed: 42, Payload: 256}
+	cells, err := RecoveryCells(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recoveries, bootstraps, budgets, campaigns int
+	var campaignSpilled int64
+	for i := range cells {
+		cell := &cells[i]
+		switch cell.Scenario {
+		case "recovery":
+			recoveries++
+			if cell.FullReplayMS <= 0 || cell.CheckpointedMS <= 0 {
+				t.Errorf("%d entries: missing reopen timings (full %.3f, ckpt %.3f)",
+					cell.Entries, cell.FullReplayMS, cell.CheckpointedMS)
+			}
+			if cell.CheckpointEntries != int64(cell.Keys) {
+				t.Errorf("%d entries: checkpoint holds %d entries, want one per live key (%d)",
+					cell.Entries, cell.CheckpointEntries, cell.Keys)
+			}
+			if cell.ReplayedTail > int64(2*cell.TailRecords) {
+				t.Errorf("%d entries: checkpointed reopen replayed %d records, want ~%d tail",
+					cell.Entries, cell.ReplayedTail, cell.TailRecords)
+			}
+		case "bootstrap":
+			bootstraps++
+			if cell.FetchedRecords != cell.DeltaRecords {
+				t.Errorf("delta %d: fetched %d records, want exactly the delta",
+					cell.DeltaRecords, cell.FetchedRecords)
+			}
+			if want := int64(cell.Records - cell.DeltaRecords); cell.SkippedRecords != want {
+				t.Errorf("delta %d: skipped %d records, want %d",
+					cell.DeltaRecords, cell.SkippedRecords, want)
+			}
+		case "budget":
+			budgets++
+			if cell.Spilled == 0 {
+				t.Error("budget cell spilled no records")
+			}
+			if cell.PeakBytes <= cell.BudgetBytes {
+				t.Errorf("budget cell never exceeded its budget (peak %d <= %d): nothing was tested",
+					cell.PeakBytes, cell.BudgetBytes)
+			}
+			if cell.FinalBytes > cell.BudgetBytes {
+				t.Errorf("budget cell ended at %d resident bytes, over budget %d",
+					cell.FinalBytes, cell.BudgetBytes)
+			}
+		case "campaign":
+			campaigns++
+			if cell.Verdict == nil || !cell.Verdict.Clean() {
+				t.Errorf("seed %d: verdict %v", cell.Seed, cell.Verdict)
+				if cell.Verdict != nil {
+					t.Logf("violations: %v", cell.Verdict.Violations)
+				}
+			}
+			if cell.StorageCrashes < 2 {
+				t.Errorf("seed %d: %d storage crashes, want >= 2", cell.Seed, cell.StorageCrashes)
+			}
+			if cell.Kills < 1 || cell.Promotions != cell.Kills {
+				t.Errorf("seed %d: kills=%d promotions=%d", cell.Seed, cell.Kills, cell.Promotions)
+			}
+			if cell.Committed < int64(cell.Requests) {
+				t.Errorf("seed %d: committed %d < %d requests", cell.Seed, cell.Committed, cell.Requests)
+			}
+			campaignSpilled += cell.Spilled
+			if cell.Checkpoints < 1 {
+				t.Errorf("seed %d: WAL wrote no checkpoint", cell.Seed)
+			}
+			if cell.Verdict != nil && (cell.Verdict.FinalKeys == 0 || cell.Verdict.Reads == 0) {
+				t.Errorf("seed %d: checker saw no history", cell.Seed)
+			}
+		}
+	}
+	if recoveries != 3 || bootstraps != 3 || budgets != 1 || campaigns != 3 {
+		t.Fatalf("cell mix recovery=%d bootstrap=%d budget=%d campaign=%d, want 3/3/1/3",
+			recoveries, bootstraps, budgets, campaigns)
+	}
+	// Whether a given seed overruns the node budget inside 40 quick-mode
+	// requests is seed-dependent; that SOME campaign exercised the spill
+	// path under chaos is not.
+	if campaignSpilled == 0 {
+		t.Error("no campaign spilled under its node budget")
+	}
+
+	tbl, err := RecoveryTable(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, tbl, len(cells))
+}

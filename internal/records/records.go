@@ -28,6 +28,12 @@ const (
 	// saturated Atomic Write Buffer before commit (§3.3). Spilled data is
 	// invisible until the commit record referencing it is persisted.
 	SpillPrefix = "aft/s/"
+	// WatermarkPrefix namespaces per-node bootstrap watermarks: the
+	// newest commit key a node's Bootstrap fully processed, so a restart
+	// can warm up incrementally from there instead of refetching the
+	// whole Transaction Commit Set. Disjoint from CommitPrefix, so commit
+	// listings and the fault manager's scan never see watermarks.
+	WatermarkPrefix = "aft/w/"
 	// PackPrefix namespaces packed transaction objects: the S3-optimized
 	// layout (§8 "Efficient Data Layout") that writes a transaction's
 	// whole write set as one object instead of one object per key.
@@ -133,6 +139,27 @@ type CommitRecord struct {
 
 // PackKey returns the storage key of transaction id's packed object.
 func PackKey(id idgen.ID) string { return PackPrefix + id.String() }
+
+// BootstrapWatermarkKey returns the storage key holding node's bootstrap
+// watermark (the newest commit key its last Bootstrap processed).
+func BootstrapWatermarkKey(node string) string {
+	return WatermarkPrefix + escapeKey(node)
+}
+
+// ApproxBytes estimates the record's resident memory: string headers and
+// slice headers are folded into a fixed per-record and per-key overhead.
+// It is the unit of the node's metadata budget — an estimate is enough,
+// because the budget bounds growth rather than measures the heap.
+func (r *CommitRecord) ApproxBytes() int {
+	b := 96 + len(r.UUID) + len(r.Node) + len(r.SpillDir)
+	for _, k := range r.WriteSet {
+		b += 2*len(k) + 48 // write-set entry + version-index entry
+	}
+	for _, k := range r.Spilled {
+		b += len(k) + 16
+	}
+	return b
+}
 
 // StorageKeyFor returns the storage key holding this transaction's version
 // of key, accounting for spilled payloads.

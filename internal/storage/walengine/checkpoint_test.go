@@ -1,0 +1,283 @@
+package walengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ckptFiles returns the checkpoint file names currently in dir.
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if _, ok := parseCkptSeq(e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCheckpointRecoveryIsTailOnly verifies the core contract: a reopen
+// after a checkpoint restores the index from the snapshot and replays only
+// the records appended after it.
+func TestCheckpointRecoveryIsTailOnly(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SegmentBytes: 4 << 10})
+
+	const base, tail = 500, 25
+	for i := 0; i < base; i++ {
+		mustPut(t, s, fmt.Sprintf("k%03d", i%100), fmt.Sprintf("v%d", i))
+	}
+	if err := s.Delete(ctx, "k001"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 99 {
+		t.Fatalf("checkpoint entries = %d, want 99", st.Entries)
+	}
+	for i := 0; i < tail; i++ {
+		mustPut(t, s, fmt.Sprintf("t%03d", i), "tail")
+	}
+	if err := s.Delete(ctx, "k002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	replayedBefore := s.WAL().ReplayedRecords.Load()
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := s.WAL().ReplayedRecords.Load() - replayedBefore
+	if replayed != tail+1 {
+		t.Fatalf("replayed %d records after checkpointed reopen, want %d", replayed, tail+1)
+	}
+	if got := s.WAL().ReplayedTailRecords.Load(); got != tail+1 {
+		t.Fatalf("ReplayedTailRecords = %d, want %d", got, tail+1)
+	}
+	if got := s.WAL().CheckpointRestored.Load(); got != 99 {
+		t.Fatalf("CheckpointRestored = %d, want 99", got)
+	}
+	// State: checkpoint entries, tail overwrites, and both deletes.
+	wantGet(t, s, "k000", "v400")
+	wantGet(t, s, "t024", "tail")
+	wantMissing(t, s, "k001") // deleted before the checkpoint
+	wantMissing(t, s, "k002") // deleted after the checkpoint (tail tombstone wins)
+	// New appends must keep superseding restored records across another cycle.
+	mustPut(t, s, "k000", "newer")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	wantGet(t, s, "k000", "newer")
+}
+
+// TestCheckpointCrashMidWriteLeavesOldAuthoritative simulates a crash
+// between the durable tmp write and the rename: the new checkpoint never
+// commits, the previous one stays authoritative, and the leftover tmp
+// file is swept on reopen.
+func TestCheckpointCrashMidWriteLeavesOldAuthoritative(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	mustPut(t, s, "a", "1")
+	if _, err := s.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "b", "2")
+
+	crashed := errors.New("simulated crash before rename")
+	s.ckptHook = func(stage string) error {
+		if stage == "pre-rename" {
+			return crashed
+		}
+		return nil
+	}
+	if _, err := s.Checkpoint(ctx); !errors.Is(err, crashed) {
+		t.Fatalf("Checkpoint = %v, want simulated crash", err)
+	}
+	s.ckptHook = nil
+
+	if files := ckptFiles(t, dir); len(files) != 1 || !strings.Contains(files[0], "ckpt-") {
+		t.Fatalf("checkpoint files after aborted write = %v, want the original only", files)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	// The old checkpoint covers "a"; "b" replays from the tail.
+	wantGet(t, s, "a", "1")
+	wantGet(t, s, "b", "2")
+	if got := s.WAL().CheckpointRestored.Load(); got != 1 {
+		t.Fatalf("CheckpointRestored = %d, want 1 (the pre-crash checkpoint)", got)
+	}
+	for _, e := range ckptFiles(t, dir) {
+		if strings.HasSuffix(e, ".tmp") {
+			t.Fatalf("leftover tmp file survived reopen: %s", e)
+		}
+	}
+}
+
+// TestTornCheckpointFallsBackToFullReplay corrupts the checkpoint file
+// and expects a CRC rejection with a full, state-preserving replay.
+func TestTornCheckpointFallsBackToFullReplay(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		mustPut(t, s, fmt.Sprintf("k%02d", i), "v")
+	}
+	if _, err := s.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := ckptFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("checkpoint files = %v, want one", files)
+	}
+	path := filepath.Join(dir, files[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WAL().CheckpointsRejected.Load(); got == 0 {
+		t.Fatal("corrupt checkpoint was not rejected")
+	}
+	if got := s.WAL().CheckpointRestored.Load(); got != 0 {
+		t.Fatalf("CheckpointRestored = %d after corrupt checkpoint, want 0", got)
+	}
+	for i := 0; i < 50; i++ {
+		wantGet(t, s, fmt.Sprintf("k%02d", i), "v")
+	}
+}
+
+// TestStaleCheckpointAfterCompactionRejected: compaction unlinks segments
+// a checkpoint references; the checkpoint must be rejected as stale and
+// full replay must recover the state from the compacted segment.
+func TestStaleCheckpointAfterCompactionRejected(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SegmentBytes: 1 << 10, DisableAutoCompact: true})
+	for i := 0; i < 200; i++ {
+		mustPut(t, s, fmt.Sprintf("k%02d", i%20), fmt.Sprintf("v%d", i))
+	}
+	if _, err := s.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the sealed range: the covered segments disappear.
+	if err := s.SealActive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rejBefore := s.WAL().CheckpointsRejected.Load()
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WAL().CheckpointsRejected.Load(); got == rejBefore {
+		t.Fatal("stale checkpoint (compacted-away segments) was not rejected")
+	}
+	for i := 0; i < 20; i++ {
+		wantGet(t, s, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", 180+i))
+	}
+}
+
+// TestCheckpointOnCloseMakesCleanRestartReplayFree: with CheckpointEvery
+// set, Close writes a final checkpoint and the next reopen replays
+// nothing.
+func TestCheckpointOnCloseMakesCleanRestartReplayFree(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CheckpointEvery: 1 << 30})
+	for i := 0; i < 100; i++ {
+		mustPut(t, s, fmt.Sprintf("k%02d", i), "v")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.WAL().ReplayedRecords.Load()
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WAL().ReplayedRecords.Load() - before; got != 0 {
+		t.Fatalf("replayed %d records after clean checkpointed close, want 0", got)
+	}
+	wantGet(t, s, "k42", "v")
+}
+
+// TestAutoCheckpointTriggers: the CheckpointEvery threshold fires a
+// background checkpoint without an explicit call.
+func TestAutoCheckpointTriggers(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CheckpointEvery: 10})
+	for i := 0; i < 200 && s.WAL().Checkpoints.Load() == 0; i++ {
+		mustPut(t, s, fmt.Sprintf("k%02d", i%10), "v")
+	}
+	// The trigger is asynchronous; Close (CheckpointEvery > 0) then joins
+	// or writes one more, so at least one checkpoint must exist after it.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WAL().Checkpoints.Load(); got == 0 {
+		t.Fatal("no checkpoint written despite CheckpointEvery")
+	}
+	if len(ckptFiles(t, dir)) == 0 {
+		t.Fatal("no checkpoint file on disk")
+	}
+}
+
+// TestCheckpointEmptyAndDeleteOnly covers degenerate snapshots: an empty
+// index and a checkpoint taken after every key was deleted.
+func TestCheckpointEmptyAndDeleteOnly(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if _, err := s.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "a", "1")
+	if err := s.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	wantMissing(t, s, "a")
+	mustPut(t, s, "a", "2")
+	wantGet(t, s, "a", "2")
+}

@@ -28,8 +28,20 @@ func (s *Store) RegisterTelemetry(reg *telemetry.Registry) {
 		c("torn_records_total", "Torn tail frames truncated on reopen.", m.TornRecords)
 		c("torn_bytes_total", "Bytes truncated from torn tails.", m.TornBytes)
 		c("replayed_records_total", "Records read back during reopen.", m.ReplayedRecords)
+		c("checkpoints_total", "Checkpoint files written.", m.Checkpoints)
+		c("checkpoints_rejected_total", "Torn or stale checkpoints skipped at reopen.", m.CheckpointsRejected)
+		c("checkpoint_entries_total", "Index entries written into checkpoints.", m.CheckpointEntries)
+		c("checkpoint_restored_total", "Index entries restored from checkpoints at reopen.", m.CheckpointRestored)
+		c("replayed_tail_records_total", "Records replayed past a checkpoint at reopen.", m.ReplayedTailRecords)
 		e.Gauge("aft_wal_appends_per_fsync",
 			"Mean appends covered per fsync (group-commit coalescing).",
 			m.AppendsPerFsync)
+		age := 0.0
+		if d, ok := s.CheckpointAge(); ok {
+			age = d.Seconds()
+		}
+		e.Gauge("aft_wal_checkpoint_age_seconds",
+			"Seconds since the last checkpoint written by this process (0 before the first).",
+			age)
 	})
 }

@@ -60,6 +60,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -100,6 +101,13 @@ type Options struct {
 	// CompactGarbageBytes is the sealed-garbage threshold that triggers a
 	// background compaction; 0 defaults to 1 MiB.
 	CompactGarbageBytes int64
+	// CheckpointEvery triggers a background checkpoint (checkpoint.go)
+	// once this many appends have accumulated since the last one, and
+	// makes Close write a final checkpoint so a clean restart replays
+	// nothing. 0 disables automatic checkpoints; Checkpoint can still be
+	// called explicitly (deterministic campaigns checkpoint at explicit
+	// maintenance points).
+	CheckpointEvery int64
 }
 
 func (o Options) withDefaults() Options {
@@ -124,21 +132,35 @@ type Metrics struct {
 	TornRecords       atomic.Int64 // torn tail frames truncated on reopen
 	TornBytes         atomic.Int64 // bytes truncated from torn tails
 	ReplayedRecords   atomic.Int64 // records read back during reopen
+	// Checkpoint counters (checkpoint.go). ReplayedTailRecords counts
+	// records replayed past a checkpoint's covered ranges — the O(tail)
+	// evidence; on a reopen without a usable checkpoint it stays flat and
+	// ReplayedRecords carries the full-replay cost.
+	Checkpoints         atomic.Int64 // checkpoint files written
+	CheckpointsRejected atomic.Int64 // torn/stale checkpoints skipped at reopen
+	CheckpointEntries   atomic.Int64 // index entries written into checkpoints
+	CheckpointRestored  atomic.Int64 // index entries restored from checkpoints at reopen
+	ReplayedTailRecords atomic.Int64 // records replayed past a checkpoint at reopen
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics, plus the derived
 // coalescing ratio.
 type MetricsSnapshot struct {
-	Appends           int64   `json:"appends"`
-	Fsyncs            int64   `json:"fsyncs"`
-	AppendsPerFsync   float64 `json:"appends_per_fsync"`
-	SegmentRolls      int64   `json:"segment_rolls"`
-	Compactions       int64   `json:"compactions"`
-	CompactedSegments int64   `json:"compacted_segments"`
-	BytesReclaimed    int64   `json:"bytes_reclaimed"`
-	TornRecords       int64   `json:"torn_records"`
-	TornBytes         int64   `json:"torn_bytes"`
-	ReplayedRecords   int64   `json:"replayed_records"`
+	Appends             int64   `json:"appends"`
+	Fsyncs              int64   `json:"fsyncs"`
+	AppendsPerFsync     float64 `json:"appends_per_fsync"`
+	SegmentRolls        int64   `json:"segment_rolls"`
+	Compactions         int64   `json:"compactions"`
+	CompactedSegments   int64   `json:"compacted_segments"`
+	BytesReclaimed      int64   `json:"bytes_reclaimed"`
+	TornRecords         int64   `json:"torn_records"`
+	TornBytes           int64   `json:"torn_bytes"`
+	ReplayedRecords     int64   `json:"replayed_records"`
+	Checkpoints         int64   `json:"checkpoints"`
+	CheckpointsRejected int64   `json:"checkpoints_rejected"`
+	CheckpointEntries   int64   `json:"checkpoint_entries"`
+	CheckpointRestored  int64   `json:"checkpoint_restored"`
+	ReplayedTailRecords int64   `json:"replayed_tail_records"`
 }
 
 // Snapshot returns the current counter values.
@@ -153,6 +175,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TornRecords:       m.TornRecords.Load(),
 		TornBytes:         m.TornBytes.Load(),
 		ReplayedRecords:   m.ReplayedRecords.Load(),
+
+		Checkpoints:         m.Checkpoints.Load(),
+		CheckpointsRejected: m.CheckpointsRejected.Load(),
+		CheckpointEntries:   m.CheckpointEntries.Load(),
+		CheckpointRestored:  m.CheckpointRestored.Load(),
+		ReplayedTailRecords: m.ReplayedTailRecords.Load(),
 	}
 	if s.Fsyncs > 0 {
 		s.AppendsPerFsync = float64(s.Appends) / float64(s.Fsyncs)
@@ -219,6 +247,19 @@ type Store struct {
 	// auto-trigger so at most one background run is in flight.
 	compactMu  sync.Mutex
 	compacting atomic.Bool
+
+	// Checkpoint state (checkpoint.go): ckptSeq (guarded by mu) is the
+	// next checkpoint sequence number; checkpointing gates the writer so
+	// at most one checkpoint is in flight; appendsAtCkpt drives the
+	// CheckpointEvery auto-trigger; lastCkptUnixNano feeds the age gauge.
+	ckptSeq          uint64
+	checkpointing    atomic.Bool
+	appendsAtCkpt    atomic.Int64
+	lastCkptUnixNano atomic.Int64
+	// ckptHook, when set (tests only, before any concurrent use), fires
+	// at named stages of the checkpoint write protocol to simulate
+	// crashes mid-checkpoint.
+	ckptHook func(stage string) error
 
 	metrics storage.Metrics
 	wal     Metrics
@@ -301,26 +342,50 @@ type replayEntry struct {
 
 // load scans the directory, replays every segment (truncating torn
 // tails), rebuilds the key index by max LSN per key, and opens a fresh
-// active segment. Callers hold no locks (Open) or s.mu (Reopen).
+// active segment. When a valid checkpoint is present the index is seeded
+// from it and only bytes past each segment's covered watermark are
+// replayed — recovery proportional to the tail, not the log. Callers
+// hold no locks (Open) or s.mu (Reopen).
 func (s *Store) load() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("walengine: %w", err)
 	}
 	var ids []int64
+	sizes := make(map[int64]int64)
 	for _, e := range entries {
 		if id, ok := parseSegID(e.Name()); ok {
 			ids = append(ids, id)
+			if info, err := e.Info(); err == nil {
+				sizes[id] = info.Size()
+			}
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
+	ck, nextSeq := s.loadCheckpoint(sizes)
+	s.ckptSeq = nextSeq
+
 	segs := make(map[int64]*segment, len(ids)+1)
 	winners := make(map[string]replayEntry)
+	if ck != nil {
+		// Checkpoint entries enter with LSN 0: every record outside the
+		// covered ranges was appended after the snapshot (the snapshot
+		// holds only fsynced state), so any tail record for the same key
+		// must win the max-LSN merge.
+		for k, l := range ck.entries {
+			winners[k] = replayEntry{put: true, l: l}
+		}
+		s.wal.CheckpointRestored.Add(int64(len(ck.entries)))
+	}
 	var next int64 = 1
 	var lsn uint64
 	for _, id := range ids {
-		seg, err := s.replaySegment(id, winners)
+		var start int64
+		if ck != nil {
+			start = ck.covered[id] // 0 for segments created after the checkpoint
+		}
+		seg, err := s.replaySegment(id, start, winners, ck != nil)
 		if err != nil {
 			for _, sg := range segs {
 				sg.f.Close()
@@ -360,22 +425,40 @@ func (s *Store) load() error {
 	s.active = active
 	s.next = next + 1
 	s.lsn = lsn + 1
+	if ck != nil && ck.nextLSN > s.lsn {
+		// Checkpoint entries carry LSN 0 in the merge; restore the real
+		// counter so new appends keep superseding restored records.
+		s.lsn = ck.nextLSN
+	}
 	s.index = index
 	s.closed = false
 	s.gen++
+	s.appendsAtCkpt.Store(s.wal.Appends.Load())
 	return s.syncDir()
 }
 
-// replaySegment reads one segment's records into winners, truncating a
-// torn tail in place.
-func (s *Store) replaySegment(id int64, winners map[string]replayEntry) (*segment, error) {
+// replaySegment reads one segment's records from byte offset start into
+// winners, truncating a torn tail in place. A nonzero start skips bytes a
+// checkpoint already covers — they were durable and indexed when the
+// checkpoint was taken, so only the tail is read and verified. tail marks
+// a checkpoint-guided replay for the ReplayedTailRecords counter.
+func (s *Store) replaySegment(id, start int64, winners map[string]replayEntry, tail bool) (*segment, error) {
 	path := s.segPath(id)
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("walengine: %w", err)
 	}
-	data, err := os.ReadFile(path)
+	info, err := f.Stat()
 	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("walengine: %w", err)
+	}
+	fileSize := info.Size()
+	if start > fileSize {
+		start = fileSize // validated earlier; defensive
+	}
+	data := make([]byte, fileSize-start)
+	if _, err := io.ReadFull(io.NewSectionReader(f, start, fileSize-start), data); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("walengine: %w", err)
 	}
@@ -403,15 +486,18 @@ func (s *Store) replaySegment(id int64, winners map[string]replayEntry) (*segmen
 		key := string(body[bodyHeader : bodyHeader+klen])
 		flen := frameHeader + blen
 		s.wal.ReplayedRecords.Add(1)
+		if tail {
+			s.wal.ReplayedTailRecords.Add(1)
+		}
 		if w, ok := winners[key]; !ok || lsn > w.lsn {
 			winners[key] = replayEntry{
 				lsn: lsn,
 				put: op == opPut,
 				l: loc{
 					seg:  id,
-					off:  off,
+					off:  start + off,
 					flen: flen,
-					voff: off + frameHeader + bodyHeader + klen,
+					voff: start + off + frameHeader + bodyHeader + klen,
 					vlen: blen - bodyHeader - klen,
 				},
 			}
@@ -422,17 +508,24 @@ func (s *Store) replaySegment(id int64, winners map[string]replayEntry) (*segmen
 	if torn := int64(len(data)) - valid; torn > 0 {
 		s.wal.TornRecords.Add(1)
 		s.wal.TornBytes.Add(torn)
-		if err := f.Truncate(valid); err != nil {
+		if err := f.Truncate(start + valid); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("walengine: truncating torn tail of %s: %w", path, err)
 		}
 	}
-	return &segment{id: id, f: f, size: valid, synced: valid}, nil
+	return &segment{id: id, f: f, size: start + valid, synced: start + valid}, nil
 }
 
 // Close durably seals the log and releases every file handle. Subsequent
-// operations return storage.ErrUnavailable until Reopen.
+// operations return storage.ErrUnavailable until Reopen. With automatic
+// checkpoints enabled (Options.CheckpointEvery > 0) a final checkpoint is
+// written first, so a clean restart replays nothing.
 func (s *Store) Close() error {
+	if s.cfg.CheckpointEvery > 0 {
+		// Best effort outside the lock; a failed or raced checkpoint just
+		// means the next reopen replays a longer tail.
+		s.Checkpoint(context.Background())
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -808,6 +901,7 @@ func (s *Store) Put(ctx context.Context, key string, value []byte) error {
 		return err
 	}
 	s.maybeCompact()
+	s.maybeCheckpoint()
 	return nil
 }
 
@@ -855,6 +949,7 @@ func (s *Store) BatchPut(ctx context.Context, items map[string][]byte) error {
 		return err
 	}
 	s.maybeCompact()
+	s.maybeCheckpoint()
 	return nil
 }
 
@@ -977,6 +1072,7 @@ func (s *Store) deleteKeys(keys []string) error {
 		return err
 	}
 	s.maybeCompact()
+	s.maybeCheckpoint()
 	return nil
 }
 

@@ -29,6 +29,7 @@ go build -o "$workdir/aft-client" ./cmd/aft-client
 
 "$workdir/aft-server" -addr "$SERVER_ADDR" -store wal -store-dir "$workdir/wal" \
     -debug-addr "$DEBUG_ADDR" -multicast-period 100ms -gc-period 300ms -trace-sample 1 \
+    -checkpoint-interval 300ms -metadata-budget 67108864 \
     >"$workdir/server.log" 2>&1 &
 server_pid=$!
 
@@ -68,6 +69,8 @@ for fam in \
     aft_commit_latency_seconds aft_read_latency_seconds \
     aft_storage_puts_total aft_storage_batch_puts_total \
     aft_wal_appends_total aft_wal_fsyncs_total \
+    aft_wal_checkpoints_total aft_wal_checkpoint_age_seconds \
+    aft_node_metadata_bytes aft_node_spilled_records_total \
     aft_multicast_rounds_total aft_multicast_deliveries_total \
     aft_faultmgr_known_commits aft_lb_backends \
     aft_traces_started_total aft_traces_kept_total; do
@@ -77,6 +80,10 @@ done
 
 committed=$(printf '%s\n' "$metrics" | grep '^aft_node_txns_committed_total' | awk '{print $2}')
 [ "${committed%.*}" -ge 2 ] || { echo "FAIL: expected >=2 committed txns, got $committed"; exit 1; }
+
+# -checkpoint-interval 300ms must have landed at least one checkpoint by now.
+ckpts=$(printf '%s\n' "$metrics" | grep '^aft_wal_checkpoints_total' | awk '{print $2}')
+[ "${ckpts%.*}" -ge 1 ] || { echo "FAIL: expected >=1 WAL checkpoint, got $ckpts"; exit 1; }
 
 # /traces must contain the client's trace with a multi-layer span tree.
 curl -fsS "http://$DEBUG_ADDR/traces?limit=256" >"$workdir/traces.json"
