@@ -54,6 +54,7 @@ import (
 	"aft/internal/multicast"
 	"aft/internal/storage"
 	"aft/internal/storage/walengine"
+	"aft/internal/wire"
 )
 
 func main() {
@@ -72,8 +73,14 @@ func main() {
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight transactions to finish")
 		ckptEvery = flag.Duration("checkpoint-interval", 0, "WAL index checkpoint period for -store wal (0 disables; restarts then replay the full log)")
 		budget    = flag.Int64("metadata-budget", 0, "metadata memory budget in bytes (0 = unbounded); past it the node spills cold commit records to storage")
+		wireCodec = flag.String("wire-codec", "binary", "wire codec: binary (protocol v3, pipelined framing) | gob (pin the legacy lockstep codec; the server then advertises protocol v2)")
 	)
 	flag.Parse()
+	switch *wireCodec {
+	case wire.CodecBinary, wire.CodecGob:
+	default:
+		log.Fatalf("aft-server: unknown wire codec %q", *wireCodec)
+	}
 
 	var mode aft.LatencyMode
 	switch *lat {
@@ -167,24 +174,31 @@ func main() {
 		}
 	}
 
+	// The wire server is built before the registry so its aft_wire_*
+	// families (frames, bytes, flushes, codec mix, pipeline depth) are
+	// exported next to everything else.
+	srv := wire.NewServer(node)
+	srv.Codec = *wireCodec
+
 	reg := aft.NewMetricsRegistry()
 	node.RegisterTelemetry(reg)
 	tracer.RegisterTelemetry(reg)
 	bus.RegisterTelemetry(reg)
 	fm.RegisterTelemetry(reg)
 	bal.RegisterTelemetry(reg)
+	wire.RegisterTelemetry(reg, "server", srv.Metrics())
 	if ws, ok := store.(*walengine.Store); ok {
 		ws.RegisterTelemetry(reg) // storage (backend="wal") + WAL probe
 	} else if sm, ok := store.(interface{ Metrics() *storage.Metrics }); ok {
 		sm.Metrics().RegisterTelemetry(reg, store.Name())
 	}
 
-	srv, bound, err := aft.Serve(node, *addr)
+	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("aft-server: %v", err)
 	}
-	fmt.Printf("aft-server: node %s serving on %s (store=%s latency=%s)\n",
-		*nodeID, bound, *backend, *lat)
+	fmt.Printf("aft-server: node %s serving on %s (store=%s latency=%s wire-codec=%s)\n",
+		*nodeID, bound, *backend, *lat, *wireCodec)
 
 	if *debug != "" {
 		// Lock-contention and allocation profiles tie to the protocol

@@ -9,6 +9,17 @@ import (
 	"aft/internal/telemetry"
 )
 
+// TraceOf returns the live transaction's trace — nil when the
+// transaction is unknown, txid is empty, or tracing is disabled. The
+// nil-tracer fast path keeps the call free on untraced deployments, so
+// wire-layer dispatch can probe it per op.
+func (n *Node) TraceOf(txid string) *telemetry.Trace {
+	if n.tracer == nil || txid == "" {
+		return nil
+	}
+	return n.traceOf(txid)
+}
+
 // traceOf returns the live transaction's trace (nil when the transaction
 // is unknown or tracing is disabled).
 func (n *Node) traceOf(txid string) *telemetry.Trace {

@@ -55,6 +55,17 @@ type Backend interface {
 // method satisfies this signature via the cluster wiring.
 type Placer func(key string) (backendID string, ok bool)
 
+// InFlightReporter is implemented by backends that can report how many
+// of their ops are currently on the wire (wire.Client does, for both
+// its lockstep pool and its pipelined conns). When both round-robin
+// candidates report, pick routes by power-of-two-choices so a backend
+// with a deep pipeline stops receiving new transactions before it
+// becomes the bottleneck; ties and non-reporting backends preserve
+// strict round-robin order.
+type InFlightReporter interface {
+	InFlight() int64
+}
+
 // Balancer routes transactions across backends round-robin with per-
 // transaction affinity, plus optional shard-affinity placement.
 type Balancer struct {
@@ -126,9 +137,15 @@ func (b *Balancer) Len() int {
 	return len(b.backends)
 }
 
-// pick returns the next healthy backend round-robin. With every backend
-// ejected the answer is ErrNoBackends — retriable, so clients back off
-// and retry into the recovery instead of failing terminally.
+// pick returns the next healthy backend, round-robin refined by
+// power-of-two-choices: the round-robin candidate is compared against
+// the next healthy backend, and when both report in-flight depth
+// (InFlightReporter) the strictly less-loaded one wins. A tie — the
+// steady state when every backend keeps up — falls to the round-robin
+// candidate, so the classic rotation is preserved exactly unless load
+// actually skews. With every backend ejected the answer is
+// ErrNoBackends — retriable, so clients back off and retry into the
+// recovery instead of failing terminally.
 func (b *Balancer) pick() (Backend, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -136,14 +153,38 @@ func (b *Balancer) pick() (Backend, error) {
 	if n == 0 {
 		return nil, ErrNoBackends
 	}
+	var first Backend
 	for i := 0; i < n; i++ {
 		be := b.backends[b.next%n]
 		b.next = (b.next + 1) % n
 		if !b.ejectedLocked(be.ID()) {
-			return be, nil
+			first = be
+			break
 		}
 	}
-	return nil, ErrNoBackends
+	if first == nil {
+		return nil, ErrNoBackends
+	}
+	// Peek at the next healthy backend WITHOUT consuming its round-robin
+	// turn: if it loses the depth comparison, it is still the next
+	// rotation candidate.
+	var second Backend
+	for i := 0; i < n; i++ {
+		be := b.backends[(b.next+i)%n]
+		if be != first && !b.ejectedLocked(be.ID()) {
+			second = be
+			break
+		}
+	}
+	if second != nil {
+		f, fok := first.(InFlightReporter)
+		s, sok := second.(InFlightReporter)
+		if fok && sok && s.InFlight() < f.InFlight() {
+			b.metrics.LoadSteered.Add(1)
+			return second, nil
+		}
+	}
+	return first, nil
 }
 
 // lookup resolves a transaction's pinned backend.

@@ -1,0 +1,117 @@
+package lb
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"aft/internal/idgen"
+)
+
+// loadBackend is a minimal Backend with a settable in-flight depth,
+// standing in for a wire.Client with a pipelined connection pool.
+type loadBackend struct {
+	id       string
+	inflight atomic.Int64
+	started  atomic.Int64
+	report   bool
+}
+
+func (b *loadBackend) ID() string { return b.id }
+func (b *loadBackend) StartTransaction(ctx context.Context) (string, error) {
+	b.started.Add(1)
+	return b.id + "-tx", nil
+}
+func (b *loadBackend) Get(ctx context.Context, txid, key string) ([]byte, error) { return nil, nil }
+func (b *loadBackend) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
+	return nil, nil
+}
+func (b *loadBackend) Put(ctx context.Context, txid, key string, value []byte) error { return nil }
+func (b *loadBackend) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
+	return idgen.Null, nil
+}
+func (b *loadBackend) AbortTransaction(ctx context.Context, txid string) error { return nil }
+
+// reportingBackend adds InFlightReporter.
+type reportingBackend struct{ loadBackend }
+
+func (b *reportingBackend) InFlight() int64 { return b.inflight.Load() }
+
+// TestPickTiePreservesRoundRobin: with equal (or unreported) depths the
+// power-of-two-choices comparison is a tie, and picks must follow the
+// classic round-robin rotation exactly.
+func TestPickTiePreservesRoundRobin(t *testing.T) {
+	a := &reportingBackend{loadBackend{id: "a"}}
+	c := &reportingBackend{loadBackend{id: "b"}}
+	b := New(a, c)
+	order := make([]string, 6)
+	for i := range order {
+		be, err := b.pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order[i] = be.ID()
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pick order %v, want %v (ties must preserve round-robin)", order, want)
+		}
+	}
+	if got := b.Metrics().Snapshot().LoadSteered; got != 0 {
+		t.Fatalf("LoadSteered = %d on all-tie picks, want 0", got)
+	}
+}
+
+// TestPickSteersToLessLoaded: a backend with a deep pipeline loses its
+// round-robin turns to the shallower one until load evens out.
+func TestPickSteersToLessLoaded(t *testing.T) {
+	deep := &reportingBackend{loadBackend{id: "deep"}}
+	shallow := &reportingBackend{loadBackend{id: "shallow"}}
+	deep.inflight.Store(64)
+	b := New(deep, shallow)
+	for i := 0; i < 4; i++ {
+		be, err := b.pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be.ID() != "shallow" {
+			t.Fatalf("pick %d = %s, want shallow (deep has 64 in flight)", i, be.ID())
+		}
+	}
+	if got := b.Metrics().Snapshot().LoadSteered; got != 2 {
+		// Every other rotation lands on "shallow" by round-robin anyway;
+		// only the turns that would have hit "deep" count as steered.
+		t.Fatalf("LoadSteered = %d, want 2", got)
+	}
+	// Load evens out: rotation resumes.
+	deep.inflight.Store(0)
+	seen := map[string]int{}
+	for i := 0; i < 4; i++ {
+		be, _ := b.pick()
+		seen[be.ID()]++
+	}
+	if seen["deep"] != 2 || seen["shallow"] != 2 {
+		t.Fatalf("post-recovery distribution %v, want 2/2", seen)
+	}
+}
+
+// TestPickNonReportingFallsBackToRoundRobin: when either candidate
+// cannot report depth, the comparison is skipped entirely.
+func TestPickNonReportingFallsBackToRoundRobin(t *testing.T) {
+	plain := &loadBackend{id: "plain"}
+	rep := &reportingBackend{loadBackend{id: "rep"}}
+	rep.inflight.Store(1000) // would lose any comparison that happened
+	b := New(rep, plain)
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		be, err := b.pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[be.ID()]++
+	}
+	if seen["rep"] != 3 || seen["plain"] != 3 {
+		t.Fatalf("distribution %v, want 3/3 (no steering without both reporting)", seen)
+	}
+}

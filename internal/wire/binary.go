@@ -1,0 +1,395 @@
+package wire
+
+// binary.go is the protocol-v3 framed codec. After the OpUpgradeCodec
+// exchange (client.go, server.go) a connection stops speaking gob and
+// every subsequent byte in both directions is one of these frames:
+//
+//	| u32 length | u8 op/code | u8 flags | u64 request ID | payload | [u32 CRC-32C] |
+//
+// length is big-endian and counts every byte after itself (header,
+// payload, and trailer). The second byte is the request Op
+// client->server and the response ErrCode server->client. flags bit0
+// set means the frame ends with a CRC-32C (Castagnoli) of everything
+// between the length field and the trailer. The request ID is assigned
+// by the client and echoed verbatim by the server, which is what lets a
+// single connection pipeline many in-flight ops and complete them out
+// of order.
+//
+// Payload fields are varint-length-prefixed in fixed order. Requests:
+// txid, key, value, keys (uvarint count, then each key), trace ID,
+// trace-sampled byte, deadline millis (uvarint), sender version byte.
+// Responses: txid, value, commit timestamp (uvarint), message, values
+// (uvarint count, then each value), server version byte. Zero-length
+// byte fields decode as nil — the same nil/empty collapse gob performs,
+// so the two codecs are observationally identical to callers.
+//
+// Decoding is allocation-disciplined: frames are read into a per-conn
+// scratch buffer sized by its high-water mark, request strings are
+// interned per connection (a transaction's txid repeats for every op of
+// its lifetime), and Request/Response structs are pooled. Only bytes
+// whose ownership leaves the wire layer (a Get's value handed to the
+// caller) are freshly allocated.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+const (
+	// flagCRC marks a frame carrying a CRC-32C trailer.
+	flagCRC byte = 1 << 0
+	// frameHeaderLen is the fixed header after the length field.
+	frameHeaderLen = 10
+	// maxFrameLen bounds a frame so a corrupt or hostile length prefix
+	// cannot make the reader allocate unbounded memory.
+	maxFrameLen = 64 << 20
+)
+
+var (
+	errFrameTooLarge  = errors.New("wire: frame exceeds 64MiB limit")
+	errFrameTruncated = errors.New("wire: truncated frame")
+	errFrameCorrupt   = errors.New("wire: frame CRC mismatch")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendByteSlice(dst, v []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+// appendRequestFrame encodes req as one frame onto dst (reusing its
+// capacity) under the caller-assigned request ID.
+func appendRequestFrame(dst []byte, id uint64, req *Request, crc bool) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backfilled below
+	var flags byte
+	if crc {
+		flags |= flagCRC
+	}
+	dst = append(dst, byte(req.Op), flags)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = appendString(dst, req.TxID)
+	dst = appendString(dst, req.Key)
+	dst = appendByteSlice(dst, req.Value)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Keys)))
+	for _, k := range req.Keys {
+		dst = appendString(dst, k)
+	}
+	dst = appendString(dst, req.TraceID)
+	var sampled byte
+	if req.TraceSampled {
+		sampled = 1
+	}
+	dst = append(dst, sampled)
+	dm := req.DeadlineMillis
+	if dm < 0 {
+		dm = 0
+	}
+	dst = binary.AppendUvarint(dst, uint64(dm))
+	dst = append(dst, req.Version)
+	if crc {
+		dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[start+4:], crcTable))
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// appendResponseFrame encodes resp as one frame onto dst under the
+// request ID it answers.
+func appendResponseFrame(dst []byte, id uint64, resp *Response, crc bool) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	var flags byte
+	if crc {
+		flags |= flagCRC
+	}
+	dst = append(dst, byte(resp.Code), flags)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = appendString(dst, resp.TxID)
+	dst = appendByteSlice(dst, resp.Value)
+	dst = binary.AppendUvarint(dst, uint64(resp.CommitTS))
+	dst = appendString(dst, resp.Message)
+	dst = binary.AppendUvarint(dst, uint64(len(resp.Values)))
+	for _, v := range resp.Values {
+		dst = appendByteSlice(dst, v)
+	}
+	dst = append(dst, resp.Version)
+	if crc {
+		dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[start+4:], crcTable))
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// readFrame reads one frame from br into *buf (grown to the conn's
+// high-water mark and reused across calls), returning the op/code byte,
+// the request ID, and the CRC-verified payload. The payload aliases
+// *buf: it is valid only until the next readFrame call. A clean EOF at
+// a frame boundary comes back as io.EOF; anything mid-frame (the chaos
+// layer's mid-frame resets land here) is io.ErrUnexpectedEOF or a
+// transport error.
+func readFrame(br *bufio.Reader, buf *[]byte) (code byte, id uint64, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.ErrUnexpectedEOF // partial length prefix: mid-frame cut
+		}
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < frameHeaderLen {
+		return 0, 0, nil, errFrameTruncated
+	}
+	if n > maxFrameLen {
+		return 0, 0, nil, errFrameTooLarge
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(br, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // EOF between length and body is mid-frame
+		}
+		return 0, 0, nil, err
+	}
+	code = b[0]
+	flags := b[1]
+	id = binary.BigEndian.Uint64(b[2:frameHeaderLen])
+	payload = b[frameHeaderLen:]
+	if flags&flagCRC != 0 {
+		if len(payload) < 4 {
+			return 0, 0, nil, errFrameTruncated
+		}
+		body, want := b[:n-4], binary.BigEndian.Uint32(b[n-4:])
+		if crc32.Checksum(body, crcTable) != want {
+			return 0, 0, nil, errFrameCorrupt
+		}
+		payload = payload[:len(payload)-4]
+	}
+	return code, id, payload, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errFrameTruncated
+	}
+	return v, b[n:], nil
+}
+
+// readString copies the next length-prefixed field out of the scratch
+// buffer as a string.
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, errFrameTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// readBytesReuse copies the next field into dst's capacity (a pooled
+// struct's retained slice), returning nil for a zero-length field.
+func readBytesReuse(b, dst []byte) ([]byte, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) < n {
+		return nil, nil, errFrameTruncated
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	return append(dst[:0], b[:n]...), b[n:], nil
+}
+
+// readBytesFresh copies the next field into a fresh allocation — for
+// bytes whose ownership leaves the wire layer.
+func readBytesFresh(b []byte) ([]byte, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) < n {
+		return nil, nil, errFrameTruncated
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	return append([]byte(nil), b[:n]...), b[n:], nil
+}
+
+// internTable deduplicates the hot request strings on a connection: a
+// transaction's txid arrives once per op for the whole txn lifetime, so
+// interning turns per-op string allocations into map hits. It is owned
+// by a single reader goroutine (no locking) and resets past a bound so
+// a long-lived connection cannot accumulate txids forever.
+type internTable struct {
+	m map[string]string
+}
+
+const internTableMax = 512
+
+func (t *internTable) get(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if t.m == nil {
+		t.m = make(map[string]string, 64)
+	}
+	// The string(b) conversion in a map index expression does not
+	// allocate, so hits are allocation-free.
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	if len(t.m) >= internTableMax {
+		clear(t.m)
+	}
+	s := string(b)
+	t.m[s] = s
+	return s
+}
+
+// decodeRequestFrame fills the pooled req from a frame payload, copying
+// every field out of the scratch buffer (via it for the interned txid).
+func decodeRequestFrame(op byte, b []byte, req *Request, it *internTable) error {
+	req.Op = Op(op)
+	var err error
+	// txid: intern against the per-conn table instead of allocating.
+	n, b2, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	if uint64(len(b2)) < n {
+		return errFrameTruncated
+	}
+	req.TxID, b = it.get(b2[:n]), b2[n:]
+	if req.Key, b, err = readString(b); err != nil {
+		return err
+	}
+	if req.Value, b, err = readBytesReuse(b, req.Value); err != nil {
+		return err
+	}
+	var nk uint64
+	if nk, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if nk > uint64(len(b)) { // each key carries at least its length byte
+		return errFrameTruncated
+	}
+	keys := req.Keys[:0]
+	for i := uint64(0); i < nk; i++ {
+		var k string
+		if k, b, err = readString(b); err != nil {
+			return err
+		}
+		keys = append(keys, k)
+	}
+	if nk == 0 {
+		keys = nil
+	}
+	req.Keys = keys
+	if req.TraceID, b, err = readString(b); err != nil {
+		return err
+	}
+	if len(b) < 1 {
+		return errFrameTruncated
+	}
+	req.TraceSampled = b[0] != 0
+	b = b[1:]
+	var dm uint64
+	if dm, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	req.DeadlineMillis = int64(dm)
+	if len(b) < 1 {
+		return errFrameTruncated
+	}
+	req.Version = b[0]
+	return nil
+}
+
+// decodeResponseFrame fills resp from a frame payload. Value and Values
+// are freshly allocated — their ownership passes to the caller, while
+// resp itself may be a pooled struct reused for the next op.
+func decodeResponseFrame(code byte, b []byte, resp *Response) error {
+	resp.Code = ErrCode(code)
+	var err error
+	if resp.TxID, b, err = readString(b); err != nil {
+		return err
+	}
+	if resp.Value, b, err = readBytesFresh(b); err != nil {
+		return err
+	}
+	var ts uint64
+	if ts, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	resp.CommitTS = int64(ts)
+	if resp.Message, b, err = readString(b); err != nil {
+		return err
+	}
+	var nv uint64
+	if nv, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if nv > uint64(len(b)) {
+		return errFrameTruncated
+	}
+	if nv == 0 {
+		resp.Values = nil
+	} else {
+		vals := make([][]byte, nv)
+		for i := range vals {
+			if vals[i], b, err = readBytesFresh(b); err != nil {
+				return err
+			}
+		}
+		resp.Values = vals
+	}
+	if len(b) < 1 {
+		return errFrameTruncated
+	}
+	resp.Version = b[0]
+	return nil
+}
+
+// Request/Response pools for the framed paths. Reset retains byte-slice
+// capacity the next decode can reuse, but never capacity the wire layer
+// does not own (a server response's Value belongs to the node's cache).
+
+var requestPool = sync.Pool{New: func() any { return new(Request) }}
+
+func getRequest() *Request { return requestPool.Get().(*Request) }
+
+func putRequest(req *Request) {
+	req.Op, req.TxID, req.Key = 0, "", ""
+	req.Value = req.Value[:0]
+	req.Keys = nil
+	req.TraceID, req.TraceSampled = "", false
+	req.Version, req.DeadlineMillis = 0, 0
+	requestPool.Put(req)
+}
+
+var responsePool = sync.Pool{New: func() any { return new(Response) }}
+
+func getResponse() *Response { return responsePool.Get().(*Response) }
+
+func putResponse(resp *Response) {
+	*resp = Response{}
+	responsePool.Put(resp)
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -17,7 +18,10 @@ import (
 
 // DialConfig tunes a Client beyond the defaults Dial applies.
 type DialConfig struct {
-	// MaxConns bounds the connection pool (0 defaults to 16).
+	// MaxConns bounds the connection pool (0 defaults to 16). Gob conns
+	// are lockstep, so MaxConns bounds concurrency; binary conns are
+	// pipelined, so a handful of conns carry many concurrent ops and new
+	// conns are dialed only while every existing one is busy.
 	MaxConns int
 	// OpTimeout is the per-op conn deadline applied when the caller's ctx
 	// carries none (and the floor when it does: the effective deadline is
@@ -27,39 +31,71 @@ type DialConfig struct {
 	// DialTimeout bounds each TCP connect (0 defaults to 10s; negative
 	// disables).
 	DialTimeout time.Duration
+	// Codec selects the wire codec: "" or CodecBinary negotiates the
+	// pipelined binary framing when the server speaks protocol v3,
+	// falling back to gob otherwise; CodecGob forces the legacy lockstep
+	// gob codec.
+	Codec string
+	// FrameCRC requests a CRC-32C trailer on every binary frame in both
+	// directions (negotiated at upgrade; ignored on gob conns).
+	FrameCRC bool
+	// MaxVersion caps the protocol version this client advertises
+	// (0 = ProtocolVersion). A compatibility-testing hook: a v2-capped
+	// client behaves exactly like a v2 build.
+	MaxVersion uint8
 }
 
 // Client is a connection pool speaking the AFT wire protocol to one node.
 // It implements lb.Backend, so remote nodes compose with the load balancer
 // exactly like in-process ones.
 //
+// After the Dial handshake the client speaks one of two codecs for its
+// lifetime. CodecBinary (protocol v3 peers): a few pipelined framed
+// connections carry many concurrent ops each, demuxed by request ID.
+// CodecGob (older peers, or forced): the legacy lockstep pool, one op
+// per conn at a time.
+//
 // Every op is deadline-bounded: the earlier of the caller's ctx deadline
-// and the configured OpTimeout is set as the conn read/write deadline, so
-// a partitioned or hung server yields a retriable ErrDeadlineExceeded
-// instead of an indefinite hang, and (protocol v2) the remaining budget
-// rides the wire so the server abandons work the client gave up on.
+// and the configured OpTimeout bounds the op, so a partitioned or hung
+// server yields a retriable ErrDeadlineExceeded instead of an indefinite
+// hang, and (protocol v2+) the remaining budget rides the wire so the
+// server abandons work the client gave up on.
 type Client struct {
 	addr string
 	id   string
 	// version is the negotiated protocol version: min(ours, server's).
 	// Immutable after Dial. Servers below v1 never see trace-context
-	// fields, servers below v2 never see deadline fields; everything else
-	// is unchanged.
-	version     uint8
+	// fields, servers below v2 never see deadline fields, servers below
+	// v3 never see binary frames; everything else is unchanged.
+	version uint8
+	// ownVer is the version this client advertises (MaxVersion-capped).
+	ownVer uint8
+	// codec is CodecBinary or CodecGob, decided at Dial. Immutable after.
+	codec       string
+	crc         bool
 	opTimeout   time.Duration
 	dialTimeout time.Duration
+
+	metrics Metrics
 
 	mu       sync.Mutex
 	idle     []*clientConn
 	inflight map[*clientConn]struct{}
+	pconns   []*pipeConn
+	dialing  int
 	max      int
 	dead     bool
 }
 
 type clientConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	// br is the conn's read buffer. It implements io.ByteReader, so the
+	// gob decoder reads through it without wrapping it in another bufio —
+	// which is what lets a codec upgrade hand any read-ahead residue to
+	// the binary frame reader instead of losing it inside gob.
+	br  *bufio.Reader
+	enc *gob.Encoder
+	dec *gob.Decoder
 }
 
 // Dial connects to an AFT server at addr with default timeouts. maxConns
@@ -69,7 +105,7 @@ func Dial(addr string, maxConns int) (*Client, error) {
 	return DialWith(addr, DialConfig{MaxConns: maxConns})
 }
 
-// DialWith is Dial with explicit pool and timeout configuration.
+// DialWith is Dial with explicit pool, timeout, and codec configuration.
 func DialWith(addr string, cfg DialConfig) (*Client, error) {
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = 16
@@ -80,11 +116,17 @@ func DialWith(addr string, cfg DialConfig) (*Client, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	ownVer := ProtocolVersion
+	if cfg.MaxVersion != 0 && cfg.MaxVersion < ownVer {
+		ownVer = cfg.MaxVersion
+	}
 	c := &Client{
 		addr:        addr,
 		max:         cfg.MaxConns,
 		opTimeout:   cfg.OpTimeout,
 		dialTimeout: cfg.DialTimeout,
+		ownVer:      ownVer,
+		crc:         cfg.FrameCRC,
 		inflight:    make(map[*clientConn]struct{}),
 	}
 	cc, err := c.newConn()
@@ -92,22 +134,59 @@ func DialWith(addr string, cfg DialConfig) (*Client, error) {
 		return nil, err
 	}
 	dl, _ := c.opDeadline(context.Background())
-	resp, err := c.roundTrip(cc, &Request{Op: OpPing, Version: ProtocolVersion}, dl)
-	if err != nil {
+	var resp Response
+	if err := c.roundTrip(cc, &Request{Op: OpPing, Version: ownVer}, dl, &resp); err != nil {
 		cc.conn.Close()
 		return nil, c.opErr(err)
 	}
 	c.id = string(resp.Value)
 	c.version = resp.Version
-	if c.version > ProtocolVersion {
-		c.version = ProtocolVersion
+	if c.version > ownVer {
+		c.version = ownVer
 	}
-	c.put(cc)
+	c.codec = CodecGob
+	if cfg.Codec != CodecGob && c.version >= 3 {
+		rejected, uerr := c.upgradeGob(cc)
+		switch {
+		case uerr != nil:
+			cc.conn.Close()
+			return nil, c.opErr(uerr)
+		case rejected:
+			// The server advertised v3 but refused the upgrade (a proxy
+			// or misconfigured peer): pin the whole client to gob so we
+			// never pay the round trip again.
+			c.metrics.CodecFallbacks.Add(1)
+			c.put(cc)
+		default:
+			c.codec = CodecBinary
+			c.pconns = append(c.pconns, newPipeConn(c, cc.conn, cc.br, c.crc))
+		}
+	} else {
+		c.put(cc)
+	}
 	return c, nil
 }
 
 // Version returns the negotiated protocol version (0 = legacy server).
 func (c *Client) Version() uint8 { return c.version }
+
+// Codec returns the negotiated codec (CodecBinary or CodecGob).
+func (c *Client) Codec() string { return c.codec }
+
+// Metrics returns the client's wire counters.
+func (c *Client) Metrics() *Metrics { return &c.metrics }
+
+// InFlight reports the client's ops currently on the wire. The load
+// balancer's least-loaded routing reads it (lb.InFlightReporter).
+func (c *Client) InFlight() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := int64(len(c.inflight))
+	for _, pc := range c.pconns {
+		n += pc.depth.Load()
+	}
+	return n
+}
 
 func (c *Client) newConn() (*clientConn, error) {
 	d := net.Dialer{}
@@ -121,11 +200,118 @@ func (c *Client) newConn() (*clientConn, error) {
 		// redo discipline handles, so it classifies as retriable.
 		return nil, fmt.Errorf("wire: dialing %s: %v: %w", c.addr, err, storage.ErrUnavailable)
 	}
-	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	br := bufio.NewReaderSize(conn, 4<<10)
+	return &clientConn{conn: conn, br: br, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(br)}, nil
 }
 
-// get borrows a pooled connection, dialing when the pool is empty, and
-// registers it in-flight so Close can interrupt a blocked op.
+// upgradeGob performs the OpUpgradeCodec exchange on a gob conn.
+// rejected=true means the server answered but refused (an older build,
+// or one forced to gob); the conn is still a healthy gob conn. On
+// success the conn's next byte in either direction is a binary frame.
+func (c *Client) upgradeGob(cc *clientConn) (rejected bool, err error) {
+	dl, _ := c.opDeadline(context.Background())
+	var feat byte
+	if c.crc {
+		feat |= featureCRC
+	}
+	req := &Request{Op: OpUpgradeCodec, Version: c.ownVer, Value: []byte{feat}}
+	var resp Response
+	if err := c.roundTrip(cc, req, dl, &resp); err != nil {
+		return false, err
+	}
+	if resp.Code != ErrNone {
+		return true, nil
+	}
+	// The pipelined reader blocks indefinitely between responses; per-op
+	// timers bound the ops, so the handshake deadline must not linger.
+	if err := cc.conn.SetDeadline(time.Time{}); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// dialPipe dials and upgrades one replacement binary conn.
+func (c *Client) dialPipe() (*pipeConn, error) {
+	cc, err := c.newConn()
+	if err != nil {
+		return nil, err
+	}
+	rejected, err := c.upgradeGob(cc)
+	if err != nil {
+		cc.conn.Close()
+		return nil, c.opErr(err)
+	}
+	if rejected {
+		// The server refused an upgrade it granted at Dial time — it was
+		// probably replaced under us. Retriable; the redo path will
+		// re-Dial and renegotiate.
+		cc.conn.Close()
+		c.metrics.CodecFallbacks.Add(1)
+		return nil, fmt.Errorf("wire: %s refused codec upgrade: %w", c.addr, storage.ErrUnavailable)
+	}
+	return newPipeConn(c, cc.conn, cc.br, c.crc), nil
+}
+
+// pickPipe returns the pipelined conn with the fewest in-flight ops,
+// dialing a new conn (up to MaxConns) only while every existing one is
+// busy — so sequential callers stay on one conn and concurrent load
+// spreads without herding the dialer.
+func (c *Client) pickPipe() (*pipeConn, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: %w", ErrClosed)
+	}
+	alive := c.pconns[:0]
+	for _, pc := range c.pconns {
+		if !pc.isClosed() {
+			alive = append(alive, pc)
+		}
+	}
+	for i := len(alive); i < len(c.pconns); i++ {
+		c.pconns[i] = nil
+	}
+	c.pconns = alive
+	var best *pipeConn
+	var bestDepth int64
+	for _, pc := range c.pconns {
+		if d := pc.depth.Load(); best == nil || d < bestDepth {
+			best, bestDepth = pc, d
+		}
+	}
+	if best != nil && (bestDepth == 0 || len(c.pconns)+c.dialing >= c.max) {
+		c.mu.Unlock()
+		return best, nil
+	}
+	c.dialing++
+	c.mu.Unlock()
+	pc, err := c.dialPipe()
+	c.mu.Lock()
+	c.dialing--
+	if err != nil {
+		// The redial failed but the pool may still hold a live conn —
+		// prefer queueing on it over failing the op.
+		for _, alt := range c.pconns {
+			if !alt.isClosed() {
+				c.mu.Unlock()
+				return alt, nil
+			}
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.dead {
+		c.mu.Unlock()
+		pc.closeWith(fmt.Errorf("wire: op interrupted: %w", ErrClosed))
+		return nil, fmt.Errorf("wire: %w", ErrClosed)
+	}
+	c.pconns = append(c.pconns, pc)
+	c.mu.Unlock()
+	return pc, nil
+}
+
+// get borrows a pooled gob connection, dialing when the pool is empty,
+// and registers it in-flight so Close can interrupt a blocked op.
 func (c *Client) get() (*clientConn, error) {
 	c.mu.Lock()
 	if c.dead {
@@ -155,7 +341,7 @@ func (c *Client) get() (*clientConn, error) {
 	return cc, nil
 }
 
-// put returns a healthy connection to the pool.
+// put returns a healthy gob connection to the pool.
 func (c *Client) put(cc *clientConn) {
 	c.mu.Lock()
 	delete(c.inflight, cc)
@@ -188,40 +374,44 @@ func (c *Client) opDeadline(ctx context.Context) (time.Time, bool) {
 	return dl, ok
 }
 
-// roundTrip runs one request/response exchange under dl (zero clears any
-// deadline left by the conn's previous op).
-func (c *Client) roundTrip(cc *clientConn, req *Request, dl time.Time) (*Response, error) {
+// roundTrip runs one gob request/response exchange under dl (zero
+// clears any deadline left by the conn's previous op).
+func (c *Client) roundTrip(cc *clientConn, req *Request, dl time.Time, resp *Response) error {
 	if err := cc.conn.SetDeadline(dl); err != nil {
-		return nil, fmt.Errorf("wire: set deadline: %w", err)
+		return fmt.Errorf("wire: set deadline: %w", err)
 	}
 	if err := cc.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("wire: send: %w", err)
+		return fmt.Errorf("wire: send: %w", err)
 	}
-	var resp Response
-	if err := cc.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("wire: recv: %w", err)
+	if err := cc.dec.Decode(resp); err != nil {
+		return fmt.Errorf("wire: recv: %w", err)
 	}
-	return &resp, nil
+	return nil
 }
 
-// opErr classifies a transport-level failure: ops interrupted by Close
-// are terminal (ErrClosed), timeouts map to the retriable
-// ErrDeadlineExceeded, and everything else — resets, EOFs from a dying
-// server, failed redials — to the retriable storage.ErrUnavailable
-// (indeterminate ops are safe to redo: commits are idempotent under the
-// same txid, §3.1).
+// opErr classifies a transport-level failure. Timeouts classify FIRST:
+// an op that legitimately hit its conn deadline reports the retriable
+// ErrDeadlineExceeded even when another goroutine is concurrently
+// closing the client — the dead-client branch is reserved for
+// conn-closed errors, where the op failed BECAUSE Close pulled the conn
+// out from under it (terminal ErrClosed). Everything else — resets,
+// EOFs from a dying server, failed redials — maps to the retriable
+// storage.ErrUnavailable (indeterminate ops are safe to redo: commits
+// are idempotent under the same txid, §3.1).
 func (c *Client) opErr(err error) error {
+	if isTimeout(err) {
+		return fmt.Errorf("wire: %s: %v: %w", c.addr, err, ErrDeadlineExceeded)
+	}
+	if errors.Is(err, ErrClosed) {
+		return fmt.Errorf("wire: op interrupted: %w", ErrClosed)
+	}
 	c.mu.Lock()
 	dead := c.dead
 	c.mu.Unlock()
-	switch {
-	case dead:
+	if dead {
 		return fmt.Errorf("wire: op interrupted: %w", ErrClosed)
-	case isTimeout(err):
-		return fmt.Errorf("wire: %s: %v: %w", c.addr, err, ErrDeadlineExceeded)
-	default:
-		return fmt.Errorf("wire: conn to %s: %v: %w", c.addr, err, storage.ErrUnavailable)
 	}
+	return fmt.Errorf("wire: conn to %s: %v: %w", c.addr, err, storage.ErrUnavailable)
 }
 
 // isTimeout reports whether err is a conn-deadline expiry.
@@ -233,14 +423,22 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// call runs one request on a pooled connection; connections that error
-// are discarded rather than reused.
-func (c *Client) call(ctx context.Context, req *Request) (*Response, error) {
+// call runs one request through the negotiated codec, filling resp.
+func (c *Client) call(ctx context.Context, req *Request, resp *Response) error {
+	if c.codec == CodecBinary {
+		return c.callBinary(ctx, req, resp)
+	}
+	return c.callGob(ctx, req, resp)
+}
+
+// callGob runs one lockstep exchange on a pooled gob connection;
+// connections that error are discarded rather than reused.
+func (c *Client) callGob(ctx context.Context, req *Request, resp *Response) error {
 	dl, ok := c.opDeadline(ctx)
 	if ok {
 		rem := time.Until(dl)
 		if rem <= 0 {
-			return nil, fmt.Errorf("wire: %s: %w", c.addr, ErrDeadlineExceeded)
+			return fmt.Errorf("wire: %s: %w", c.addr, ErrDeadlineExceeded)
 		}
 		if c.version >= 2 {
 			ms := rem.Milliseconds()
@@ -252,15 +450,85 @@ func (c *Client) call(ctx context.Context, req *Request) (*Response, error) {
 	}
 	cc, err := c.get()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	resp, err := c.roundTrip(cc, req, dl)
-	if err != nil {
+	if err := c.roundTrip(cc, req, dl, resp); err != nil {
 		c.discard(cc)
-		return nil, c.opErr(err)
+		return c.opErr(err)
 	}
 	c.put(cc)
-	return resp, nil
+	return nil
+}
+
+// callBinary runs one pipelined op: register a request ID, write the
+// frame (group-flushed with concurrent ops), and wait for the reader to
+// demux the response — or for the op's own timer, whichever first.
+func (c *Client) callBinary(ctx context.Context, req *Request, resp *Response) error {
+	dl, ok := c.opDeadline(ctx)
+	if ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return fmt.Errorf("wire: %s: %w", c.addr, ErrDeadlineExceeded)
+		}
+		ms := rem.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.DeadlineMillis = ms
+	}
+	pc, err := c.pickPipe()
+	if err != nil {
+		return err
+	}
+	op := getPipeOp()
+	id, err := pc.register(op)
+	if err != nil {
+		putPipeOp(op)
+		return c.opErr(err)
+	}
+	defer pc.depth.Add(-1)
+	if werr := pc.w.writeRequest(id, req, pc.crc); werr != nil {
+		// The writer is already poisoned (an earlier batch failed) or
+		// closed; close the conn so the reader and all waiters fail now
+		// rather than at their deadlines. closeWith (or the reader's own
+		// teardown) completes our op too — wait for whichever wins.
+		pc.closeWith(werr)
+		<-op.done
+		err := op.err
+		putPipeOp(op)
+		return c.opErr(err)
+	}
+	if ok {
+		t := acquireTimer(time.Until(dl))
+		select {
+		case <-op.done:
+		case <-t.C:
+			if pc.take(id) != nil {
+				// The timer won: abandon the op and kill the conn, just
+				// as the lockstep path discards a timed-out conn.
+				// Siblings fail retriably, and the next op redials —
+				// which is what lets chaos partitions heal on schedule.
+				op.err = os.ErrDeadlineExceeded
+				c.metrics.Timeouts.Add(1)
+				pc.closeWith(fmt.Errorf("wire: conn %s closed: pipelined op hit its deadline", c.addr))
+			} else {
+				// The reader took the op just before the timer fired;
+				// its completion is imminent.
+				<-op.done
+			}
+		}
+		releaseTimer(t)
+	} else {
+		<-op.done
+	}
+	err = op.err
+	if err != nil {
+		putPipeOp(op)
+		return c.opErr(err)
+	}
+	*resp = op.resp
+	putPipeOp(op)
+	return nil
 }
 
 // ID returns the remote node's identifier (lb.Backend).
@@ -269,8 +537,8 @@ func (c *Client) ID() string { return c.id }
 // Ping round-trips a no-op request, verifying the conn path end to end.
 // It implements lb.Pinger, so balancer health probes reach over the wire.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.call(ctx, &Request{Op: OpPing})
-	return err
+	var resp Response
+	return c.call(ctx, &Request{Op: OpPing}, &resp)
 }
 
 // StartTransaction implements lb.Backend over the wire. A trace context
@@ -283,8 +551,8 @@ func (c *Client) StartTransaction(ctx context.Context) (string, error) {
 			req.TraceID, req.TraceSampled = tc.ID, tc.Sampled
 		}
 	}
-	resp, err := c.call(ctx, req)
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, req, &resp); err != nil {
 		return "", err
 	}
 	return resp.TxID, DecodeErr(resp.Code, resp.Message)
@@ -292,8 +560,8 @@ func (c *Client) StartTransaction(ctx context.Context) (string, error) {
 
 // Get implements lb.Backend over the wire.
 func (c *Client) Get(ctx context.Context, txid, key string) ([]byte, error) {
-	resp, err := c.call(ctx, &Request{Op: OpGet, TxID: txid, Key: key})
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, &Request{Op: OpGet, TxID: txid, Key: key}, &resp); err != nil {
 		return nil, err
 	}
 	if err := DecodeErr(resp.Code, resp.Message); err != nil {
@@ -306,8 +574,8 @@ func (c *Client) Get(ctx context.Context, txid, key string) ([]byte, error) {
 // whole key batch, and the server's batched read pipeline collapses the
 // storage fan-out behind it.
 func (c *Client) MultiGet(ctx context.Context, txid string, keys []string) ([][]byte, error) {
-	resp, err := c.call(ctx, &Request{Op: OpMultiGet, TxID: txid, Keys: keys})
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, &Request{Op: OpMultiGet, TxID: txid, Keys: keys}, &resp); err != nil {
 		return nil, err
 	}
 	if err := DecodeErr(resp.Code, resp.Message); err != nil {
@@ -318,8 +586,8 @@ func (c *Client) MultiGet(ctx context.Context, txid string, keys []string) ([][]
 
 // Put implements lb.Backend over the wire.
 func (c *Client) Put(ctx context.Context, txid, key string, value []byte) error {
-	resp, err := c.call(ctx, &Request{Op: OpPut, TxID: txid, Key: key, Value: value})
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, &Request{Op: OpPut, TxID: txid, Key: key, Value: value}, &resp); err != nil {
 		return err
 	}
 	return DecodeErr(resp.Code, resp.Message)
@@ -327,20 +595,26 @@ func (c *Client) Put(ctx context.Context, txid, key string, value []byte) error 
 
 // CommitTransaction implements lb.Backend over the wire.
 func (c *Client) CommitTransaction(ctx context.Context, txid string) (idgen.ID, error) {
-	resp, err := c.call(ctx, &Request{Op: OpCommit, TxID: txid})
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, &Request{Op: OpCommit, TxID: txid}, &resp); err != nil {
 		return idgen.Null, err
 	}
 	if err := DecodeErr(resp.Code, resp.Message); err != nil {
 		return idgen.Null, err
 	}
-	return idFromResponse(resp), nil
+	id := idFromResponse(&resp)
+	if id.UUID == "" {
+		// The binary server does not echo the txid on non-Start replies;
+		// the commit ID's UUID half is the txid we already hold.
+		id.UUID = txid
+	}
+	return id, nil
 }
 
 // AbortTransaction implements lb.Backend over the wire.
 func (c *Client) AbortTransaction(ctx context.Context, txid string) error {
-	resp, err := c.call(ctx, &Request{Op: OpAbort, TxID: txid})
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, &Request{Op: OpAbort, TxID: txid}, &resp); err != nil {
 		return err
 	}
 	return DecodeErr(resp.Code, resp.Message)
@@ -348,8 +622,8 @@ func (c *Client) AbortTransaction(ctx context.Context, txid string) error {
 
 // ResumeTransaction re-attaches to a transaction after a function retry.
 func (c *Client) ResumeTransaction(ctx context.Context, txid string) error {
-	resp, err := c.call(ctx, &Request{Op: OpResume, TxID: txid})
-	if err != nil {
+	var resp Response
+	if err := c.call(ctx, &Request{Op: OpResume, TxID: txid}, &resp); err != nil {
 		return err
 	}
 	return DecodeErr(resp.Code, resp.Message)
@@ -371,11 +645,17 @@ func (c *Client) Close() {
 	for cc := range c.inflight {
 		inflight = append(inflight, cc)
 	}
+	pconns := c.pconns
+	c.pconns = nil
 	c.mu.Unlock()
 	for _, cc := range idle {
 		cc.conn.Close()
 	}
 	for _, cc := range inflight {
 		cc.conn.Close()
+	}
+	cause := fmt.Errorf("wire: op interrupted: %w", ErrClosed)
+	for _, pc := range pconns {
+		pc.closeWith(cause)
 	}
 }

@@ -1,37 +1,84 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aft/internal/core"
 	"aft/internal/telemetry"
 )
 
-// Server exposes an AFT node over TCP. Each accepted connection handles
-// requests sequentially; clients open multiple connections for
-// parallelism.
+// Server exposes an AFT node over TCP. Every connection starts in the
+// lockstep gob codec; a protocol-v3 client upgrades it with one
+// OpUpgradeCodec exchange, after which the connection is a pipeline:
+// the reader decodes binary frames straight into worker dispatch, many
+// requests run concurrently per conn, and responses are written (and
+// group-flushed) in completion order under their request IDs.
 type Server struct {
 	node *core.Node
 	ln   net.Listener
+
+	// baseCtx is the server-lifetime context. Per-conn handler contexts
+	// derive from it and Close cancels it, so ctx-honoring node ops
+	// (admission waits, flush waits, deadline checks) abandon promptly on
+	// shutdown instead of relying solely on conn teardown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 
+	metrics Metrics
+
 	// Logf receives connection-level errors; nil silences them.
 	Logf func(format string, args ...any)
+	// Codec selects the codec this server speaks: "" or CodecBinary
+	// (the default) accepts codec upgrades; CodecGob refuses them and
+	// advertises at most protocol v2, pinning every conn to gob. Set
+	// before Serve.
+	Codec string
+	// MaxVersion caps the advertised protocol version (0 =
+	// ProtocolVersion) — a compatibility-testing hook that makes this
+	// build negotiate like an older one. Set before Serve.
+	MaxVersion uint8
 }
 
 // NewServer wraps node; call Serve with a listener.
 func NewServer(node *core.Node) *Server {
-	return &Server{node: node, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		node:    node,
+		conns:   make(map[net.Conn]struct{}),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// Metrics returns the server's wire counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// advertisedVersion is the protocol version this server offers on Ping:
+// the build version, capped by MaxVersion, and held below the binary
+// codec when the codec is forced to gob (so clients never attempt an
+// upgrade this server would refuse).
+func (s *Server) advertisedVersion() uint8 {
+	v := ProtocolVersion
+	if s.MaxVersion != 0 && s.MaxVersion < v {
+		v = s.MaxVersion
+	}
+	if s.Codec == CodecGob && v > 2 {
+		v = 2
+	}
+	return v
 }
 
 // Listen starts serving on addr ("host:port"); it returns once the
@@ -95,9 +142,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	// Handlers run under the server-lifetime context (not Background), so
+	// Close/Shutdown's cancel reaches ctx-honoring node ops directly; the
+	// per-conn cancel just releases the context when the conn dies.
+	cctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	// One read buffer for the conn's whole life: it satisfies
+	// io.ByteReader, so gob reads through it without stacking its own
+	// bufio — and any read-ahead residue survives the codec upgrade into
+	// the binary frame reader instead of vanishing inside gob.
+	br := bufio.NewReaderSize(conn, 4<<10)
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
-	ctx := context.Background()
+	counted := false
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -106,16 +163,134 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.handle(ctx, &req)
-		if err := enc.Encode(resp); err != nil {
+		if req.Op == OpUpgradeCodec && s.Codec != CodecGob && s.advertisedVersion() >= 3 {
+			crc := len(req.Value) > 0 && req.Value[0]&featureCRC != 0
+			// The ack is the conn's last gob message in either direction.
+			if err := enc.Encode(&Response{Version: s.advertisedVersion()}); err != nil {
+				s.logf("wire: encode: %v", err)
+				return
+			}
+			s.metrics.BinaryConns.Add(1)
+			s.serveBinary(cctx, conn, br, crc)
+			return
+		}
+		// An OpUpgradeCodec this server refuses (forced gob, capped
+		// version) falls through to handleInto's unknown-op reply, which
+		// is exactly what a pre-v3 build would send.
+		if !counted && req.Op != OpPing {
+			counted = true
+			s.metrics.GobConns.Add(1)
+		}
+		var resp Response
+		s.handleInto(cctx, &req, &resp)
+		if err := enc.Encode(&resp); err != nil {
 			s.logf("wire: encode: %v", err)
 			return
 		}
 	}
 }
 
-func (s *Server) handle(ctx context.Context, req *Request) *Response {
-	// A v2 client ships its remaining per-op budget; honoring it here
+// serveBinary is the conn's life after a codec upgrade: decode frames,
+// dispatch each request to its own handler goroutine, and let the
+// shared frameWriter interleave and group-flush responses in completion
+// order. Pings are answered inline from a preserialized response — the
+// pure wire-path round trip allocates nothing.
+func (s *Server) serveBinary(ctx context.Context, conn net.Conn, br *bufio.Reader, crc bool) {
+	fw := newFrameWriter(conn, &s.metrics)
+	var wg sync.WaitGroup
+	// Handlers first (they produce into fw), then stop fw's writer.
+	defer fw.close()
+	defer wg.Wait()
+	var buf []byte
+	var it internTable
+	var depth atomic.Int64
+	pingResp := Response{Value: []byte(s.node.ID()), Version: s.advertisedVersion()}
+	for {
+		op, id, payload, err := readFrame(br, &buf)
+		if err != nil {
+			if err == errFrameCorrupt {
+				s.metrics.CRCErrors.Add(1)
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: read frame: %v", err)
+			}
+			return
+		}
+		s.metrics.FramesRecv.Add(1)
+		s.metrics.BytesRecv.Add(int64(len(payload) + frameHeaderLen + 4))
+		if Op(op) == OpPing {
+			if err := fw.writeResponse(id, &pingResp, crc); err != nil {
+				s.logf("wire: write frame: %v", err)
+				return
+			}
+			continue
+		}
+		req := getRequest()
+		if err := decodeRequestFrame(op, payload, req, &it); err != nil {
+			// Corrupt framing cannot be resynced; kill the conn.
+			putRequest(req)
+			s.logf("wire: decode frame: %v", err)
+			return
+		}
+		wg.Add(1)
+		s.metrics.observeDepth(depth.Add(1))
+		go func(id uint64, req *Request) {
+			defer wg.Done()
+			defer depth.Add(-1)
+			resp := getResponse()
+			s.dispatch(ctx, req, resp)
+			if req.Op != OpStart {
+				// Only Start's reply carries a txid the client does not
+				// already know; elide the echo on everything else.
+				resp.TxID = ""
+			}
+			if err := fw.writeResponse(id, resp, crc); err != nil {
+				s.logf("wire: write frame: %v", err)
+			}
+			putRequest(req)
+			putResponse(resp)
+		}(id, req)
+	}
+}
+
+// dispatch wraps handleInto in a wire.dispatch span for traced
+// transactions, so pipelined server-side queueing shows up in traces.
+func (s *Server) dispatch(ctx context.Context, req *Request, resp *Response) {
+	if tr := s.node.TraceOf(req.TxID); tr != nil {
+		sp := tr.StartSpan("wire.dispatch")
+		sp.Annotate("op", opName(req.Op))
+		defer sp.End()
+	}
+	s.handleInto(ctx, req, resp)
+}
+
+func opName(op Op) string {
+	switch op {
+	case OpStart:
+		return "start"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpResume:
+		return "resume"
+	case OpPing:
+		return "ping"
+	case OpMultiGet:
+		return "multiget"
+	case OpUpgradeCodec:
+		return "upgrade"
+	default:
+		return "unknown"
+	}
+}
+
+func (s *Server) handleInto(ctx context.Context, req *Request, resp *Response) {
+	// A v2+ client ships its remaining per-op budget; honoring it here
 	// means work the client has already given up on is abandoned at the
 	// node's next ctx check instead of burning a concurrency slot.
 	if req.DeadlineMillis > 0 {
@@ -123,7 +298,7 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMillis)*time.Millisecond)
 		defer cancel()
 	}
-	resp := &Response{TxID: req.TxID}
+	resp.TxID = req.TxID
 	var err error
 	switch req.Op {
 	case OpStart:
@@ -148,13 +323,12 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 	case OpResume:
 		err = s.node.ResumeTransaction(ctx, req.TxID)
 	case OpPing:
-		resp.Value = []byte(s.node.ID())
-		resp.Version = ProtocolVersion
+		resp.Value = append(resp.Value[:0], s.node.ID()...)
+		resp.Version = s.advertisedVersion()
 	default:
 		err = &UnknownOpError{Op: req.Op}
 	}
 	resp.Code, resp.Message = EncodeErr(err)
-	return resp
 }
 
 // Shutdown drains the server gracefully: it closes the listener so no
@@ -182,7 +356,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.Close()
 }
 
-// Close stops the listener and all live connections, then waits for
+// Close stops the listener and all live connections, cancels the
+// server-lifetime context so parked handlers abandon, then waits for
 // handler goroutines to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -191,6 +366,10 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Cancel before tearing down conns: a handler parked in an
+	// admission or flush wait unblocks on ctx even though its conn write
+	// afterwards fails.
+	s.cancel()
 	ln := s.ln
 	for conn := range s.conns {
 		conn.Close()

@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aft/internal/core"
+	"aft/internal/lb"
+	"aft/internal/storage/dynamosim"
+)
+
+func startCappedServer(t *testing.T, maxVersion uint8, codec string) (*Server, string, *core.Node) {
+	t.Helper()
+	store := dynamosim.New(dynamosim.Options{})
+	node, err := core.NewNode(core.Config{NodeID: fmt.Sprintf("srv-v%d", maxVersion), Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(node)
+	srv.MaxVersion = maxVersion
+	srv.Codec = codec
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String(), node
+}
+
+func runTxn(t *testing.T, client *Client) {
+	t.Helper()
+	ctx := context.Background()
+	txid, err := client.StartTransaction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Put(ctx, txid, "vm-k", []byte("vm-v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Get(ctx, txid, "vm-k")
+	if err != nil || string(v) != "vm-v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := client.CommitTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionNegotiationMatrix crosses every server protocol cap with
+// every client cap, both directions of skew: the pair must negotiate
+// min(server, client), speak binary exactly when BOTH sides are v3+,
+// and carry a full transaction either way. This is the compatibility
+// contract that lets a fleet roll the binary codec out node by node.
+func TestVersionNegotiationMatrix(t *testing.T) {
+	for _, sv := range []uint8{1, 2, 3} {
+		_, addr, _ := startCappedServer(t, sv, "")
+		for _, cv := range []uint8{1, 2, 3} {
+			t.Run(fmt.Sprintf("server_v%d/client_v%d", sv, cv), func(t *testing.T) {
+				client, err := DialWith(addr, DialConfig{MaxConns: 1, MaxVersion: cv})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer client.Close()
+				want := sv
+				if cv < sv {
+					want = cv
+				}
+				if got := client.Version(); got != want {
+					t.Fatalf("negotiated version = %d, want min(%d,%d) = %d", got, sv, cv, want)
+				}
+				wantCodec := CodecGob
+				if want >= 3 {
+					wantCodec = CodecBinary
+				}
+				if got := client.Codec(); got != wantCodec {
+					t.Fatalf("negotiated codec = %q, want %q at v%d", got, wantCodec, want)
+				}
+				runTxn(t, client)
+				if m := client.Metrics().Snapshot(); m.CodecFallbacks != 0 {
+					t.Fatalf("clean negotiation recorded %d codec fallbacks", m.CodecFallbacks)
+				}
+			})
+		}
+	}
+}
+
+// TestServerForcedGobNeverUpgrades: a server pinned to gob advertises
+// at most v2, so a binary-capable client never even attempts the
+// upgrade — it behaves exactly as against a pre-v3 build.
+func TestServerForcedGobNeverUpgrades(t *testing.T) {
+	srv, addr, _ := startCappedServer(t, 0, CodecGob)
+	client, err := DialWith(addr, DialConfig{MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Version() > 2 {
+		t.Fatalf("forced-gob server negotiated v%d, must cap at 2", client.Version())
+	}
+	if client.Codec() != CodecGob {
+		t.Fatalf("codec = %q, want gob", client.Codec())
+	}
+	runTxn(t, client)
+	if m := srv.Metrics().Snapshot(); m.BinaryConns != 0 || m.GobConns == 0 {
+		t.Fatalf("server conns binary=%d gob=%d, want 0/>0", m.BinaryConns, m.GobConns)
+	}
+}
+
+// TestClientForcedGobSkipsUpgrade: the -wire-codec=gob escape hatch on
+// the client side: a v3 server is available but the client stays on
+// lockstep gob.
+func TestClientForcedGobSkipsUpgrade(t *testing.T) {
+	srv, addr, _ := startCappedServer(t, 0, "")
+	client, err := DialWith(addr, DialConfig{MaxConns: 1, Codec: CodecGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Version() != ProtocolVersion {
+		t.Fatalf("version = %d, want %d (codec choice must not mask the version)", client.Version(), ProtocolVersion)
+	}
+	if client.Codec() != CodecGob {
+		t.Fatalf("codec = %q, want forced gob", client.Codec())
+	}
+	runTxn(t, client)
+	if m := srv.Metrics().Snapshot(); m.BinaryConns != 0 || m.GobConns == 0 {
+		t.Fatalf("server conns binary=%d gob=%d, want 0/>0", m.BinaryConns, m.GobConns)
+	}
+}
+
+// TestUpgradeRejectedFallsBackToGob: a server that ADVERTISES v3 but
+// answers the upgrade with unknown-op (a build where the feature is
+// compiled out, or a middlebox) must leave the client on working gob —
+// one recorded fallback, no failed dial, no broken ops.
+func TestUpgradeRejectedFallsBackToGob(t *testing.T) {
+	checkGoroutineLeak(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var conns []net.Conn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				br := bufio.NewReader(conn)
+				dec, enc := gob.NewDecoder(br), gob.NewEncoder(conn)
+				txSeq := 0
+				for {
+					var req Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					var resp Response
+					switch req.Op {
+					case OpPing:
+						resp = Response{Version: ProtocolVersion, Value: []byte("reject-srv")}
+					case OpUpgradeCodec:
+						// Advertised v3, but the upgrade is refused the way a
+						// pre-v3 handler would: typed unknown-op.
+						code, msg := EncodeErr(&UnknownOpError{Op: req.Op})
+						resp = Response{Code: code, Message: msg, Version: ProtocolVersion}
+					case OpStart:
+						txSeq++
+						resp = Response{TxID: fmt.Sprintf("fake-tx-%d", txSeq)}
+					default:
+						resp = Response{TxID: req.TxID}
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		wg.Wait()
+	})
+
+	client, err := DialWith(ln.Addr().String(), DialConfig{MaxConns: 1, OpTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("dial must survive a rejected upgrade: %v", err)
+	}
+	defer client.Close()
+	if client.Codec() != CodecGob {
+		t.Fatalf("codec after rejected upgrade = %q, want gob", client.Codec())
+	}
+	if m := client.Metrics().Snapshot(); m.CodecFallbacks != 1 {
+		t.Fatalf("codec fallbacks = %d, want 1", m.CodecFallbacks)
+	}
+	ctx := context.Background()
+	txid, err := client.StartTransaction(ctx)
+	if err != nil || txid == "" {
+		t.Fatalf("op over fallback gob = %q, %v", txid, err)
+	}
+	if err := client.AbortTransaction(ctx, txid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedVersionPoolThroughBalancer: a balancer fronting one binary
+// (v3) backend and one gob (v2-capped) backend must route transactions
+// across both transparently — mixed-codec fleets are exactly the state
+// a rolling upgrade passes through.
+func TestMixedVersionPoolThroughBalancer(t *testing.T) {
+	_, addrNew, nNew := startCappedServer(t, 0, "")
+	_, addrOld, nOld := startCappedServer(t, 2, "")
+	cNew, err := DialWith(addrNew, DialConfig{MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cNew.Close()
+	cOld, err := DialWith(addrOld, DialConfig{MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cOld.Close()
+	if cNew.Codec() != CodecBinary || cOld.Codec() != CodecGob {
+		t.Fatalf("codecs = %q/%q, want binary/gob", cNew.Codec(), cOld.Codec())
+	}
+
+	bal := lb.New(cNew, cOld)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		txid, err := bal.StartTransaction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bal.Put(ctx, txid, fmt.Sprintf("mix-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bal.CommitTransaction(ctx, txid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := nNew.Metrics().Snapshot().Started, nOld.Metrics().Snapshot().Started
+	if a != 2 || b != 2 {
+		t.Fatalf("mixed-codec round robin = %d/%d, want 2/2", a, b)
+	}
+}

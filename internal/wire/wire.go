@@ -23,12 +23,27 @@ import (
 // the Ping handshake. Version 1 adds the trace-context request fields
 // and typed unknown-op errors; version 2 adds the request deadline field
 // (the client's remaining per-op budget rides the wire so the server
-// abandons work the client has given up on); version 0 is the
-// pre-handshake protocol (a v0 peer leaves the version fields
-// gob-zeroed, which is exactly the legacy behaviour — gob ignores
+// abandons work the client has given up on); version 3 adds the binary
+// framed codec and per-connection pipelining, entered by an explicit
+// OpUpgradeCodec exchange after the handshake (until then every conn
+// speaks gob, so v≤2 peers in either direction keep working unchanged);
+// version 0 is the pre-handshake protocol (a v0 peer leaves the version
+// fields gob-zeroed, which is exactly the legacy behaviour — gob ignores
 // unknown struct fields, so the trace and deadline fields are negotiated
 // rather than assumed but the codec never breaks).
-const ProtocolVersion uint8 = 2
+const ProtocolVersion uint8 = 3
+
+// Codec names, selectable via DialConfig.Codec and the servers'
+// -wire-codec flag.
+const (
+	// CodecBinary is the length-prefixed binary framing with pipelined
+	// connections (protocol v3). The default whenever both peers
+	// negotiate it.
+	CodecBinary = "binary"
+	// CodecGob is the legacy lockstep gob codec, kept as the comparison
+	// baseline and the compatibility floor for v≤2 peers.
+	CodecGob = "gob"
+)
 
 // Op identifies a request type.
 type Op uint8
@@ -45,6 +60,21 @@ const (
 	// OpMultiGet is appended after OpPing so the pre-existing op codes
 	// stay stable across versions.
 	OpMultiGet
+	// OpUpgradeCodec switches the connection from gob to the binary
+	// framed codec (protocol v3). It is always sent gob-encoded — the
+	// last gob message on the conn; the reply (also gob) acknowledges,
+	// and every subsequent byte in both directions is binary frames. The
+	// request's Value carries the feature byte (bit0: per-frame CRC). A
+	// v≤2 server answers ErrCodeUnknownOp and the client falls back to
+	// gob. Appended after OpMultiGet so pre-existing codes stay stable.
+	OpUpgradeCodec
+)
+
+// Upgrade feature bits, carried in OpUpgradeCodec's Value[0].
+const (
+	// featureCRC requests a CRC-32C trailer on every frame in both
+	// directions.
+	featureCRC byte = 1 << 0
 )
 
 // Request is one client->server message.
@@ -174,26 +204,29 @@ func EncodeErr(err error) (ErrCode, string) {
 }
 
 // DecodeErr converts a wire code back into a sentinel (or opaque) error.
+// The server's message is preserved — which key was missing, why storage
+// was unavailable — by wrapping the sentinel, so errors.Is matching
+// still works while logs and traces keep the cross-wire diagnostics.
 func DecodeErr(code ErrCode, msg string) error {
 	switch code {
 	case ErrNone:
 		return nil
 	case ErrCodeTxnNotFound:
-		return core.ErrTxnNotFound
+		return withMessage(core.ErrTxnNotFound, msg)
 	case ErrCodeTxnFinished:
-		return core.ErrTxnFinished
+		return withMessage(core.ErrTxnFinished, msg)
 	case ErrCodeKeyNotFound:
-		return core.ErrKeyNotFound
+		return withMessage(core.ErrKeyNotFound, msg)
 	case ErrCodeNoValidVersion:
-		return core.ErrNoValidVersion
+		return withMessage(core.ErrNoValidVersion, msg)
 	case ErrCodeUnavailable:
-		return storage.ErrUnavailable
+		return withMessage(storage.ErrUnavailable, msg)
 	case ErrCodeVersionVanished:
-		return core.ErrVersionVanished
+		return withMessage(core.ErrVersionVanished, msg)
 	case ErrCodeOverloaded:
-		return core.ErrOverloaded
+		return withMessage(core.ErrOverloaded, msg)
 	case ErrCodeDeadlineExceeded:
-		return ErrDeadlineExceeded
+		return withMessage(ErrDeadlineExceeded, msg)
 	case ErrCodeUnknownOp:
 		op, err := strconv.Atoi(msg)
 		if err != nil {
@@ -203,6 +236,29 @@ func DecodeErr(code ErrCode, msg string) error {
 	default:
 		return &RemoteError{Message: msg}
 	}
+}
+
+// wireError carries a server-side message on top of a client-side
+// sentinel: Error() is the server's text, Unwrap() the sentinel, so
+// errors.Is(err, sentinel) matches exactly as it did when DecodeErr
+// returned the bare sentinel.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// withMessage wraps sentinel so the server's message survives the wire.
+// When the message adds nothing over the sentinel's own text (v0 peers,
+// terse servers) the bare sentinel comes back, keeping err == sentinel
+// comparisons in legacy callers working.
+func withMessage(sentinel error, msg string) error {
+	if msg == "" || msg == sentinel.Error() {
+		return sentinel
+	}
+	return &wireError{msg: msg, sentinel: sentinel}
 }
 
 // RemoteError is a non-sentinel error reported by the server.

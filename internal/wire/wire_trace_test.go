@@ -168,8 +168,8 @@ func TestUnknownOpTypedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	resp, err := client.call(context.Background(), &Request{Op: Op(99)})
-	if err != nil {
+	var resp Response
+	if err := client.call(context.Background(), &Request{Op: Op(99)}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	derr := DecodeErr(resp.Code, resp.Message)

@@ -1,0 +1,93 @@
+package bench
+
+// Wire codec benchmarks: the CPU cost of one RPC over real TCP
+// loopback, lockstep gob vs pipelined binary framing. The ping pair
+// isolates the pure codec + transport path (no transaction state, no
+// storage); the txn pair measures the full Start/Put/Commit cycle. Run
+// with -benchmem: the allocation column is the codec story.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aft/internal/core"
+	"aft/internal/storage/dynamosim"
+	"aft/internal/wire"
+)
+
+func benchWireClient(b *testing.B, codec string) *wire.Client {
+	b.Helper()
+	node, err := core.NewNode(core.Config{
+		NodeID: "wire-bench",
+		Store:  dynamosim.New(dynamosim.Options{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.NewServer(node)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	client, err := wire.DialWith(addr.String(), wire.DialConfig{
+		MaxConns: 4, OpTimeout: 30 * time.Second, Codec: codec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(client.Close)
+	if client.Codec() != codec {
+		b.Fatalf("negotiated %q, want %q", client.Codec(), codec)
+	}
+	return client
+}
+
+func benchWirePing(b *testing.B, codec string) {
+	client := benchWireClient(b, codec)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := client.Ping(ctx); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func benchWireTxn(b *testing.B, codec string) {
+	client := benchWireClient(b, codec)
+	ctx := context.Background()
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		key := fmt.Sprintf("k%d", seq.Add(1))
+		for pb.Next() {
+			txid, err := client.StartTransaction(ctx)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := client.Put(ctx, txid, key, []byte("bench-value")); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := client.CommitTransaction(ctx, txid); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkWirePingBinary(b *testing.B) { benchWirePing(b, wire.CodecBinary) }
+func BenchmarkWirePingGob(b *testing.B)    { benchWirePing(b, wire.CodecGob) }
+func BenchmarkWireTxnBinary(b *testing.B)  { benchWireTxn(b, wire.CodecBinary) }
+func BenchmarkWireTxnGob(b *testing.B)     { benchWireTxn(b, wire.CodecGob) }
