@@ -21,12 +21,55 @@ type (
 	TracerOptions = telemetry.TracerOptions
 	// TraceRecord is one retained trace, as served by /traces.
 	TraceRecord = telemetry.TraceRecord
+	// TraceCollector merges trace segments forwarded by many nodes'
+	// tracers into stitched cross-node traces, keyed by trace ID.
+	TraceCollector = telemetry.TraceCollector
+	// StitchedTrace is one merged multi-node trace, as served by the
+	// collector-backed /traces endpoint.
+	StitchedTrace = telemetry.StitchedTrace
+	// EventJournal is the flight recorder: a bounded ring of typed
+	// cluster events served by /events and dumped on panic/SIGQUIT.
+	EventJournal = telemetry.Journal
+	// Event is one flight-recorder entry.
+	Event = telemetry.Event
+	// SLOEngine evaluates windowed burn-rate objectives for /healthz.
+	SLOEngine = telemetry.SLOEngine
+	// SLOObjective is one /healthz objective (target + SLI).
+	SLOObjective = telemetry.Objective
 )
 
-// NewMetricsRegistry returns an empty registry; pass it to the
-// RegisterTelemetry method of each component you deploy (Node, Cluster,
-// stores, ...) and serve it with DebugMux.
-func NewMetricsRegistry() *MetricsRegistry { return &telemetry.Registry{} }
+// NewMetricsRegistry returns a registry pre-loaded with the process's
+// aft_build_info gauge; pass it to the RegisterTelemetry method of each
+// component you deploy (Node, Cluster, stores, ...) and serve it with
+// DebugMux.
+func NewMetricsRegistry() *MetricsRegistry {
+	reg := &telemetry.Registry{}
+	telemetry.RegisterBuildInfo(reg)
+	return reg
+}
+
+// NewTraceCollector returns a trace collector retaining up to capacity
+// stitched traces (<= 0 for the default). Wire it into
+// ClusterConfig.TraceCollector (or set it as a standalone Tracer's sink
+// via SetSink) and serve it through DebugOptions.Collector.
+func NewTraceCollector(capacity int) *TraceCollector {
+	return telemetry.NewTraceCollector(capacity)
+}
+
+// NewEventJournal returns a flight-recorder journal retaining up to
+// capacity events (<= 0 for the default 4096). Wire it into
+// NodeConfig.Events / ClusterConfig.Events and serve it through
+// DebugOptions.Events.
+func NewEventJournal(capacity int) *EventJournal {
+	return telemetry.NewJournal(telemetry.JournalOptions{Capacity: capacity})
+}
+
+// NewSLOEngine returns a burn-rate engine with the default multi-window
+// layout; add objectives with AddObjective, drive it with Run, and serve
+// it through DebugOptions.Health.
+func NewSLOEngine() *SLOEngine {
+	return telemetry.NewSLOEngine(telemetry.SLOOptions{})
+}
 
 // NewTracer returns a Tracer; wire it into NodeConfig.Tracer and serve its
 // retained traces with DebugMux.
@@ -54,10 +97,45 @@ func Traced(ctx context.Context) (context.Context, string) {
 // then serves an empty trace list). Serve it with http.ListenAndServe on
 // a side port — never on the transaction-serving address.
 func DebugMux(node string, reg *MetricsRegistry, tracer *Tracer) *http.ServeMux {
+	return DebugMuxWith(node, reg, tracer, DebugOptions{})
+}
+
+// DebugOptions extends DebugMux with the cluster observability plane.
+// Every field is optional; zero values fall back to DebugMux behavior.
+type DebugOptions struct {
+	// Collector, when non-nil, replaces the plain /traces view with the
+	// stitched cross-node view: traces merged across every tracer
+	// forwarding to the collector, each span attributed to its node.
+	Collector *TraceCollector
+	// Events, when non-nil, adds /events serving the flight-recorder
+	// journal (JSON, newest first; ?type=, ?node=, ?limit=).
+	Events *EventJournal
+	// Health, when non-nil, adds /healthz serving per-objective burn-rate
+	// verdicts (503 when any objective pages).
+	Health *SLOEngine
+}
+
+// DebugMuxWith is DebugMux plus the observability-plane endpoints
+// selected by opts:
+//
+//	/traces   stitched cross-node traces when opts.Collector is set
+//	/events   flight-recorder journal when opts.Events is set
+//	/healthz  SLO burn-rate verdicts when opts.Health is set
+func DebugMuxWith(node string, reg *MetricsRegistry, tracer *Tracer, opts DebugOptions) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/statz", reg.StatzHandler(node))
-	mux.Handle("/traces", tracer.Handler())
+	if opts.Collector != nil {
+		mux.Handle("/traces", opts.Collector.Handler(node, tracer))
+	} else {
+		mux.Handle("/traces", tracer.Handler())
+	}
+	if opts.Events != nil {
+		mux.Handle("/events", opts.Events.Handler())
+	}
+	if opts.Health != nil {
+		mux.Handle("/healthz", opts.Health.Handler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -63,6 +63,7 @@ type benchResult struct {
 	ChaosCells      []experiments.ChaosCell      `json:"chaos_cells,omitempty"`
 	DurabilityCells []experiments.DurabilityCell `json:"durability_cells,omitempty"`
 	TelemetryCells  []experiments.TelemetryCell  `json:"telemetry_cells,omitempty"`
+	ObsPlaneCells   []experiments.ObsPlaneCell   `json:"obsplane_cells,omitempty"`
 	ResilienceCells []experiments.ResilienceCell `json:"resilience_cells,omitempty"`
 	RecoveryCells   []experiments.RecoveryCell   `json:"recovery_cells,omitempty"`
 	WireCells       []experiments.WireCell       `json:"wire_cells,omitempty"`
@@ -70,7 +71,7 @@ type benchResult struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry|resilience|recovery|wire")
+		experiment = flag.String("experiment", "all", "experiment to run: all|fig2|fig3|table2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|sharded|parallel|readpath|chaos|durability|telemetry|obsplane|resilience|recovery|wire")
 		scale      = flag.Float64("scale", 0.1, "latency time scale: 1.0 = paper speed, 0.1 = 10x faster, 0 = no latency")
 		quick      = flag.Bool("quick", false, "shrink workloads ~10x")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -160,6 +161,7 @@ func main() {
 		{"chaos", one(experiments.Chaos)},
 		{"durability", one(experiments.Durability)},
 		{"telemetry", one(experiments.Telemetry)},
+		{"obsplane", one(experiments.ObsPlane)},
 		{"resilience", one(experiments.Resilience)},
 		{"recovery", one(experiments.Recovery)},
 		{"wire", one(experiments.Wire)},
@@ -233,6 +235,13 @@ func main() {
 			if err == nil {
 				var t experiments.Table
 				t, err = experiments.TelemetryTable(res.TelemetryCells)
+				res.Tables = []experiments.Table{t}
+			}
+		case "obsplane":
+			res.ObsPlaneCells, err = experiments.ObsPlaneCells(opts)
+			if err == nil {
+				var t experiments.Table
+				t, err = experiments.ObsPlaneTable(res.ObsPlaneCells)
 				res.Tables = []experiments.Table{t}
 			}
 		case "resilience":

@@ -5,11 +5,16 @@
 //
 //	aft-client -addr localhost:7070
 //	aft-client -trace            # trace every transaction end to end
+//	aft-client -trace -debug-addr localhost:7071   # and fetch stitched trees
 //
 // With -trace, each begin mints a client trace context that rides the
 // wire protocol, so the serving node retains the transaction's full
 // span tree regardless of its sampling policy; the printed trace ID can
-// be looked up on the server's /traces debug endpoint.
+// be looked up on the server's /traces debug endpoint. With -debug-addr
+// also set, the "trace <id>" command fetches that endpoint and renders
+// the stitched multi-node span tree: one section per contributing node
+// (the serving node, peers that merged the multicast delivery, the
+// fault manager), spans on the shared trace timeline.
 //
 // Commands (one per line):
 //
@@ -18,17 +23,22 @@
 //	put <key> <value>     buffer a write in the current transaction
 //	commit                commit the current transaction
 //	abort                 abort the current transaction
+//	trace <id>            fetch and render a stitched trace (-debug-addr)
 //	quit
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"aft/aft"
 )
@@ -36,6 +46,7 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:7070", "aft-server address")
 	trace := flag.Bool("trace", false, "trace every transaction (print the trace ID; look it up on the server's /traces endpoint)")
+	debugAddr := flag.String("debug-addr", "", "server debug endpoint for the trace command (e.g. localhost:7071)")
 	flag.Parse()
 
 	client, err := aft.Dial(*addr)
@@ -117,11 +128,96 @@ func main() {
 				fmt.Println("error:", err)
 			}
 			txn = nil
+		case "trace":
+			if len(fields) != 2 {
+				fmt.Println("usage: trace <id>")
+				break
+			}
+			if *debugAddr == "" {
+				fmt.Println("error: trace command needs -debug-addr")
+				break
+			}
+			if err := showStitched(*debugAddr, fields[1]); err != nil {
+				fmt.Println("error:", err)
+			}
 		case "quit", "exit":
 			return
 		default:
-			fmt.Println("commands: begin | get <k> | put <k> <v> | commit | abort | quit")
+			fmt.Println("commands: begin | get <k> | put <k> <v> | commit | abort | trace <id> | quit")
 		}
 		fmt.Print("> ")
 	}
+}
+
+// stitched mirrors the /traces payload shape (telemetry.StitchedTrace);
+// decoded loosely so the client works against any server version that
+// serves at least these fields.
+type stitched struct {
+	TraceID string    `json:"trace_id"`
+	TxID    string    `json:"tx_id"`
+	Nodes   []string  `json:"nodes"`
+	Start   time.Time `json:"start"`
+	Micros  int64     `json:"duration_us"`
+	Status  string    `json:"status"`
+	Spans   []struct {
+		Name        string            `json:"name"`
+		StartMicros int64             `json:"start_us"`
+		Micros      int64             `json:"duration_us"`
+		Attrs       map[string]string `json:"attrs"`
+	} `json:"spans"`
+}
+
+// showStitched fetches one stitched trace from the server's debug
+// endpoint and renders its multi-node span tree: spans grouped by
+// contributing node, each on the shared trace timeline.
+func showStitched(debugAddr, traceID string) error {
+	url := fmt.Sprintf("http://%s/traces?trace_id=%s", debugAddr, traceID)
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Traces []stitched `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+	if len(payload.Traces) == 0 {
+		return fmt.Errorf("trace %s not found on %s (evicted, unsampled, or not yet forwarded)", traceID, debugAddr)
+	}
+	st := payload.Traces[0]
+	fmt.Printf("trace %s  tx=%s  status=%s  %dus  nodes=%s\n",
+		st.TraceID, st.TxID, st.Status, st.Micros, strings.Join(st.Nodes, ","))
+	// Group by origin node, preserving each group's timeline order.
+	byNode := make(map[string][]int)
+	for i, sp := range st.Spans {
+		n := sp.Attrs["node"]
+		byNode[n] = append(byNode[n], i)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Printf("  [%s]\n", n)
+		for _, i := range byNode[n] {
+			sp := st.Spans[i]
+			var attrs []string
+			for k, v := range sp.Attrs {
+				if k == "node" {
+					continue
+				}
+				attrs = append(attrs, k+"="+v)
+			}
+			sort.Strings(attrs)
+			line := fmt.Sprintf("    %8dus +%-8d %s", sp.StartMicros, sp.Micros, sp.Name)
+			if len(attrs) > 0 {
+				line += "  " + strings.Join(attrs, " ")
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
 }

@@ -26,8 +26,13 @@
 //
 //	/metrics       Prometheus text exposition (all aft_* families)
 //	/statz         the same registry snapshot as JSON (stable schema)
-//	/traces        retained transaction traces, newest first
+//	/traces        stitched traces, newest first (?trace_id= for one)
+//	/events        flight-recorder event journal (?type=, ?node=, ?limit=)
+//	/healthz       SLO burn-rate verdicts (503 when an objective pages)
 //	/debug/pprof/  the Go profiler suite
+//
+// SIGQUIT (and a panic on the main goroutine) dumps the flight-recorder
+// journal to -events-dump before the runtime's usual stack dump.
 //
 // SIGINT/SIGTERM shuts down gracefully: the listener stops accepting,
 // in-flight transactions get up to -drain-timeout to finish (abandoned
@@ -54,6 +59,7 @@ import (
 	"aft/internal/multicast"
 	"aft/internal/storage"
 	"aft/internal/storage/walengine"
+	"aft/internal/telemetry"
 	"aft/internal/wire"
 )
 
@@ -74,6 +80,13 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 0, "WAL index checkpoint period for -store wal (0 disables; restarts then replay the full log)")
 		budget    = flag.Int64("metadata-budget", 0, "metadata memory budget in bytes (0 = unbounded); past it the node spills cold commit records to storage")
 		wireCodec = flag.String("wire-codec", "binary", "wire codec: binary (protocol v3, pipelined framing) | gob (pin the legacy lockstep codec; the server then advertises protocol v2)")
+		traceRing = flag.Int("trace-ring", 256, "retained-trace ring capacity in entries")
+		traceRB   = flag.Int64("trace-ring-bytes", 0, "retained-trace ring byte budget (0 = entry bound only); oldest traces are evicted first")
+		eventsCap = flag.Int("events-ring", 4096, "flight-recorder event journal capacity in entries")
+		eventsOut = flag.String("events-dump", "aft-events.jsonl", "file the event journal is dumped to on panic or SIGQUIT")
+		sloCommit = flag.Duration("slo-commit-p99", 250*time.Millisecond, "commit-latency SLO threshold: the fraction of commits slower than this burns the latency error budget (0 disables the objective)")
+		sloShed   = flag.Float64("slo-shed-ratio", 0.01, "shed-ratio SLO: allowed fraction of arrivals shed by admission control (<=0 disables the objective)")
+		sloEvery  = flag.Duration("slo-eval-interval", 10*time.Second, "SLO engine sampling period")
 	)
 	flag.Parse()
 	switch *wireCodec {
@@ -94,6 +107,24 @@ func main() {
 		log.Fatalf("aft-server: unknown latency mode %q", *lat)
 	}
 
+	// The observability plane: the flight recorder journals cluster
+	// events (created before the store so WAL checkpoint rejections at
+	// load time are captured), the collector stitches trace segments
+	// forwarded by every tracer in the process, and the SLO engine grades
+	// burn rates for /healthz.
+	events := aft.NewEventJournal(*eventsCap)
+	collector := aft.NewTraceCollector(0)
+	defer func() {
+		// A panic's flight recording is worth more than the panic alone:
+		// persist the journal, then let the crash proceed.
+		if r := recover(); r != nil {
+			if err := events.DumpToFile(*eventsOut); err == nil {
+				fmt.Fprintf(os.Stderr, "aft-server: event journal dumped to %s\n", *eventsOut)
+			}
+			panic(r)
+		}
+	}()
+
 	var store aft.Store
 	switch *backend {
 	case "dynamodb":
@@ -103,10 +134,11 @@ func main() {
 	case "redis":
 		store = aft.NewRedisStore(mode, *seed, 0)
 	case "wal":
-		var err error
-		if store, err = aft.NewWALStore(*storeDir); err != nil {
+		ws, err := walengine.Open(*storeDir, walengine.Options{Events: events, EventNode: *nodeID})
+		if err != nil {
 			log.Fatalf("aft-server: opening WAL store: %v", err)
 		}
+		store = ws
 		fmt.Printf("aft-server: durable WAL store in %s\n", *storeDir)
 	default:
 		log.Fatalf("aft-server: unknown store %q", *backend)
@@ -126,13 +158,20 @@ func main() {
 	if sampleEvery <= 0 {
 		sampleEvery = -1
 	}
-	tracer := aft.NewTracer(aft.TracerOptions{Node: *nodeID, SampleEvery: sampleEvery})
+	tracer := aft.NewTracer(aft.TracerOptions{
+		Node:        *nodeID,
+		SampleEvery: sampleEvery,
+		Capacity:    *traceRing,
+		MaxBytes:    *traceRB,
+	})
+	tracer.SetSink(collector)
 
 	node, err := aft.NewNode(aft.NodeConfig{
 		NodeID:          *nodeID,
 		Store:           store,
 		EnableDataCache: *cache,
 		Tracer:          tracer,
+		Events:          events,
 		// Only the WAL store survives restarts, so only there does a
 		// persisted watermark make the next Bootstrap incremental.
 		PersistBootstrapWatermark: *backend == "wal",
@@ -155,13 +194,20 @@ func main() {
 	// over the wire it only contributes its metric families.
 	bus := multicast.NewBus()
 	fm := faultmgr.New(store, faultmgr.StaticMembership{node})
-	fm.SetTracer(tracer)
+	// The fault manager gets its own tracer identity so stitched traces
+	// attribute recovery and delivery spans to "faultmgr" rather than to
+	// the node that happened to host the scan — and so even a single-node
+	// server produces multi-participant traces on /traces.
+	fmTracer := aft.NewTracer(aft.TracerOptions{Node: "faultmgr", SampleEvery: -1})
+	fmTracer.SetSink(collector)
+	fm.SetTracer(fmTracer)
 	bus.Tap(fm.Ingest)
 	mc := multicast.NewMulticaster(bus, node, *mcPeriod, true)
 	mc.SetTracer(tracer)
 	mc.Start()
 	defer mc.Stop()
 	bal := lb.New(node)
+	bal.SetJournal(events)
 
 	stopGC := make(chan struct{})
 	go maintenanceLoop(fm, node, *budget, *gcPeriod, stopGC)
@@ -180,9 +226,39 @@ func main() {
 	srv := wire.NewServer(node)
 	srv.Codec = *wireCodec
 
+	// SLO objectives: commit latency (fraction of commits slower than the
+	// threshold burns the budget) and admission sheds over arrivals.
+	health := aft.NewSLOEngine()
+	if *sloCommit > 0 {
+		health.AddObjective(telemetry.Objective{
+			Name:   "commit_latency",
+			Help:   fmt.Sprintf("commits faster than %s", *sloCommit),
+			Target: 0.99,
+			SLI:    telemetry.LatencySLI(node.CommitLatency, *sloCommit),
+		})
+	}
+	if *sloShed > 0 {
+		m := node.Metrics()
+		health.AddObjective(telemetry.Objective{
+			Name:   "shed_ratio",
+			Help:   "arrivals admitted (not shed by admission control)",
+			Target: 1 - *sloShed,
+			SLI: telemetry.RatioSLI(
+				func() uint64 { return uint64(m.OverloadShed.Load()) },
+				func() uint64 { return uint64(m.Started.Load() + m.OverloadShed.Load()) },
+			),
+		})
+	}
+	stopSLO := health.Run(*sloEvery)
+	defer stopSLO()
+
 	reg := aft.NewMetricsRegistry()
 	node.RegisterTelemetry(reg)
 	tracer.RegisterTelemetry(reg)
+	fmTracer.RegisterTelemetry(reg)
+	events.RegisterTelemetry(reg)
+	collector.RegisterTelemetry(reg)
+	health.RegisterTelemetry(reg)
 	bus.RegisterTelemetry(reg)
 	fm.RegisterTelemetry(reg)
 	bal.RegisterTelemetry(reg)
@@ -210,14 +286,35 @@ func main() {
 		//	go tool pprof http://<debug-addr>/debug/pprof/profile
 		runtime.SetMutexProfileFraction(100)
 		runtime.SetBlockProfileRate(int(time.Microsecond))
-		mux := aft.DebugMux(*nodeID, reg, tracer)
+		mux := aft.DebugMuxWith(*nodeID, reg, tracer, aft.DebugOptions{
+			Collector: collector,
+			Events:    events,
+			Health:    health,
+		})
 		go func() {
 			if err := http.ListenAndServe(*debug, mux); err != nil {
 				log.Printf("aft-server: debug endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("aft-server: debug endpoint (metrics, statz, traces, pprof) on %s\n", *debug)
+		fmt.Printf("aft-server: debug endpoint (metrics, statz, traces, events, healthz, pprof) on %s\n", *debug)
 	}
+
+	// SIGQUIT persists the flight recorder before the runtime's stack
+	// dump: the journal is re-raised to the default handler so the usual
+	// goroutine dump (and exit) still happens.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if err := events.DumpToFile(*eventsOut); err != nil {
+				log.Printf("aft-server: event journal dump: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "aft-server: event journal dumped to %s\n", *eventsOut)
+			}
+			signal.Reset(syscall.SIGQUIT)
+			syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+		}
+	}()
 
 	runServer(srv, node, *drain)
 }

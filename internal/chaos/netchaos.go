@@ -20,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aft/internal/latency"
 	"aft/internal/strhash"
+	"aft/internal/telemetry"
 )
 
 // PartitionMode classifies a blackhole partition's direction.
@@ -71,6 +73,11 @@ type NetConfig struct {
 	// Sleeper realizes modeled delays; nil never sleeps (decisions still
 	// count, keeping metrics deterministic at time scale 0).
 	Sleeper *latency.Sleeper
+	// Events, when non-nil, journals partition heals into the flight
+	// recorder, labeled EventNode.
+	Events *telemetry.Journal
+	// EventNode labels this injector's journal events.
+	EventNode string
 }
 
 // NetMetrics counts injected network faults. All fields are atomic.
@@ -197,6 +204,8 @@ func (n *NetChaos) healLocked() {
 		n.healed = nil
 	}
 	n.metrics.Heals.Add(1)
+	n.cfg.Events.Record(telemetry.EventPartitionHeal, n.cfg.EventNode, "",
+		"heals", strconv.FormatInt(n.metrics.Heals.Load(), 10))
 }
 
 // partition snapshots the current partition state.

@@ -35,6 +35,7 @@ import (
 	"aft/internal/idgen"
 	"aft/internal/records"
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 	"aft/internal/workload"
 )
 
@@ -64,6 +65,10 @@ type Recorder struct {
 	// ambiguous error (transient fault, node crash): the record may or may
 	// not be durable. ResolveStorage settles the committed ones.
 	indeterminate map[string]bool
+	// events, when non-nil, journals each Verdict violation into the
+	// flight recorder so a campaign's anomalies sit next to the kills and
+	// promotions that provoked them.
+	events *telemetry.Journal
 }
 
 // New returns an empty Recorder.
@@ -223,6 +228,13 @@ func (v *Verdict) flag(format string, args ...any) {
 	}
 }
 
+// SetJournal directs each future Verdict's violations into j.
+func (r *Recorder) SetJournal(j *telemetry.Journal) {
+	r.mu.Lock()
+	r.events = j
+	r.mu.Unlock()
+}
+
 // Verdict replays the recorded history. final, when non-nil, maps each key
 // to the metadata observed by a post-quiesce read (keys read as absent
 // omitted); it drives the lost-write check and should be collected after
@@ -235,6 +247,10 @@ func (r *Recorder) Verdict(final map[string]workload.Meta) Verdict {
 		r.checkTraceLocked(tr, &v)
 	}
 	r.checkFinalLocked(final, &v)
+	for _, viol := range v.Violations {
+		r.events.Record(telemetry.EventCheckerViolation, "checker", "",
+			"violation", viol)
+	}
 	return v
 }
 

@@ -28,6 +28,7 @@ import (
 	"aft/internal/records"
 	"aft/internal/shard"
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // Config parameterizes a deployment.
@@ -76,6 +77,22 @@ type Config struct {
 	// NumShards and VNodes tune the ring; 0 selects shard.DefaultShards /
 	// shard.DefaultVNodes. Ignored unless Sharded.
 	NumShards, VNodes int
+	// Events, when non-nil, is the cluster-wide flight-recorder journal:
+	// lifecycle transitions (node kills, standby promotions, bootstrap
+	// watermark cuts) are recorded here, and it is threaded into every
+	// node's config so per-node anomalies (sheds, budget spills) land in
+	// the same timeline.
+	Events *telemetry.Journal
+	// TraceCollector, when non-nil, turns on cross-node trace stitching:
+	// every node gets its own tracer (unless the Node template already
+	// carries one) whose retained traces and foreign spans forward here,
+	// and the fault manager attributes recovery work to sampled traces
+	// the same way. Serve the collector's Handler as the cluster /traces.
+	TraceCollector *telemetry.TraceCollector
+	// TraceSampleEvery is the self-sampling rate for cluster-built
+	// tracers (1-in-N); 0 keeps the tracer default, <0 disables
+	// self-sampling (client-sampled and slow traces are still kept).
+	TraceSampleEvery int
 	// IncrementalBootstrap makes node joins (including standby promotions)
 	// warm up incrementally: the fault manager pushes its in-memory commit
 	// view to the joiner, which then fetches from storage only records
@@ -88,9 +105,10 @@ type Config struct {
 }
 
 type member struct {
-	node *core.Node
-	mc   *multicast.Multicaster
-	stop chan struct{} // stops the local GC loop
+	node   *core.Node
+	mc     *multicast.Multicaster
+	tracer *telemetry.Tracer // nil unless the cluster built one
+	stop   chan struct{}     // stops the local GC loop
 }
 
 // Cluster is a running deployment.
@@ -131,6 +149,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.fm = faultmgr.New(cfg.Store, membershipFunc(c.fmNodes))
 	c.bus.Tap(c.fm.Ingest)
+	c.balancer.SetJournal(cfg.Events)
+	if cfg.TraceCollector != nil {
+		// The fault manager is its own "node" on the stitched view: its
+		// ingest/recover/announce spans carry the faultmgr attribution.
+		fmTracer := telemetry.NewTracer(telemetry.TracerOptions{
+			Node: "faultmgr", SampleEvery: -1,
+		})
+		fmTracer.SetSink(cfg.TraceCollector)
+		c.fm.SetTracer(fmTracer)
+	}
 	if cfg.Sharded {
 		c.ring = shard.New(cfg.NumShards, cfg.VNodes)
 		owners := func(rec *records.CommitRecord) []string {
@@ -189,6 +217,17 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 	if nodeCfg.Clock == nil {
 		nodeCfg.Clock = c.cfg.Clock
 	}
+	if nodeCfg.Events == nil {
+		nodeCfg.Events = c.cfg.Events
+	}
+	var tracer *telemetry.Tracer
+	if c.cfg.TraceCollector != nil && nodeCfg.Tracer == nil {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{
+			Node: id, SampleEvery: c.cfg.TraceSampleEvery,
+		})
+		tracer.SetSink(c.cfg.TraceCollector)
+		nodeCfg.Tracer = tracer
+	}
 	node, err := core.NewNode(nodeCfg)
 	if err != nil {
 		return nil, err
@@ -224,11 +263,14 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 		// cold-start bootstrap rather than trust a watermark with holes.
 		if err := c.fm.ScanStorage(ctx); err == nil {
 			since := c.fm.AnnounceTo(node)
+			c.cfg.Events.Record(telemetry.EventBootstrapWatermark, id, "",
+				"since", since)
 			bootstrap = func(ctx context.Context) error {
 				return node.BootstrapSince(ctx, since)
 			}
 		}
 	}
+	bootStart := time.Now()
 	if err := bootstrap(ctx); err != nil {
 		if c.ring != nil {
 			c.reannounceForPlan(c.ring.RemoveNode(id))
@@ -236,10 +278,20 @@ func (c *Cluster) addNode(ctx context.Context, warmup bool) (*core.Node, error) 
 		}
 		return nil, fmt.Errorf("cluster: bootstrapping %s: %w", id, err)
 	}
+	// The join itself is a system trace on the new node's tracer, so a
+	// promotion's warm-up cost shows up on the stitched view next to the
+	// transactions it delayed.
+	if tracer != nil {
+		jt := tracer.BeginSystem("cluster.join")
+		jt.AddSpan("node.bootstrap", bootStart, time.Since(bootStart),
+			map[string]string{"warmup": fmt.Sprintf("%v", warmup)})
+		jt.Finish("joined")
+	}
 	m := &member{
-		node: node,
-		mc:   multicast.NewMulticaster(c.bus, node, c.cfg.MulticastPeriod, c.cfg.PruneMulticast),
-		stop: make(chan struct{}),
+		node:   node,
+		mc:     multicast.NewMulticaster(c.bus, node, c.cfg.MulticastPeriod, c.cfg.PruneMulticast),
+		tracer: tracer,
+		stop:   make(chan struct{}),
 	}
 	c.mu.Lock()
 	if c.stopped {
@@ -335,6 +387,8 @@ func (c *Cluster) Kill(nodeID string) error {
 	}
 	c.mu.Unlock()
 
+	c.cfg.Events.Record(telemetry.EventNodeKill, nodeID, "",
+		"standby_available", fmt.Sprintf("%v", haveStandby))
 	c.balancer.Remove(nodeID)
 	m.mc.Kill()
 	if c.ring != nil {
@@ -359,8 +413,14 @@ func (c *Cluster) Kill(nodeID string) error {
 			// budget (or cluster shutdown) leaves the cluster one node
 			// short, recoverable by the next Kill or a manual AddNode.
 			for attempt := 0; attempt < promotionAttempts; attempt++ {
-				_, err := c.addNode(context.Background(), attempt == 0)
-				if err == nil || c.isStopped() {
+				n, err := c.addNode(context.Background(), attempt == 0)
+				if err == nil {
+					c.cfg.Events.Record(telemetry.EventPromotion, n.ID(), "",
+						"replaces", nodeID,
+						"attempt", fmt.Sprintf("%d", attempt+1))
+					return
+				}
+				if c.isStopped() {
 					return
 				}
 				c.cfg.Sleeper.Sleep(c.cfg.DetectDelay)

@@ -20,12 +20,22 @@ func (c *Cluster) RegisterTelemetry(reg *telemetry.Registry) {
 	if m, ok := c.cfg.Store.(interface{ Metrics() *storage.Metrics }); ok {
 		m.Metrics().RegisterTelemetry(reg, c.cfg.Store.Name())
 	}
+	c.cfg.Events.RegisterTelemetry(reg)
+	c.cfg.TraceCollector.RegisterTelemetry(reg)
 	// Per-node registration is dynamic: each scrape walks the CURRENT
-	// member set, so scale-out nodes appear and killed nodes disappear
-	// without re-registering.
+	// member set ONCE, so scale-out nodes appear and killed nodes
+	// disappear without re-registering — and every aft_node_* family in
+	// one scrape reflects the same membership snapshot.
 	reg.Register(func(e *telemetry.Emitter) {
-		for _, n := range c.Nodes() {
-			n.EmitTelemetry(e)
+		c.mu.Lock()
+		members := make([]*member, 0, len(c.members))
+		for _, m := range c.members {
+			members = append(members, m)
+		}
+		c.mu.Unlock()
+		for _, m := range members {
+			m.node.EmitTelemetry(e)
+			m.tracer.EmitTelemetry(e)
 		}
 	})
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"sort"
+	"strconv"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
+	"aft/internal/telemetry"
 )
 
 // Memory-budgeted metadata. A node's commit cache and version index grow
@@ -135,6 +137,10 @@ func (n *Node) spillColdRecords(ctx context.Context, budget int64) (int, error) 
 			// Nothing dropped this round was unconfirmed, so no state is
 			// at risk — memory relief just waits for the next pass.
 			n.metrics.SpilledRecords.Add(int64(spilled))
+			if spilled > 0 {
+				n.cfg.Events.Record(telemetry.EventBudgetSpill, n.cfg.NodeID, "",
+					"spilled", strconv.Itoa(spilled), "truncated", "storage_error")
+			}
 			return spilled, err
 		}
 		// Confirm individual misses twice: under fault injection a partial
@@ -198,5 +204,9 @@ func (n *Node) spillColdRecords(ctx context.Context, budget int64) (int, error) 
 		}
 	}
 	n.metrics.SpilledRecords.Add(int64(spilled))
+	if spilled > 0 {
+		n.cfg.Events.Record(telemetry.EventBudgetSpill, n.cfg.NodeID, "",
+			"spilled", strconv.Itoa(spilled))
+	}
 	return spilled, nil
 }

@@ -160,6 +160,10 @@ func (n *Node) commitTransaction(ctx context.Context, txid string) (idgen.ID, er
 	sort.Strings(writeSet)
 	rec := records.NewCommitRecord(id, writeSet, n.cfg.NodeID)
 	rec.Packed = packed
+	// A client-sampled trace rides inside the record so peers receiving
+	// the multicast delivery — and the fault manager recovering the
+	// record after a crash — can attribute their work to the same trace.
+	rec.TraceID = t.trace.SampledID()
 	if len(spilled) > 0 {
 		rec.SpillDir = spillDir
 		rec.Spilled = spilled

@@ -37,6 +37,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -191,11 +192,33 @@ func (n *Node) flushCommits(ctx context.Context, batch []*commitReq) {
 		n.recMu.Unlock()
 	}
 	flushDur := time.Since(flushStart)
+	// One flush serves many coalesced transactions; the shared flush ID
+	// (plus the co-flushed traces' IDs) lets the stitched view link every
+	// member trace to the same storage round trips. The ID and peer list
+	// are built only when at least one member is traced.
+	var flushID, peers string
 	for _, req := range batch {
-		if req.trace != nil { // skip the attr-map allocation when untraced
-			req.trace.AddSpan("gc.flush", flushStart, flushDur,
-				map[string]string{"batch": strconv.Itoa(len(batch))})
+		if req.trace == nil {
+			continue
 		}
+		if flushID == "" {
+			flushID = strconv.FormatUint(n.flushSeq.Add(1), 10)
+			var ids []string
+			for _, other := range batch {
+				if id := other.trace.ID(); id != "" {
+					ids = append(ids, id)
+				}
+			}
+			peers = strings.Join(ids, ",")
+		}
+		req.trace.AddSpan("gc.flush", flushStart, flushDur,
+			map[string]string{
+				"batch": strconv.Itoa(len(batch)),
+				"flush": flushID,
+				"peers": peers,
+			})
+	}
+	for _, req := range batch {
 		close(req.done)
 	}
 }

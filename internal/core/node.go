@@ -32,6 +32,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
@@ -168,6 +169,11 @@ type Config struct {
 	// traces for /traces). Nil disables tracing: every span call costs a
 	// nil check.
 	Tracer *telemetry.Tracer
+	// Events, when non-nil, is the flight-recorder journal the node
+	// reports discrete anomalies into (transaction sheds, metadata-
+	// budget spills). Nil disables journaling at the cost of one nil
+	// check per site.
+	Events *telemetry.Journal
 	// DisableTelemetry skips the node's latency histograms (three atomic
 	// adds per op), the measurable baseline for the instrumentation-
 	// overhead benchmark. Counters in NodeMetrics are always maintained.
@@ -257,6 +263,10 @@ type Node struct {
 	data *dataCache // nil when disabled
 
 	metrics NodeMetrics
+
+	// flushSeq numbers group-commit flushes so every coalesced member's
+	// gc.flush span can name the shared flush it rode.
+	flushSeq atomic.Uint64
 
 	// tracer and the latency histograms are nil when disabled; all their
 	// methods are nil-safe, so the hot paths carry no branching beyond
@@ -489,6 +499,8 @@ func (n *Node) acquire(ctx context.Context) error {
 		if int(n.waiting.Add(1)) > q {
 			n.waiting.Add(-1)
 			n.metrics.OverloadShed.Add(1)
+			n.cfg.Events.Record(telemetry.EventTxnShed, n.cfg.NodeID, "",
+				"reason", "admission_queue")
 			return ErrOverloaded
 		}
 		defer n.waiting.Add(-1)
@@ -534,12 +546,27 @@ func (n *Node) MergeRemoteCommits(recs []*records.CommitRecord) {
 		if rec == nil {
 			continue
 		}
+		// A record carrying a sampled trace ID attributes its delivery
+		// back to the originating trace: the peer-side span is what lets
+		// /traces show a commit's multicast fan-out across nodes. The
+		// common untraced record pays one string comparison.
+		var deliveryStart time.Time
+		traced := rec.TraceID != "" && n.tracer != nil
+		if traced {
+			deliveryStart = time.Now()
+		}
+		outcome := "dropped"
 		// Sharded mode: metadata for shards this node does not own is
 		// not cached here — its owners cache it, and reads can always
 		// recover it from storage. Dropped records are NOT marked
 		// locally-deleted: the global GC consults only shard owners.
 		if !ownsAny(owns, rec) {
 			prunedNonOwned++
+			if traced {
+				n.tracer.ForeignSpan(rec.TraceID, "multicast.delivery",
+					deliveryStart, time.Since(deliveryStart),
+					map[string]string{"tx": rec.UUID, "from": rec.Node, "outcome": "non_owned"})
+			}
 			continue
 		}
 		ss := n.stripesOf(rec.WriteSet)
@@ -555,10 +582,17 @@ func (n *Node) MergeRemoteCommits(recs []*records.CommitRecord) {
 				}
 			}
 			prunedMerges++
+			outcome = "pruned"
 		} else if n.installLocked(rec) {
 			merged++
+			outcome = "merged"
 		}
 		unlockStripes(ss)
+		if traced {
+			n.tracer.ForeignSpan(rec.TraceID, "multicast.delivery",
+				deliveryStart, time.Since(deliveryStart),
+				map[string]string{"tx": rec.UUID, "from": rec.Node, "outcome": outcome})
+		}
 	}
 	n.metrics.MergedRemote.Add(merged)
 	n.metrics.PrunedMerges.Add(prunedMerges)

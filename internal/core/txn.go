@@ -118,6 +118,8 @@ func (n *Node) StartTransaction(ctx context.Context) (string, error) {
 		n.release()
 		n.metrics.BudgetShed.Add(1)
 		n.metrics.OverloadShed.Add(1)
+		n.cfg.Events.Record(telemetry.EventTxnShed, n.cfg.NodeID, "",
+			"reason", "metadata_budget")
 		return "", ErrOverloaded
 	}
 	id := n.gen.NewID()

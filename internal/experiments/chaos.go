@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"aft/internal/chaos"
@@ -10,6 +11,7 @@ import (
 	"aft/internal/cluster"
 	"aft/internal/core"
 	"aft/internal/idgen"
+	"aft/internal/telemetry"
 	"aft/internal/workload"
 )
 
@@ -58,6 +60,15 @@ type ChaosCell struct {
 	RecoveredRecords int64 `json:"recovered_records"`
 
 	Verdict checker.Verdict `json:"verdict"`
+
+	// Journal is the flight-recorder evidence attached to the verdict:
+	// one "type node k=v ..." line per campaign event (kills, standby
+	// promotions, checker violations), in canonical sorted order rather
+	// than arrival order — the promotion goroutine records its event
+	// moments after the new node becomes visible, so arrival seq could
+	// race the driver's next kill, and this cell is under a bit-for-bit
+	// determinism contract.
+	Journal []string `json:"journal"`
 }
 
 // ChaosTable renders measured cells as the experiment's table.
@@ -169,6 +180,7 @@ func runChaosCell(opts Options, seed int64) (ChaosCell, error) {
 	// storage KEY reproduces bit-for-bit — without this, partial-batch
 	// key splits (hash-of-key) would depend on wall-clock timestamps and
 	// crypto-random UUIDs and the fault pattern would drift run to run.
+	journal := telemetry.NewJournal(telemetry.JournalOptions{})
 	c, err := cluster.New(cluster.Config{
 		Nodes:           chaosNodes,
 		Standbys:        kills,
@@ -177,6 +189,7 @@ func runChaosCell(opts Options, seed int64) (ChaosCell, error) {
 		Clock:           idgen.NewVirtualClock(chaosEpoch, 1),
 		MulticastPeriod: time.Hour,
 		PruneMulticast:  true,
+		Events:          journal,
 	})
 	if err != nil {
 		return cell, err
@@ -187,6 +200,7 @@ func runChaosCell(opts Options, seed int64) (ChaosCell, error) {
 	defer c.Stop()
 
 	check := checker.New()
+	check.SetJournal(journal)
 	runner := &chaos.Runner{
 		Client:  c.Client(),
 		Payload: workload.Payload(seed, opts.Payload),
@@ -241,6 +255,7 @@ func runChaosCell(opts Options, seed int64) (ChaosCell, error) {
 		return cell, err
 	}
 	cell.Verdict = check.Verdict(final)
+	cell.Journal = canonicalJournal(journal)
 
 	rm := runner.Metrics().Snapshot()
 	cell.Committed = rm.Commits
@@ -256,6 +271,24 @@ func runChaosCell(opts Options, seed int64) (ChaosCell, error) {
 	cell.Spikes = fm.Spikes
 	cell.RecoveredRecords = c.FaultManager().Metrics().Snapshot().Recovered
 	return cell, nil
+}
+
+// canonicalJournal renders the campaign's flight-recorder events as one
+// line per event, sorted. Wall-clock timestamps and arrival seq are
+// dropped: only the deterministic content (what happened, to whom, with
+// what attributes) is verdict evidence.
+func canonicalJournal(j *telemetry.Journal) []string {
+	evs := j.Snapshot(telemetry.EventFilter{})
+	lines := make([]string, 0, len(evs))
+	for _, ev := range evs {
+		line := string(ev.Type) + " " + ev.Node
+		for i := 0; i+1 < len(ev.Attrs); i += 2 {
+			line += " " + ev.Attrs[i] + "=" + ev.Attrs[i+1]
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return lines
 }
 
 // chaosMaintenance runs one deterministic maintenance point: multicast

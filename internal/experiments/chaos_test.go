@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -64,6 +65,21 @@ func TestChaosDeterministicAndCleanAcrossSeeds(t *testing.T) {
 		if cell.Verdict.FinalKeys == 0 || cell.Verdict.Reads == 0 {
 			t.Errorf("seed %d: checker saw no history (reads=%d final=%d)",
 				cell.Seed, cell.Verdict.Reads, cell.Verdict.FinalKeys)
+		}
+		// The flight recorder is attached as verdict evidence: every
+		// kill and promotion must appear as a journal line.
+		kills, promotions := 0, 0
+		for _, line := range cell.Journal {
+			if strings.HasPrefix(line, "node_kill ") {
+				kills++
+			}
+			if strings.HasPrefix(line, "standby_promotion ") {
+				promotions++
+			}
+		}
+		if kills != cell.Kills || promotions != cell.Promotions {
+			t.Errorf("seed %d: journal records %d kills / %d promotions, counters say %d / %d:\n%v",
+				cell.Seed, kills, promotions, cell.Kills, cell.Promotions, cell.Journal)
 		}
 	}
 

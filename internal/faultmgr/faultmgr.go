@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aft/internal/idgen"
 	"aft/internal/records"
@@ -128,12 +129,25 @@ func (m *Manager) SetScope(s Scope) {
 // Ingest consumes one node's unpruned commit stream; register it as a
 // multicast bus tap.
 func (m *Manager) Ingest(from string, recs []*records.CommitRecord) {
+	ingestStart := time.Now()
+	var traced []*records.CommitRecord
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, rec := range recs {
 		if m.installLocked(rec) {
 			m.metrics.Ingested.Add(1)
+			if rec.TraceID != "" {
+				traced = append(traced, rec)
+			}
 		}
+	}
+	m.mu.Unlock()
+	// Sampled records attribute their arrival at the fault manager back
+	// to the originating trace — the cross-process hop that makes a
+	// commit's announcement visible on the stitched /traces view.
+	for _, rec := range traced {
+		m.tracer.ForeignSpan(rec.TraceID, "faultmgr.ingest",
+			ingestStart, time.Since(ingestStart),
+			map[string]string{"tx": rec.UUID, "from": from})
 	}
 }
 
@@ -172,6 +186,7 @@ func (m *Manager) KnownCommits() int {
 // lost write. Fetching through one BatchGet round-trip group also shrinks
 // the scan's fallible-call count from O(records) to O(1).
 func (m *Manager) ScanStorage(ctx context.Context) error {
+	scanStart := time.Now()
 	keys, err := m.store.List(ctx, records.CommitPrefix)
 	if err != nil {
 		return err
@@ -217,6 +232,16 @@ func (m *Manager) ScanStorage(ctx context.Context) error {
 		return nil
 	}
 	m.metrics.Recovered.Add(int64(len(missed)))
+	// A recovered record carrying a sampled trace ID marks the recovery
+	// on that trace: the fault manager found a commit its node never
+	// announced (it died first) and is about to re-announce it.
+	for _, rec := range missed {
+		if rec.TraceID != "" {
+			m.tracer.ForeignSpan(rec.TraceID, "faultmgr.recover",
+				scanStart, time.Since(scanStart),
+				map[string]string{"tx": rec.UUID, "node": rec.Node})
+		}
+	}
 	nodes := m.membership.Nodes()
 	if scope == nil {
 		for _, n := range nodes {
@@ -292,8 +317,16 @@ func (m *Manager) AnnounceTo(n Node) string {
 		}
 	}
 	m.mu.Unlock()
+	announceStart := time.Now()
 	if len(batch) > 0 {
 		n.MergeRemoteCommits(batch)
+	}
+	for _, rec := range batch {
+		if rec.TraceID != "" {
+			m.tracer.ForeignSpan(rec.TraceID, "faultmgr.announce",
+				announceStart, time.Since(announceStart),
+				map[string]string{"tx": rec.UUID, "to": n.ID()})
+		}
 	}
 	return max
 }
@@ -443,6 +476,14 @@ func (m *Manager) CollectOnce(ctx context.Context, maxDelete int) ([]idgen.ID, e
 		n.ForgetDeleted(removed)
 	}
 	m.metrics.TxnsDeleted.Add(int64(len(removed)))
+	collectEnd := time.Now()
+	for _, rec := range candidates {
+		if rec.TraceID != "" && confirmed[rec.ID()] {
+			m.tracer.ForeignSpan(rec.TraceID, "faultmgr.collect",
+				collectEnd, 0,
+				map[string]string{"tx": rec.UUID})
+		}
+	}
 	return removed, nil
 }
 

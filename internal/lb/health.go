@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"aft/internal/telemetry"
 )
 
 // Pinger is the optional liveness surface a Backend may implement; the
@@ -119,6 +121,7 @@ func (b *Balancer) recordProbe(id string, ok bool) {
 				hs.ejected = false
 				hs.okStreak = 0
 				b.metrics.Readmissions.Add(1)
+				b.events.Record(telemetry.EventLBReadmission, id, "")
 			}
 		}
 		return
@@ -129,6 +132,7 @@ func (b *Balancer) recordProbe(id string, ok bool) {
 			hs.ejected = true
 			hs.failStreak = 0
 			b.metrics.Ejections.Add(1)
+			b.events.Record(telemetry.EventLBEjection, id, "")
 		}
 	}
 }

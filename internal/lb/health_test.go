@@ -9,6 +9,7 @@ import (
 
 	"aft/internal/core"
 	"aft/internal/storage/dynamosim"
+	"aft/internal/telemetry"
 )
 
 // probeBackend wraps a real node with a controllable Ping so tests can
@@ -55,6 +56,8 @@ func TestHealthEjectAndReadmit(t *testing.T) {
 	bes := newProbeBackends(t, 2)
 	b := New(bes[0], bes[1])
 	b.EnableHealth(HealthConfig{FailThreshold: 3, RecoverThreshold: 2})
+	journal := telemetry.NewJournal(telemetry.JournalOptions{})
+	b.SetJournal(journal)
 	ctx := context.Background()
 
 	// Healthy rounds change nothing.
@@ -108,6 +111,12 @@ func TestHealthEjectAndReadmit(t *testing.T) {
 	}
 	if got := b.Metrics().Snapshot().Readmissions; got != 1 {
 		t.Fatalf("Readmissions = %d, want 1", got)
+	}
+	// Both transitions landed in the flight recorder, labeled n0.
+	ej := journal.Snapshot(telemetry.EventFilter{Type: telemetry.EventLBEjection})
+	re := journal.Snapshot(telemetry.EventFilter{Type: telemetry.EventLBReadmission})
+	if len(ej) != 1 || ej[0].Node != "n0" || len(re) != 1 || re[0].Node != "n0" {
+		t.Fatalf("journal = eject %+v readmit %+v, want one of each for n0", ej, re)
 	}
 	txid, err := b.StartTransaction(ctx) // round-robin reaches n0 again
 	if err != nil {

@@ -24,7 +24,16 @@ import (
 	"sync"
 
 	"aft/internal/idgen"
+	"aft/internal/telemetry"
 )
+
+// SetJournal directs ejection/readmission events into j (the cluster
+// flight recorder). Call before EnableHealth; nil disables journaling.
+func (b *Balancer) SetJournal(j *telemetry.Journal) {
+	b.mu.Lock()
+	b.events = j
+	b.mu.Unlock()
+}
 
 // Errors returned by the balancer.
 var (
@@ -83,6 +92,11 @@ type Balancer struct {
 	health    map[string]*healthState
 	healthCfg HealthConfig
 	healthOn  bool
+
+	// events, when non-nil, journals ejections and readmissions so the
+	// flight recorder shows routing changes next to the faults that
+	// caused them.
+	events *telemetry.Journal
 }
 
 // New returns a Balancer over the given backends.

@@ -135,6 +135,13 @@ type CommitRecord struct {
 	// Packed marks the S3-optimized layout: every key version of this
 	// transaction lives inside one packed object at PackKey(ID()).
 	Packed bool `json:"packed,omitempty"`
+	// TraceID carries the originating client's sampled trace ID, so
+	// trace identity travels with the record through multicast delivery
+	// and fault-manager recovery — the peers and the fault manager
+	// attribute their work back to the same cross-node trace. Empty for
+	// the (overwhelmingly common) untraced transactions, so the record
+	// and its storage form do not grow.
+	TraceID string `json:"tid,omitempty"`
 }
 
 // PackKey returns the storage key of transaction id's packed object.
@@ -151,7 +158,7 @@ func BootstrapWatermarkKey(node string) string {
 // It is the unit of the node's metadata budget — an estimate is enough,
 // because the budget bounds growth rather than measures the heap.
 func (r *CommitRecord) ApproxBytes() int {
-	b := 96 + len(r.UUID) + len(r.Node) + len(r.SpillDir)
+	b := 96 + len(r.UUID) + len(r.Node) + len(r.SpillDir) + len(r.TraceID)
 	for _, k := range r.WriteSet {
 		b += 2*len(k) + 48 // write-set entry + version-index entry
 	}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // ckptMagic identifies (and versions) the checkpoint file format.
@@ -92,6 +93,14 @@ func parseCkptSeq(name string) (uint64, bool) {
 		return 0, false
 	}
 	return seq, true
+}
+
+// rejectCheckpoint journals one unusable checkpoint found at load time
+// — the flight-recorder record of replay cost silently falling back to
+// an older snapshot (or the full log).
+func (s *Store) rejectCheckpoint(seq uint64, reason string) {
+	s.cfg.Events.Record(telemetry.EventCheckpointRejected, s.cfg.EventNode, "",
+		"seq", strconv.FormatUint(seq, 10), "reason", reason)
 }
 
 // Checkpoint snapshots the live key index and the durable watermark of
@@ -152,6 +161,9 @@ func (s *Store) Checkpoint(ctx context.Context) (CheckpointStats, error) {
 	s.appendsAtCkpt.Store(appends)
 	s.wal.Checkpoints.Add(1)
 	s.wal.CheckpointEntries.Add(int64(len(ck.entries)))
+	s.cfg.Events.Record(telemetry.EventCheckpointWritten, s.cfg.EventNode, "",
+		"seq", strconv.FormatUint(seq, 10),
+		"entries", strconv.Itoa(len(ck.entries)))
 	s.lastCkptUnixNano.Store(time.Now().UnixNano())
 
 	// Older checkpoints are obsolete; sweep them (best effort — an extra
@@ -332,15 +344,18 @@ func (s *Store) loadCheckpoint(sizes map[int64]int64) (*ckptData, uint64) {
 		data, err := os.ReadFile(s.ckptPath(seq))
 		if err != nil {
 			s.wal.CheckpointsRejected.Add(1)
+			s.rejectCheckpoint(seq, "unreadable")
 			continue
 		}
 		ck, err := decodeCheckpoint(data)
 		if err != nil || ck.seq != seq {
 			s.wal.CheckpointsRejected.Add(1)
+			s.rejectCheckpoint(seq, "corrupt")
 			continue
 		}
 		if !checkpointApplies(&ck, sizes) {
 			s.wal.CheckpointsRejected.Add(1)
+			s.rejectCheckpoint(seq, "inapplicable")
 			continue
 		}
 		return &ck, nextSeq

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 
 	"aft/internal/storage"
+	"aft/internal/telemetry"
 )
 
 // maybeCompact triggers a background compaction when the sealed garbage
@@ -214,6 +216,9 @@ func (s *Store) Compact(ctx context.Context) error {
 	}
 	s.wal.Compactions.Add(1)
 	s.wal.CompactedSegments.Add(int64(len(removed)))
+	s.cfg.Events.Record(telemetry.EventCompaction, s.cfg.EventNode, "",
+		"segments", strconv.Itoa(len(removed)),
+		"reclaimed_bytes", strconv.FormatInt(reclaimed, 10))
 	if freed := reclaimed - size; freed > 0 {
 		s.wal.BytesReclaimed.Add(freed)
 	}

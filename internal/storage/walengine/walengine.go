@@ -108,6 +108,14 @@ type Options struct {
 	// called explicitly (deterministic campaigns checkpoint at explicit
 	// maintenance points).
 	CheckpointEvery int64
+	// Events, when non-nil, journals checkpoint writes/rejections and
+	// segment compactions into the flight recorder, labeled EventNode.
+	// Passed through Options (not a setter) so rejections during the
+	// initial load are captured too.
+	Events *telemetry.Journal
+	// EventNode labels this store's journal events (typically the
+	// serving node's ID or the WAL directory).
+	EventNode string
 }
 
 func (o Options) withDefaults() Options {

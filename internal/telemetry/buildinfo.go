@@ -1,0 +1,42 @@
+package telemetry
+
+// buildinfo.go publishes the aft_build_info identity gauge — the
+// constant-1 series whose labels answer "what exactly is running here"
+// before any other debugging starts.
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// buildInfo resolves the identity labels once; module version and VCS
+// revision come from the embedded build info when the binary was built
+// from a module/VCS checkout, "unknown" otherwise.
+func buildInfo() (version, revision, goVersion string) {
+	version, revision = "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	return version, revision, runtime.Version()
+}
+
+// RegisterBuildInfo registers the aft_build_info gauge (always 1) with
+// version, revision, and goversion labels on reg. Every registry the
+// repo builds gets one, so any scrape identifies its process.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version, revision, goVersion := buildInfo()
+	reg.Register(func(e *Emitter) {
+		e.Gauge("aft_build_info", "Build identity: constant 1, labeled with the module version, VCS revision, and Go toolchain.",
+			1, "version", version, "revision", revision, "goversion", goVersion)
+	})
+}

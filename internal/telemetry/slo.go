@@ -1,0 +1,398 @@
+package telemetry
+
+// slo.go turns the latency histograms and error counters into an
+// actionable health verdict: windowed service-level objectives
+// evaluated with the multi-window, multi-burn-rate method. Each
+// objective is a cumulative (bad, total) probe; the engine snapshots
+// the probes on a cadence, diffs the snapshots over paired short/long
+// windows, and compares the burn rate — the fraction of the error
+// budget consumed per unit time, normalized so burn 1.0 exactly
+// exhausts the budget over the SLO period — against per-window
+// thresholds. Both windows of a pair must breach before the verdict
+// fires: the long window gives confidence, the short window makes the
+// alert reset quickly once the burn stops.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SLI probes one objective's cumulative counters: bad events and total
+// events since process start. Probes run at snapshot cadence and at
+// scrape time, so they must be cheap (atomic loads, histogram
+// snapshots).
+type SLI func() (bad, total float64)
+
+// LatencySLI derives an SLI from a latency histogram: an observation is
+// bad when it lands above the threshold bound. The threshold is rounded
+// up to the histogram's nearest bucket bound, so pick thresholds on
+// bucket boundaries for exact accounting.
+func LatencySLI(snap func() HistogramSnapshot, threshold time.Duration) SLI {
+	return func() (float64, float64) {
+		s := snap()
+		if s.Count == 0 {
+			return 0, 0
+		}
+		good := s.CountAtMost(threshold)
+		return float64(s.Count - good), float64(s.Count)
+	}
+}
+
+// RatioSLI derives an SLI from a pair of cumulative counters.
+func RatioSLI(bad, total func() uint64) SLI {
+	return func() (float64, float64) {
+		return float64(bad()), float64(total())
+	}
+}
+
+// CountAtMost returns how many observations were at or below threshold,
+// rounded up to the nearest bucket bound (observations cannot be split
+// within a bucket).
+func (s HistogramSnapshot) CountAtMost(threshold time.Duration) uint64 {
+	if len(s.Cumulative) == 0 {
+		return 0
+	}
+	v := threshold.Seconds()
+	for i, b := range s.Bounds {
+		if v <= b {
+			return s.Cumulative[i]
+		}
+	}
+	return s.Count
+}
+
+// Objective is one SLO: a target success ratio over an SLI.
+type Objective struct {
+	// Name labels the objective in /healthz and aft_slo_* series.
+	Name string
+	// Help describes what is being promised.
+	Help string
+	// Target is the success ratio promised (e.g. 0.99 → 1% budget).
+	Target float64
+	// SLI probes the cumulative (bad, total) counters.
+	SLI SLI
+}
+
+// BurnWindow is one paired short/long evaluation window. The window
+// breaches when the burn rate over BOTH windows exceeds Threshold.
+type BurnWindow struct {
+	Name      string        `json:"name"`
+	Short     time.Duration `json:"-"`
+	Long      time.Duration `json:"-"`
+	Threshold float64       `json:"threshold"`
+	// Verdict is the severity a breach raises: "page" or "warn".
+	Verdict string `json:"verdict"`
+}
+
+// DefaultBurnWindows is the classic two-pair layout: a fast pair that
+// pages when ~2% of a 30-day budget burns within an hour, and a slow
+// pair that warns when ~5% burns within six hours.
+func DefaultBurnWindows() []BurnWindow {
+	return []BurnWindow{
+		{Name: "fast", Short: 5 * time.Minute, Long: time.Hour, Threshold: 14.4, Verdict: "page"},
+		{Name: "slow", Short: 30 * time.Minute, Long: 6 * time.Hour, Threshold: 6, Verdict: "warn"},
+	}
+}
+
+// SLOOptions configures an engine.
+type SLOOptions struct {
+	// Windows defaults to DefaultBurnWindows.
+	Windows []BurnWindow
+	// MaxSamples bounds each objective's snapshot ring (default 1024
+	// — at a 10s cadence that covers the 6h slow window with margin).
+	MaxSamples int
+	// Now is the clock (default time.Now); tests inject virtual time.
+	Now func() time.Time
+}
+
+// sloSample is one timestamped probe of an objective's counters.
+type sloSample struct {
+	t          time.Time
+	bad, total float64
+}
+
+type objState struct {
+	o       Objective
+	samples []sloSample // ring
+	next, n int
+}
+
+// SLOEngine evaluates objectives with the multi-window multi-burn-rate
+// method. A nil engine is inert.
+type SLOEngine struct {
+	windows    []BurnWindow
+	maxSamples int
+	now        func() time.Time
+
+	mu   sync.Mutex
+	objs []*objState
+}
+
+// NewSLOEngine builds an engine; see SLOOptions for defaults.
+func NewSLOEngine(opts SLOOptions) *SLOEngine {
+	if len(opts.Windows) == 0 {
+		opts.Windows = DefaultBurnWindows()
+	}
+	if opts.MaxSamples <= 0 {
+		opts.MaxSamples = 1024
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &SLOEngine{windows: opts.Windows, maxSamples: opts.MaxSamples, now: opts.Now}
+}
+
+// AddObjective registers an objective. Not safe concurrently with
+// evaluation — wire objectives at startup.
+func (e *SLOEngine) AddObjective(o Objective) {
+	if e == nil || o.SLI == nil {
+		return
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		o.Target = 0.99
+	}
+	e.mu.Lock()
+	e.objs = append(e.objs, &objState{o: o, samples: make([]sloSample, e.maxSamples)})
+	e.mu.Unlock()
+}
+
+// Tick snapshots every objective's counters. Call on a fixed cadence
+// (and before evaluation for fresh short windows).
+func (e *SLOEngine) Tick() {
+	if e == nil {
+		return
+	}
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.objs {
+		bad, total := st.o.SLI()
+		st.samples[st.next] = sloSample{t: now, bad: bad, total: total}
+		st.next = (st.next + 1) % len(st.samples)
+		if st.n < len(st.samples) {
+			st.n++
+		}
+	}
+}
+
+// Run ticks the engine every interval until the returned stop function
+// is called.
+func (e *SLOEngine) Run(interval time.Duration) (stop func()) {
+	if e == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Tick()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// WindowBurn is one window pair's evaluation for one objective.
+type WindowBurn struct {
+	Window    string  `json:"window"`
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+	Threshold float64 `json:"threshold"`
+	Breached  bool    `json:"breached"`
+}
+
+// ObjectiveHealth is one objective's verdict.
+type ObjectiveHealth struct {
+	Name    string  `json:"name"`
+	Help    string  `json:"help,omitempty"`
+	Target  float64 `json:"target"`
+	Verdict string  `json:"verdict"` // ok | warn | page | no_data
+	// BudgetRemaining is the error budget left over the slowest long
+	// window: 1 means untouched, 0 exhausted, negative overspent.
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Bad             float64      `json:"bad"`
+	Total           float64      `json:"total"`
+	Burn            []WindowBurn `json:"burn"`
+}
+
+// burnOver computes the burn rate over the trailing window: the bad
+// ratio across the window's sample span divided by the error budget.
+// ok is false when the ring lacks a sample old enough to anchor even a
+// degenerate window (fewer than two samples).
+func (st *objState) burnOver(now time.Time, window time.Duration, budget float64) (burn float64, ok bool) {
+	if st.n < 2 {
+		return 0, false
+	}
+	newest := st.samples[(st.next-1+len(st.samples))%len(st.samples)]
+	// Walk back to the newest sample at least window old; fall back to
+	// the oldest retained sample when the ring is younger than the
+	// window (a short process still gets a meaningful since-start burn).
+	anchor := st.samples[(st.next-st.n+2*len(st.samples))%len(st.samples)]
+	for i := 1; i < st.n; i++ {
+		s := st.samples[(st.next-1-i+2*len(st.samples))%len(st.samples)]
+		if now.Sub(s.t) >= window {
+			anchor = s
+			break
+		}
+	}
+	dTotal := newest.total - anchor.total
+	if dTotal <= 0 {
+		return 0, true
+	}
+	dBad := newest.bad - anchor.bad
+	if dBad < 0 {
+		dBad = 0
+	}
+	return (dBad / dTotal) / budget, true
+}
+
+// Evaluate returns every objective's verdict. It does not tick; pair
+// with Tick when freshness matters.
+func (e *SLOEngine) Evaluate() []ObjectiveHealth {
+	if e == nil {
+		return nil
+	}
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ObjectiveHealth, 0, len(e.objs))
+	for _, st := range e.objs {
+		budget := 1 - st.o.Target
+		oh := ObjectiveHealth{
+			Name:            st.o.Name,
+			Help:            st.o.Help,
+			Target:          st.o.Target,
+			Verdict:         "ok",
+			BudgetRemaining: 1,
+		}
+		if st.n > 0 {
+			newest := st.samples[(st.next-1+len(st.samples))%len(st.samples)]
+			oh.Bad, oh.Total = newest.bad, newest.total
+		}
+		anyData := false
+		var slowest BurnWindow
+		for _, w := range e.windows {
+			shortBurn, okS := st.burnOver(now, w.Short, budget)
+			longBurn, okL := st.burnOver(now, w.Long, budget)
+			wb := WindowBurn{
+				Window:    w.Name,
+				ShortBurn: shortBurn,
+				LongBurn:  longBurn,
+				Threshold: w.Threshold,
+				Breached:  okS && okL && shortBurn >= w.Threshold && longBurn >= w.Threshold,
+			}
+			oh.Burn = append(oh.Burn, wb)
+			if okS || okL {
+				anyData = true
+			}
+			if wb.Breached {
+				if w.Verdict == "page" {
+					oh.Verdict = "page"
+				} else if oh.Verdict != "page" {
+					oh.Verdict = "warn"
+				}
+			}
+			if w.Long >= slowest.Long {
+				slowest = w
+			}
+		}
+		if burn, ok := st.burnOver(now, slowest.Long, budget); ok {
+			oh.BudgetRemaining = 1 - burn
+		}
+		if !anyData || oh.Total == 0 {
+			oh.Verdict = "no_data"
+			oh.BudgetRemaining = 1
+		}
+		out = append(out, oh)
+	}
+	return out
+}
+
+// RegisterTelemetry publishes the aft_slo_* families: per-objective
+// target, budget remaining, verdict (0 ok, 1 warn, 2 page, -1 no
+// data), and per-window burn rates. Scrapes tick the engine first so
+// the exposed burn is current.
+func (e *SLOEngine) RegisterTelemetry(reg *Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	reg.Register(func(em *Emitter) {
+		e.Tick()
+		for _, oh := range e.Evaluate() {
+			em.Gauge("aft_slo_target", "Objective success-ratio target.", oh.Target, "objective", oh.Name)
+			em.Gauge("aft_slo_budget_remaining", "Error budget left over the slowest long window (1 untouched, 0 exhausted, negative overspent).",
+				oh.BudgetRemaining, "objective", oh.Name)
+			em.Gauge("aft_slo_verdict", "Objective verdict: 0 ok, 1 warn, 2 page, -1 no data.",
+				verdictValue(oh.Verdict), "objective", oh.Name)
+			for _, wb := range oh.Burn {
+				em.Gauge("aft_slo_burn_rate", "Error-budget burn rate over the window's long half (1.0 exhausts the budget exactly over the SLO period).",
+					wb.LongBurn, "objective", oh.Name, "window", wb.Window)
+			}
+		}
+	})
+}
+
+func verdictValue(v string) float64 {
+	switch v {
+	case "ok":
+		return 0
+	case "warn":
+		return 1
+	case "page":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// healthzPayload is the stable JSON schema served at /healthz.
+type healthzPayload struct {
+	Status     string            `json:"status"` // ok | warn | page | no_data
+	Objectives []ObjectiveHealth `json:"objectives"`
+}
+
+// Handler serves /healthz: per-objective verdicts as JSON, HTTP 200
+// while no objective pages, 503 once any does. Each request ticks the
+// engine so the short windows are current.
+func (e *SLOEngine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e.Tick()
+		objs := e.Evaluate()
+		status := "ok"
+		code := http.StatusOK
+		anyData := false
+		for _, oh := range objs {
+			switch oh.Verdict {
+			case "page":
+				status = "page"
+				code = http.StatusServiceUnavailable
+			case "warn":
+				if status == "ok" {
+					status = "warn"
+				}
+			}
+			if oh.Verdict != "no_data" {
+				anyData = true
+			}
+		}
+		if len(objs) > 0 && !anyData {
+			status = "no_data"
+		}
+		if objs == nil {
+			objs = []ObjectiveHealth{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(healthzPayload{Status: status, Objectives: objs})
+	})
+}

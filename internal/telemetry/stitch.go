@@ -1,0 +1,270 @@
+package telemetry
+
+// stitch.go is the cross-node half of the tracer: a SpanSink interface
+// every Tracer can forward finished traces into, and a TraceCollector
+// that merges the per-process TraceRecords by trace ID into one
+// stitched, node-attributed tree. AFT's correctness story spans many
+// cooperating processes (nodes, the fault manager, multicast, standby
+// promotion); the collector is what lets one trace ID tell that whole
+// story instead of a per-process fragment.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanSink receives finished traces. Tracers forward every retained
+// trace (and every foreign span they emit on behalf of a remote trace)
+// to their sink; a per-cluster TraceCollector is the canonical sink.
+type SpanSink interface {
+	ForwardTrace(rec TraceRecord)
+}
+
+// StitchedTrace is one trace ID's merged, multi-node view: every
+// segment (per-process TraceRecord) that named the ID, plus the sorted
+// set of nodes that contributed. Segments keep their per-node spans, so
+// the JSON both renders as a tree grouped by node and stays compatible
+// with single-node consumers through the flattened Spans field (each
+// span annotated with its origin node).
+type StitchedTrace struct {
+	TraceID  string        `json:"trace_id"`
+	TxID     string        `json:"tx_id,omitempty"`
+	Nodes    []string      `json:"nodes"`
+	Start    time.Time     `json:"start"`
+	Micros   int64         `json:"duration_us"`
+	Status   string        `json:"status"`
+	Kept     string        `json:"kept"`
+	Segments []TraceRecord `json:"segments"`
+	Spans    []SpanRecord  `json:"spans"`
+}
+
+// maxSegmentsPerTrace bounds one stitched trace's memory: a long-lived
+// trace ID reused across retries cannot accumulate segments forever.
+const maxSegmentsPerTrace = 64
+
+// TraceCollector merges forwarded TraceRecords by trace ID and retains
+// the stitched traces in a bounded, oldest-first-evicted ring. It is
+// the cluster-wide companion to the per-process Tracer ring: every
+// node's tracer (plus the fault manager's) points its sink here, and
+// /traces serves the merged view. A nil collector is inert.
+type TraceCollector struct {
+	cap int
+
+	forwarded atomic.Uint64
+	merged    atomic.Uint64
+	evicted   atomic.Uint64
+
+	mu    sync.Mutex
+	byID  map[string]*stitchEntry
+	order []string // trace IDs, oldest first (by first forward)
+}
+
+type stitchEntry struct {
+	segments []TraceRecord
+	dropped  int // segments discarded past maxSegmentsPerTrace
+}
+
+// NewTraceCollector builds a collector retaining up to capacity
+// stitched traces (default 256).
+func NewTraceCollector(capacity int) *TraceCollector {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &TraceCollector{cap: capacity, byID: make(map[string]*stitchEntry)}
+}
+
+// ForwardTrace merges rec into the stitched trace with rec's ID,
+// evicting the oldest stitched trace when the ring is full. Nil-safe.
+func (c *TraceCollector) ForwardTrace(rec TraceRecord) {
+	if c == nil || rec.TraceID == "" {
+		return
+	}
+	c.forwarded.Add(1)
+	c.mu.Lock()
+	e := c.byID[rec.TraceID]
+	if e == nil {
+		for len(c.order) >= c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.byID, oldest)
+			c.evicted.Add(1)
+		}
+		e = &stitchEntry{}
+		c.byID[rec.TraceID] = e
+		c.order = append(c.order, rec.TraceID)
+	} else {
+		c.merged.Add(1)
+	}
+	if len(e.segments) < maxSegmentsPerTrace {
+		e.segments = append(e.segments, rec)
+	} else {
+		e.dropped++
+	}
+	c.mu.Unlock()
+}
+
+// stitch assembles the merged view of one entry's segments.
+func stitch(id string, segments []TraceRecord) StitchedTrace {
+	st := StitchedTrace{TraceID: id, Segments: segments}
+	nodes := make(map[string]bool, 2)
+	for i, seg := range segments {
+		nodes[seg.Node] = true
+		if i == 0 || (!seg.Start.IsZero() && seg.Start.Before(st.Start)) {
+			st.Start = seg.Start
+		}
+		if seg.TxID != "" && st.TxID == "" {
+			st.TxID = seg.TxID
+		}
+		// The root segment (the transaction's own trace, kept as
+		// "client"/"self"/"slow") wins status/duration over foreign
+		// fragments; otherwise last writer wins.
+		if seg.Kept != KeptForeign || st.Status == "" {
+			st.Status = seg.Status
+			st.Kept = seg.Kept
+			if seg.Micros > st.Micros {
+				st.Micros = seg.Micros
+			}
+		}
+		for _, sp := range seg.Spans {
+			attrs := sp.Attrs
+			if seg.Node != "" {
+				attrs = make(map[string]string, len(sp.Attrs)+1)
+				for k, v := range sp.Attrs {
+					attrs[k] = v
+				}
+				attrs["node"] = seg.Node
+			}
+			// Re-base the span offset onto the stitched timeline.
+			off := sp.StartMicros
+			if !seg.Start.IsZero() && !st.Start.IsZero() {
+				off += seg.Start.Sub(st.Start).Microseconds()
+			}
+			st.Spans = append(st.Spans, SpanRecord{
+				Name: sp.Name, StartMicros: off, Micros: sp.Micros, Attrs: attrs,
+			})
+		}
+	}
+	for n := range nodes {
+		st.Nodes = append(st.Nodes, n)
+	}
+	sort.Strings(st.Nodes)
+	sort.SliceStable(st.Spans, func(i, j int) bool {
+		return st.Spans[i].StartMicros < st.Spans[j].StartMicros
+	})
+	return st
+}
+
+// Snapshot returns the stitched traces, newest first.
+func (c *TraceCollector) Snapshot() []StitchedTrace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	entries := make([]*stitchEntry, len(ids))
+	for i, id := range ids {
+		e := c.byID[id]
+		entries[i] = &stitchEntry{segments: append([]TraceRecord(nil), e.segments...)}
+	}
+	c.mu.Unlock()
+	out := make([]StitchedTrace, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		out = append(out, stitch(ids[i], entries[i].segments))
+	}
+	return out
+}
+
+// Lookup returns the stitched trace for one ID.
+func (c *TraceCollector) Lookup(id string) (StitchedTrace, bool) {
+	if c == nil {
+		return StitchedTrace{}, false
+	}
+	c.mu.Lock()
+	e := c.byID[id]
+	var segs []TraceRecord
+	if e != nil {
+		segs = append([]TraceRecord(nil), e.segments...)
+	}
+	c.mu.Unlock()
+	if e == nil {
+		return StitchedTrace{}, false
+	}
+	return stitch(id, segs), true
+}
+
+// Stats reports collector volume counters: traces forwarded, forwards
+// merged into an existing stitched trace, and stitched traces evicted.
+func (c *TraceCollector) Stats() (forwarded, merged, evicted uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.forwarded.Load(), c.merged.Load(), c.evicted.Load()
+}
+
+// RegisterTelemetry publishes the collector's volume counters.
+func (c *TraceCollector) RegisterTelemetry(reg *Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.Register(func(e *Emitter) {
+		forwarded, merged, evicted := c.Stats()
+		e.Counter("aft_trace_segments_forwarded_total",
+			"Per-process trace segments forwarded into the cluster collector.", forwarded)
+		e.Counter("aft_trace_segments_merged_total",
+			"Forwarded segments merged into an existing stitched trace.", merged)
+		e.Counter("aft_stitched_traces_evicted_total",
+			"Stitched traces evicted oldest-first from the collector ring.", evicted)
+	})
+}
+
+// stitchedPayload is the stable JSON schema the collector serves at
+// /traces. It keeps the tracer payload's top-level "traces" list (each
+// entry still has trace_id + spans) so single-node consumers keep
+// working, and adds nodes/segments for the multi-node view.
+type stitchedPayload struct {
+	Node    string          `json:"node"`
+	Count   int             `json:"count"`
+	Started uint64          `json:"started"`
+	Kept    uint64          `json:"kept"`
+	Dropped uint64          `json:"dropped"`
+	Traces  []StitchedTrace `json:"traces"`
+}
+
+// Handler serves the stitched traces as JSON, newest first. Query
+// params: ?limit=N bounds the result, ?trace_id=X returns only that
+// trace. tracer, when non-nil, contributes the volume counters (the
+// collector itself only sees retained traces).
+func (c *TraceCollector) Handler(node string, tracer *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var recs []StitchedTrace
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			if st, ok := c.Lookup(id); ok {
+				recs = []StitchedTrace{st}
+			}
+		} else {
+			recs = c.Snapshot()
+			if s := r.URL.Query().Get("limit"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(recs) {
+					recs = recs[:n]
+				}
+			}
+		}
+		started, kept, dropped := tracer.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(stitchedPayload{
+			Node:    node,
+			Count:   len(recs),
+			Started: started,
+			Kept:    kept,
+			Dropped: dropped,
+			Traces:  recs,
+		})
+	})
+}

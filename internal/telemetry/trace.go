@@ -50,8 +50,31 @@ type TraceRecord struct {
 	Start   time.Time    `json:"start"`
 	Micros  int64        `json:"duration_us"`
 	Status  string       `json:"status"`
-	Kept    string       `json:"kept"` // client | self | slow
+	Kept    string       `json:"kept"` // client | self | slow | foreign
 	Spans   []SpanRecord `json:"spans"`
+}
+
+// KeptForeign marks a TraceRecord that is not a locally owned trace but
+// a fragment of work this process performed on behalf of a trace rooted
+// elsewhere — a multicast delivery merged on a peer, a fault-manager
+// recovery of another node's commit record. Foreign fragments exist
+// only to be stitched; they bypass the local ring and go straight to
+// the sink.
+const KeptForeign = "foreign"
+
+// recBytes approximates a TraceRecord's resident size for the tracer's
+// byte bound: struct overhead plus every retained string. Exactness
+// does not matter — the bound exists so a burst of span-heavy traces
+// cannot balloon the ring's memory past the operator's budget.
+func recBytes(rec TraceRecord) int64 {
+	b := int64(128 + len(rec.TraceID) + len(rec.TxID) + len(rec.Node) + len(rec.Status) + len(rec.Kept))
+	for _, sp := range rec.Spans {
+		b += int64(64 + len(sp.Name))
+		for k, v := range sp.Attrs {
+			b += int64(32 + len(k) + len(v))
+		}
+	}
+	return b
 }
 
 // Trace accumulates spans for one transaction (or one system activity).
@@ -72,6 +95,18 @@ type Trace struct {
 // ID returns the trace ID ("" on nil).
 func (t *Trace) ID() string {
 	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SampledID returns the trace ID when the originating client asked for
+// the trace to be retained, "" otherwise (including nil). Commit
+// records carry this so trace identity travels with the record through
+// multicast delivery and fault-manager recovery — only client-sampled
+// traces pay the extra bytes.
+func (t *Trace) SampledID() string {
+	if t == nil || !t.sampled {
 		return ""
 	}
 	return t.id
@@ -167,7 +202,7 @@ func (t *Trace) Finish(status string) {
 		return
 	}
 	sort.Slice(spans, func(i, j int) bool { return spans[i].StartMicros < spans[j].StartMicros })
-	t.tracer.keep(TraceRecord{
+	rec := TraceRecord{
 		TraceID: t.id,
 		TxID:    t.txID,
 		Node:    t.tracer.node,
@@ -176,7 +211,11 @@ func (t *Trace) Finish(status string) {
 		Status:  status,
 		Kept:    kept,
 		Spans:   spans,
-	})
+	}
+	t.tracer.keep(rec)
+	if sink := t.tracer.loadSink(); sink != nil {
+		sink.ForwardTrace(rec)
+	}
 }
 
 // TracerOptions configures a Tracer.
@@ -191,26 +230,60 @@ type TracerOptions struct {
 	// SampleEvery self-samples one of every N traces so /traces has
 	// content without client cooperation. Default 64; <0 disables.
 	SampleEvery int
+	// MaxBytes additionally bounds the ring by approximate resident
+	// bytes: when a kept trace would push the ring past the budget, the
+	// oldest traces are evicted first (and counted). 0 disables the
+	// byte bound (the entry capacity still applies). The newest trace
+	// is always retained, even when it alone exceeds the budget.
+	MaxBytes int64
 }
 
 // Tracer mints and retains traces in a bounded ring buffer. A nil
 // *Tracer disables tracing: Begin returns a nil *Trace and every span
 // call on it is free.
 type Tracer struct {
-	node string
-	cap  int
-	slow time.Duration
-	step uint64
+	node     string
+	cap      int
+	slow     time.Duration
+	step     uint64
+	maxBytes int64
 
 	seq     atomic.Uint64
 	started atomic.Uint64
 	kept    atomic.Uint64
 	dropped atomic.Uint64
+	evicted atomic.Uint64
+	foreign atomic.Uint64
 
-	mu   sync.Mutex
-	ring []TraceRecord
-	next int
-	n    int
+	sink atomic.Value // sinkBox
+
+	mu    sync.Mutex
+	ring  []TraceRecord
+	next  int
+	n     int
+	bytes int64
+}
+
+// sinkBox wraps a SpanSink so atomic.Value sees one concrete type even
+// when callers hand in different sink implementations.
+type sinkBox struct{ s SpanSink }
+
+// SetSink directs every subsequently retained trace (and every foreign
+// span) to sink — typically a cluster-wide TraceCollector. Safe to call
+// concurrently with tracing; nil-safe.
+func (tr *Tracer) SetSink(s SpanSink) {
+	if tr == nil {
+		return
+	}
+	tr.sink.Store(sinkBox{s})
+}
+
+func (tr *Tracer) loadSink() SpanSink {
+	if tr == nil {
+		return nil
+	}
+	box, _ := tr.sink.Load().(sinkBox)
+	return box.s
 }
 
 // NewTracer builds a tracer; see TracerOptions for defaults.
@@ -232,11 +305,12 @@ func NewTracer(opts TracerOptions) *Tracer {
 		step = uint64(opts.SampleEvery)
 	}
 	return &Tracer{
-		node: opts.Node,
-		cap:  opts.Capacity,
-		slow: opts.SlowThreshold,
-		step: step,
-		ring: make([]TraceRecord, opts.Capacity),
+		node:     opts.Node,
+		cap:      opts.Capacity,
+		slow:     opts.SlowThreshold,
+		step:     step,
+		maxBytes: opts.MaxBytes,
+		ring:     make([]TraceRecord, opts.Capacity),
 	}
 }
 
@@ -286,13 +360,57 @@ func (tr *Tracer) selfSampled(string) bool {
 
 func (tr *Tracer) keep(rec TraceRecord) {
 	tr.kept.Add(1)
+	rb := recBytes(rec)
 	tr.mu.Lock()
+	if tr.maxBytes > 0 {
+		for tr.n > 0 && tr.bytes+rb > tr.maxBytes {
+			tr.evictOldestLocked()
+		}
+	}
+	if tr.n == tr.cap {
+		tr.evictOldestLocked()
+	}
 	tr.ring[tr.next] = rec
 	tr.next = (tr.next + 1) % tr.cap
-	if tr.n < tr.cap {
-		tr.n++
-	}
+	tr.n++
+	tr.bytes += rb
 	tr.mu.Unlock()
+}
+
+// evictOldestLocked drops the oldest retained trace (entry cap reached
+// or byte budget exceeded) and counts the eviction.
+func (tr *Tracer) evictOldestLocked() {
+	idx := (tr.next - tr.n + tr.cap*2) % tr.cap
+	tr.bytes -= recBytes(tr.ring[idx])
+	tr.ring[idx] = TraceRecord{}
+	tr.n--
+	tr.evicted.Add(1)
+}
+
+// ForeignSpan forwards a single completed span attributed to this
+// process but belonging to a trace rooted elsewhere — the peer-side
+// half of a multicast delivery, a fault-manager recovery of another
+// node's sampled commit. The span travels straight to the sink as a
+// one-span foreign TraceRecord; without a sink (or a trace ID) the call
+// is free, so untraced hot paths pay only the two nil checks.
+func (tr *Tracer) ForeignSpan(traceID, name string, start time.Time, d time.Duration, attrs map[string]string) {
+	if tr == nil || traceID == "" {
+		return
+	}
+	sink := tr.loadSink()
+	if sink == nil {
+		return
+	}
+	tr.foreign.Add(1)
+	sink.ForwardTrace(TraceRecord{
+		TraceID: traceID,
+		Node:    tr.node,
+		Start:   start,
+		Micros:  d.Microseconds(),
+		Status:  name,
+		Kept:    KeptForeign,
+		Spans:   []SpanRecord{{Name: name, Micros: d.Microseconds(), Attrs: attrs}},
+	})
 }
 
 // Snapshot returns retained traces, newest first.
@@ -310,6 +428,15 @@ func (tr *Tracer) Snapshot() []TraceRecord {
 	return out
 }
 
+// Evicted reports how many retained traces the ring has evicted
+// oldest-first (entry cap plus byte budget).
+func (tr *Tracer) Evicted() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.evicted.Load()
+}
+
 // Stats reports tracer volume counters.
 func (tr *Tracer) Stats() (started, kept, dropped uint64) {
 	if tr == nil {
@@ -323,12 +450,22 @@ func (tr *Tracer) RegisterTelemetry(reg *Registry) {
 	if tr == nil || reg == nil {
 		return
 	}
-	reg.Register(func(e *Emitter) {
-		started, kept, dropped := tr.Stats()
-		e.Counter("aft_traces_started_total", "Traces opened (one per transaction when tracing is enabled).", started, "node", tr.node)
-		e.Counter("aft_traces_kept_total", "Traces retained into the ring buffer.", kept, "node", tr.node)
-		e.Counter("aft_traces_dropped_total", "Finished traces discarded by sampling policy.", dropped, "node", tr.node)
-	})
+	reg.Register(tr.EmitTelemetry)
+}
+
+// EmitTelemetry emits the tracer's volume counters into one scrape.
+// Exposed separately so a cluster can emit per CURRENT member (tracers
+// of killed nodes disappear without re-registering). Nil-safe.
+func (tr *Tracer) EmitTelemetry(e *Emitter) {
+	if tr == nil {
+		return
+	}
+	started, kept, dropped := tr.Stats()
+	e.Counter("aft_traces_started_total", "Traces opened (one per transaction when tracing is enabled).", started, "node", tr.node)
+	e.Counter("aft_traces_kept_total", "Traces retained into the ring buffer.", kept, "node", tr.node)
+	e.Counter("aft_traces_dropped_total", "Finished traces discarded by sampling policy.", dropped, "node", tr.node)
+	e.Counter("aft_trace_evicted_total", "Retained traces evicted oldest-first by the ring's entry or byte bound.", tr.evicted.Load(), "node", tr.node)
+	e.Counter("aft_traces_foreign_total", "Foreign spans forwarded on behalf of traces rooted on other processes.", tr.foreign.Load(), "node", tr.node)
 }
 
 // tracesPayload is the stable JSON schema served at /traces.

@@ -8,7 +8,12 @@
 #     expected aft_* family (node, latency histograms, storage, WAL,
 #     multicast, fault manager, load balancer, tracer);
 #   * /traces returns JSON containing the client's own trace ID with a
-#     multi-layer span tree;
+#     multi-layer span tree, STITCHED across at least two participants
+#     (the serving node and the fault manager's recovery identity);
+#   * /events serves the flight-recorder journal with the WAL
+#     checkpoints the run produced;
+#   * /healthz serves per-objective SLO burn-rate verdicts;
+#   * aft_build_info and the observability-plane families are exported;
 #   * /statz returns application/json with the documented schema fields.
 #
 # Run from the repository root: ./scripts/observability_smoke.sh
@@ -73,7 +78,10 @@ for fam in \
     aft_node_metadata_bytes aft_node_spilled_records_total \
     aft_multicast_rounds_total aft_multicast_deliveries_total \
     aft_faultmgr_known_commits aft_lb_backends \
-    aft_traces_started_total aft_traces_kept_total; do
+    aft_traces_started_total aft_traces_kept_total \
+    aft_build_info aft_trace_evicted_total aft_traces_foreign_total \
+    aft_trace_segments_forwarded_total aft_stitched_traces \
+    aft_events_recorded_total aft_slo_target aft_slo_verdict aft_slo_burn_rate; do
     printf '%s\n' "$metrics" | grep -q "^$fam" ||
         { echo "FAIL: /metrics missing family $fam"; exit 1; }
 done
@@ -85,8 +93,15 @@ committed=$(printf '%s\n' "$metrics" | grep '^aft_node_txns_committed_total' | a
 ckpts=$(printf '%s\n' "$metrics" | grep '^aft_wal_checkpoints_total' | awk '{print $2}')
 [ "${ckpts%.*}" -ge 1 ] || { echo "FAIL: expected >=1 WAL checkpoint, got $ckpts"; exit 1; }
 
-# /traces must contain the client's trace with a multi-layer span tree.
-curl -fsS "http://$DEBUG_ADDR/traces?limit=256" >"$workdir/traces.json"
+# aft_build_info must carry the toolchain version label.
+printf '%s\n' "$metrics" | grep '^aft_build_info' | grep -q 'goversion="go' ||
+    { echo "FAIL: aft_build_info missing goversion label"; exit 1; }
+
+# /traces must contain the client's trace, stitched across at least two
+# participants: the serving node plus the fault manager, which observed
+# the commit record through the multicast tap and contributed its own
+# span segment under its "faultmgr" identity.
+curl -fsS "http://$DEBUG_ADDR/traces?trace_id=$trace_id" >"$workdir/traces.json"
 python3 - "$workdir/traces.json" "$trace_id" <<'PY'
 import json, sys
 payload = json.load(open(sys.argv[1]))
@@ -95,10 +110,49 @@ traces = payload.get("traces") or []
 match = [t for t in traces if t.get("trace_id") == want]
 if not match:
     sys.exit(f"FAIL: trace {want} not in /traces ({len(traces)} retained)")
-spans = match[0].get("spans") or []
+st = match[0]
+spans = st.get("spans") or []
 if len(spans) < 4:
     sys.exit(f"FAIL: trace {want} has {len(spans)} spans, want >= 4: {[s.get('name') for s in spans]}")
-print(f"trace {want}: {len(spans)} spans: {[s.get('name') for s in spans]}")
+nodes = st.get("nodes") or []
+if len(nodes) < 2:
+    sys.exit(f"FAIL: trace {want} stitched over {nodes}, want >= 2 participants")
+if "faultmgr" not in nodes:
+    sys.exit(f"FAIL: trace {want} missing the fault manager segment: {nodes}")
+unattributed = [s.get("name") for s in spans if not (s.get("attrs") or {}).get("node")]
+if unattributed:
+    sys.exit(f"FAIL: spans missing node attribution: {unattributed}")
+print(f"trace {want}: {len(spans)} spans across {nodes}")
+PY
+
+# /events must journal the WAL checkpoints the run produced.
+curl -fsS "http://$DEBUG_ADDR/events?type=checkpoint_written" >"$workdir/events.json"
+python3 - "$workdir/events.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+events = p.get("events") or []
+if not events:
+    sys.exit("FAIL: /events has no checkpoint_written entries")
+ev = events[0]
+for field in ("seq", "type", "node"):
+    if not ev.get(field):
+        sys.exit(f"FAIL: /events entry missing {field!r}: {ev}")
+print(f"/events: {len(events)} checkpoint_written entries, newest seq {ev['seq']}")
+PY
+
+# /healthz must grade both default objectives.
+code=$(curl -s -o "$workdir/healthz.json" -w '%{http_code}' "http://$DEBUG_ADDR/healthz")
+[ "$code" = 200 ] || { echo "FAIL: /healthz returned $code"; cat "$workdir/healthz.json"; exit 1; }
+python3 - "$workdir/healthz.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+if p.get("status") not in ("ok", "warn", "no_data"):
+    sys.exit(f"FAIL: /healthz status {p.get('status')!r}")
+names = {o.get("name") for o in p.get("objectives") or []}
+for want in ("commit_latency", "shed_ratio"):
+    if want not in names:
+        sys.exit(f"FAIL: /healthz missing objective {want!r}: {names}")
+print(f"/healthz: {p['status']} over {sorted(names)}")
 PY
 
 # /statz must be JSON with the documented schema fields.
@@ -116,4 +170,4 @@ if not any(n.startswith("aft_") for n in names):
 print(f"/statz: {len(names)} families from node {p['node']}")
 PY
 
-echo "observability smoke: OK (metrics families, trace $trace_id, statz schema)"
+echo "observability smoke: OK (metrics families, build info, stitched trace $trace_id, events, healthz, statz schema)"
